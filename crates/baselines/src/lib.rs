@@ -1,0 +1,27 @@
+//! Baseline GNN explainers re-implemented for the GVEX evaluation (§6.1).
+//!
+//! The paper compares against four state-of-the-art methods; each is
+//! re-implemented here against our GCN, following the cited paper's
+//! objective, and exposed through the shared
+//! [`gvex_core::Explainer`] trait:
+//!
+//! * [`gnnexplainer::GnnExplainer`] — learns soft edge/feature masks
+//!   maximizing mutual information with the original prediction (Ying et
+//!   al., NeurIPS'19), on top of `gvex-gnn`'s differentiable masked forward,
+//! * [`subgraphx::SubgraphX`] — Monte-Carlo tree search over node-pruned
+//!   subgraphs scored by sampled Shapley values (Yuan et al., ICML'21),
+//! * [`gstarx::GStarX`] — structure-aware node scoring via sampled
+//!   connected-coalition contributions (Zhang et al., NeurIPS'22),
+//! * [`gcfexplainer::GcfExplainer`] — counterfactual explanation via greedy
+//!   edit search, plus the global representative-counterfactual cover
+//!   (Huang et al., WSDM'23).
+
+pub mod gcfexplainer;
+pub mod gnnexplainer;
+pub mod gstarx;
+pub mod subgraphx;
+
+pub use gcfexplainer::GcfExplainer;
+pub use gnnexplainer::GnnExplainer;
+pub use gstarx::GStarX;
+pub use subgraphx::SubgraphX;

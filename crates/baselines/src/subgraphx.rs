@@ -1,0 +1,267 @@
+//! SubgraphX (Yuan et al., ICML'21).
+//!
+//! Explores node-pruned subgraphs with Monte-Carlo tree search; leaves are
+//! scored by a sampled Shapley value of the subgraph — the expected marginal
+//! effect of adding the subgraph's nodes to a random coalition of the
+//! remaining nodes. The best-scoring subgraph within the node budget is the
+//! explanation.
+
+use gvex_core::{Explainer, NodeExplanation};
+use gvex_gnn::GcnModel;
+use gvex_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// MCTS and Shapley-sampling budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct SubgraphX {
+    /// MCTS iterations.
+    pub iterations: usize,
+    /// Monte-Carlo samples per Shapley evaluation.
+    pub shapley_samples: usize,
+    /// UCB exploration constant.
+    pub exploration: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SubgraphX {
+    fn default() -> Self {
+        Self { iterations: 60, shapley_samples: 20, exploration: 5.0, seed: 0 }
+    }
+}
+
+/// One MCTS node: a subgraph given by its sorted node set.
+struct TreeNode {
+    nodes: Vec<NodeId>,
+    visits: f64,
+    total_reward: f64,
+    children: Vec<usize>,
+    expanded: bool,
+}
+
+impl SubgraphX {
+    /// Sampled Shapley value of node set `s` for class `label`: the mean of
+    /// `Pr(label | T ∪ s) − Pr(label | T)` over random coalitions `T` drawn
+    /// from the complement of `s`.
+    pub fn shapley(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        s: &[NodeId],
+        label: usize,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let complement: Vec<NodeId> = (0..g.num_nodes()).filter(|v| !s.contains(v)).collect();
+        let mut total = 0.0;
+        for _ in 0..self.shapley_samples.max(1) {
+            let mut pool = complement.clone();
+            pool.shuffle(rng);
+            let take = if pool.is_empty() { 0 } else { rng.gen_range(0..=pool.len()) };
+            let coalition: Vec<NodeId> = pool[..take].to_vec();
+            let p_without = prob_of(model, g, &coalition, label);
+            let mut with_s = coalition;
+            with_s.extend_from_slice(s);
+            let p_with = prob_of(model, g, &with_s, label);
+            total += p_with - p_without;
+        }
+        total / self.shapley_samples.max(1) as f64
+    }
+
+    fn mcts(&self, model: &GcnModel, g: &Graph, max_nodes: usize) -> Vec<NodeId> {
+        let n = g.num_nodes();
+        let label = model.predict(g);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let root_nodes: Vec<NodeId> = (0..n).collect();
+        let mut arena = vec![TreeNode {
+            nodes: root_nodes,
+            visits: 0.0,
+            total_reward: 0.0,
+            children: Vec::new(),
+            expanded: false,
+        }];
+        let mut index: HashMap<Vec<NodeId>, usize> = HashMap::new();
+        index.insert(arena[0].nodes.clone(), 0);
+        // best subgraph within budget seen so far
+        let mut best: Option<(f64, Vec<NodeId>)> = None;
+
+        for _ in 0..self.iterations {
+            // selection: descend by UCB until an unexpanded node
+            let mut path = vec![0usize];
+            loop {
+                let cur = *path.last().expect("path nonempty");
+                if !arena[cur].expanded || arena[cur].children.is_empty() {
+                    break;
+                }
+                let parent_visits = arena[cur].visits.max(1.0);
+                let chosen = *arena[cur]
+                    .children
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        ucb(&arena[a], parent_visits, self.exploration)
+                            .partial_cmp(&ucb(&arena[b], parent_visits, self.exploration))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("children nonempty");
+                path.push(chosen);
+            }
+            let leaf = *path.last().expect("path nonempty");
+
+            // expansion: prune one node at a time (children = remove each
+            // node whose removal keeps at least one node)
+            if !arena[leaf].expanded && arena[leaf].nodes.len() > 1 {
+                let parent_nodes = arena[leaf].nodes.clone();
+                for &drop in &parent_nodes {
+                    let child_nodes: Vec<NodeId> =
+                        parent_nodes.iter().copied().filter(|&v| v != drop).collect();
+                    let idx = *index.entry(child_nodes.clone()).or_insert_with(|| {
+                        arena.push(TreeNode {
+                            nodes: child_nodes,
+                            visits: 0.0,
+                            total_reward: 0.0,
+                            children: Vec::new(),
+                            expanded: false,
+                        });
+                        arena.len() - 1
+                    });
+                    if !arena[leaf].children.contains(&idx) {
+                        arena[leaf].children.push(idx);
+                    }
+                }
+                arena[leaf].expanded = true;
+            }
+
+            // simulation: random rollout pruning down to the budget, then
+            // score the terminal subgraph by its sampled Shapley value (so
+            // every iteration yields a candidate within budget even on
+            // large graphs).
+            let mut rollout = arena[leaf].nodes.clone();
+            while rollout.len() > max_nodes {
+                let drop = rng.gen_range(0..rollout.len());
+                rollout.swap_remove(drop);
+            }
+            rollout.sort_unstable();
+            let reward = self.shapley(model, g, &rollout, label, &mut rng);
+            {
+                let better = best.as_ref().is_none_or(|(r, _)| reward > *r);
+                if better {
+                    best = Some((reward, rollout));
+                }
+            }
+
+            // backpropagation
+            for &i in &path {
+                arena[i].visits += 1.0;
+                arena[i].total_reward += reward;
+            }
+        }
+
+        match best {
+            Some((_, nodes)) => nodes,
+            None => {
+                // budget never reached within the iteration limit: fall back
+                // to the highest-degree nodes
+                let mut by_degree: Vec<NodeId> = (0..n).collect();
+                by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+                by_degree.truncate(max_nodes);
+                by_degree
+            }
+        }
+    }
+}
+
+fn ucb(node: &TreeNode, parent_visits: f64, c: f64) -> f64 {
+    if node.visits == 0.0 {
+        return f64::INFINITY;
+    }
+    node.total_reward / node.visits + c * (parent_visits.ln() / node.visits).sqrt()
+}
+
+fn prob_of(model: &GcnModel, g: &Graph, nodes: &[NodeId], label: usize) -> f64 {
+    let mut sorted = nodes.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let sub = g.induced_subgraph(&sorted);
+    model.predict_proba(&sub.graph)[label] as f64
+}
+
+impl Explainer for SubgraphX {
+    fn name(&self) -> &'static str {
+        "SubgraphX"
+    }
+
+    fn explain(&self, model: &GcnModel, g: &Graph, max_nodes: usize) -> NodeExplanation {
+        if g.num_nodes() == 0 || max_nodes == 0 {
+            return NodeExplanation::default();
+        }
+        if g.num_nodes() <= max_nodes {
+            return NodeExplanation::new((0..g.num_nodes()).collect());
+        }
+        NodeExplanation::new(self.mcts(model, g, max_nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvex_gnn::GcnConfig;
+
+    fn graph(n: usize) -> Graph {
+        let mut b = Graph::builder(false);
+        for i in 0..n {
+            b.add_node(0, &[(i % 2) as f32, 1.0]);
+        }
+        for i in 1..n {
+            b.add_edge(i - 1, i, 0);
+        }
+        b.build()
+    }
+
+    fn model() -> GcnModel {
+        GcnModel::new(
+            GcnConfig { input_dim: 2, hidden: 4, layers: 2, num_classes: 2 },
+            &mut ChaCha8Rng::seed_from_u64(6),
+        )
+    }
+
+    #[test]
+    fn respects_budget() {
+        let g = graph(8);
+        let m = model();
+        let sx = SubgraphX { iterations: 20, shapley_samples: 5, ..Default::default() };
+        let e = sx.explain(&m, &g, 3);
+        assert!(e.len() <= 3 && !e.is_empty());
+    }
+
+    #[test]
+    fn small_graph_returned_whole() {
+        let g = graph(3);
+        let m = model();
+        let e = SubgraphX::default().explain(&m, &g, 5);
+        assert_eq!(e.nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = graph(7);
+        let m = model();
+        let sx = SubgraphX { iterations: 15, shapley_samples: 5, seed: 42, ..Default::default() };
+        assert_eq!(sx.explain(&m, &g, 3), sx.explain(&m, &g, 3));
+    }
+
+    #[test]
+    fn shapley_of_everything_vs_nothing() {
+        let g = graph(5);
+        let m = model();
+        let label = m.predict(&g);
+        let sx = SubgraphX { shapley_samples: 10, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let all: Vec<usize> = (0..5).collect();
+        let phi_all = sx.shapley(&m, &g, &all, label, &mut rng);
+        // adding the entire graph to the (empty) coalition yields exactly
+        // p(G) - p(∅) every sample; it must be finite and bounded
+        assert!(phi_all.abs() <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,73 @@
+//! Case study 2 (Fig. 11): GNN-based social analysis on RED under three
+//! coverage configurations.
+//!
+//! The paper's scenarios: the user cares about (i) only the
+//! *online-discussion* class, (ii) only *question-answer*, or (iii) both —
+//! and GVEX's patterns shift accordingly (star fragments vs. biclique
+//! fragments vs. both).
+
+use gvex_bench::harness::{gvex_config, prepare, write_json};
+use gvex_core::{ApproxGvex, Configuration, CoverageBound};
+use gvex_datasets::{DatasetKind, Scale};
+use gvex_graph::Graph;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Scenario {
+    name: String,
+    labels: Vec<usize>,
+    /// per label: (max pattern degree, #patterns) — stars show up as high-
+    /// degree hubs, bicliques as degree-2+ fragments.
+    pattern_stats: Vec<(usize, usize, usize)>,
+}
+
+fn max_pattern_degree(patterns: &[Graph]) -> usize {
+    patterns
+        .iter()
+        .flat_map(|p| (0..p.num_nodes()).map(|v| p.degree(v)))
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let prep = prepare(DatasetKind::RedditBinary, Scale::Bench, 42);
+    eprintln!("classifier accuracy {:.3}", prep.accuracy);
+    let mut out = Vec::new();
+
+    let scenarios: [(&str, Vec<usize>); 3] = [
+        ("only online-discussion", vec![0]),
+        ("only question-answer", vec![1]),
+        ("both classes", vec![0, 1]),
+    ];
+
+    for (name, labels) in scenarios {
+        // per-scenario configuration: generous coverage for the classes of
+        // interest (the configurable knob the paper demonstrates)
+        let cfg: Configuration =
+            gvex_config(12).with_bounds(vec![CoverageBound::new(0, 12), CoverageBound::new(0, 12)]);
+        let ag = ApproxGvex::new(cfg);
+        let set = ag.explain(&prep.model, &prep.db, &labels);
+        println!("\nScenario: {name}");
+        let mut stats = Vec::new();
+        for view in &set.views {
+            let maxdeg = max_pattern_degree(&view.patterns);
+            println!(
+                "  label {} ({}): {} subgraphs, {} patterns, max pattern degree {}",
+                view.label,
+                prep.db.class_names[view.label],
+                view.subgraphs.len(),
+                view.patterns.len(),
+                maxdeg,
+            );
+            stats.push((view.label, view.patterns.len(), maxdeg));
+        }
+        out.push(Scenario { name: name.to_string(), labels, pattern_stats: stats });
+    }
+
+    println!(
+        "\n(The paper's reading: online-discussion explanations should surface star-like \
+         fragments — higher-degree pattern hubs — while question-answer surfaces flatter \
+         biclique fragments.)"
+    );
+    write_json("case_social.json", &out);
+}

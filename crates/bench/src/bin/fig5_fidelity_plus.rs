@@ -1,0 +1,55 @@
+//! Figure 5: Fidelity+ (counterfactual strength) vs. the configuration
+//! constraint `u_l`, across explainers and datasets.
+//!
+//! Paper shape to reproduce: ApproxGVEX and StreamGVEX at or near the top on
+//! every dataset (a small gap allowed on MUT), competitors lower, and
+//! methods absent on the large-graph datasets where they blow the time
+//! budget.
+
+use gvex_bench::harness::{fidelity_grid, write_json};
+use gvex_datasets::{DatasetKind, Scale};
+use std::time::Duration;
+
+fn main() {
+    let datasets = [
+        DatasetKind::Mutagenicity,
+        DatasetKind::Enzymes,
+        DatasetKind::RedditBinary,
+        DatasetKind::MalnetTiny,
+    ];
+    let uls = [5usize, 10, 15, 20];
+    let cells = fidelity_grid(&datasets, &uls, Scale::Bench, Duration::from_secs(120));
+
+    println!("\nFigure 5 — Fidelity+ (higher is better)\n");
+    for ds in datasets.iter().map(|d| d.short_name()) {
+        println!("[{ds}]");
+        println!("{:<14} {:>7} {:>7} {:>7} {:>7}", "method", "u=5", "u=10", "u=15", "u=20");
+        for method in ["ApproxGVEX", "StreamGVEX", "GNNExplainer", "SubgraphX", "GStarX", "GCFExplainer"] {
+            let mut line = format!("{method:<14}");
+            for &u in &uls {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.dataset == ds && c.method == method && c.u_l == u);
+                match cell {
+                    Some(c) if !c.timed_out => {
+                        line.push_str(&format!(" {:>7.3}", c.quality.fidelity_plus))
+                    }
+                    Some(_) => line.push_str("   T/O "),
+                    None => line.push_str("    -  "),
+                }
+            }
+            println!("{line}");
+        }
+        println!();
+    }
+    let fig5: Vec<_> = cells
+        .iter()
+        .map(|c| {
+            serde_json::json!({
+                "dataset": c.dataset, "method": c.method, "u_l": c.u_l,
+                "fidelity_plus": c.quality.fidelity_plus, "timed_out": c.timed_out,
+            })
+        })
+        .collect();
+    write_json("fig5_fidelity_plus.json", &fig5);
+}

@@ -1,0 +1,53 @@
+//! Figure 6: Fidelity− (consistency) vs. `u_l` across explainers/datasets.
+//!
+//! Paper shape: GVEX's two algorithms achieve the *lowest* Fidelity− on all
+//! datasets (near or below zero), with ≤ 0.023 between ApproxGVEX and
+//! StreamGVEX.
+
+use gvex_bench::harness::{fidelity_grid, write_json};
+use gvex_datasets::{DatasetKind, Scale};
+use std::time::Duration;
+
+fn main() {
+    let datasets = [
+        DatasetKind::Mutagenicity,
+        DatasetKind::Enzymes,
+        DatasetKind::RedditBinary,
+        DatasetKind::MalnetTiny,
+    ];
+    let uls = [5usize, 10, 15, 20];
+    let cells = fidelity_grid(&datasets, &uls, Scale::Bench, Duration::from_secs(120));
+
+    println!("\nFigure 6 — Fidelity- (lower is better)\n");
+    for ds in datasets.iter().map(|d| d.short_name()) {
+        println!("[{ds}]");
+        println!("{:<14} {:>7} {:>7} {:>7} {:>7}", "method", "u=5", "u=10", "u=15", "u=20");
+        for method in ["ApproxGVEX", "StreamGVEX", "GNNExplainer", "SubgraphX", "GStarX", "GCFExplainer"] {
+            let mut line = format!("{method:<14}");
+            for &u in &uls {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.dataset == ds && c.method == method && c.u_l == u);
+                match cell {
+                    Some(c) if !c.timed_out => {
+                        line.push_str(&format!(" {:>7.3}", c.quality.fidelity_minus))
+                    }
+                    Some(_) => line.push_str("   T/O "),
+                    None => line.push_str("    -  "),
+                }
+            }
+            println!("{line}");
+        }
+        println!();
+    }
+    let fig6: Vec<_> = cells
+        .iter()
+        .map(|c| {
+            serde_json::json!({
+                "dataset": c.dataset, "method": c.method, "u_l": c.u_l,
+                "fidelity_minus": c.quality.fidelity_minus, "timed_out": c.timed_out,
+            })
+        })
+        .collect();
+    write_json("fig6_fidelity_minus.json", &fig6);
+}

@@ -1,0 +1,100 @@
+//! Ground-truth motif recovery — a quantitative extension of the paper's
+//! case studies. The paper validates patterns against domain knowledge
+//! ("two of the patterns are real toxicophores as verified by domain
+//! experts"); with planted-motif synthetic data the check becomes a metric:
+//! for each explainer, the fraction of test graphs whose explanation
+//! subgraph contains the class-causing motif.
+//!
+//! Datasets: SYN (house / 5-cycle motifs) and ENZ (per-class fold motifs).
+
+use gvex_bench::harness::{prepare, roster, write_json};
+use gvex_core::NodeExplanation;
+use gvex_datasets::{proteins::class_motif, synthetic, DatasetKind, Scale};
+use gvex_graph::Graph;
+use gvex_metrics::motif_recovery_rate;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    method: String,
+    recovery_rate: f64,
+    graphs: usize,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let u_l = 10;
+
+    // SYN: class 0 planted houses, class 1 planted 5-cycles
+    {
+        let prep = prepare(DatasetKind::Synthetic, Scale::Bench, 42);
+        eprintln!("SYN classifier accuracy {:.3}", prep.accuracy);
+        println!("\nMotif recovery on SYN (u_l = {u_l}):\n");
+        println!("{:<14} {:>9} {:>8}", "method", "recovery", "#graphs");
+        for ex in roster(u_l) {
+            let mut per_motif: Vec<(Graph, Vec<(&Graph, NodeExplanation)>)> = vec![
+                (synthetic::house_pattern(), Vec::new()),
+                (synthetic::cycle_pattern(), Vec::new()),
+            ];
+            for &gi in &prep.split.test {
+                let g = prep.db.graph(gi);
+                let class = prep.db.truth()[gi];
+                let expl = ex.explain(&prep.model, g, u_l);
+                per_motif[class].1.push((g, expl));
+            }
+            let mut hits = 0.0;
+            let mut total = 0usize;
+            for (motif, pairs) in &per_motif {
+                hits += motif_recovery_rate(pairs, motif) * pairs.len() as f64;
+                total += pairs.len();
+            }
+            let rate = if total == 0 { 0.0 } else { hits / total as f64 };
+            println!("{:<14} {rate:>9.3} {total:>8}", ex.name());
+            rows.push(Row {
+                dataset: "SYN".into(),
+                method: ex.name().to_string(),
+                recovery_rate: rate,
+                graphs: total,
+            });
+        }
+    }
+
+    // ENZ: six per-class fold motifs
+    {
+        let prep = prepare(DatasetKind::Enzymes, Scale::Bench, 42);
+        eprintln!("ENZ classifier accuracy {:.3}", prep.accuracy);
+        println!("\nMotif recovery on ENZ (u_l = {u_l}):\n");
+        println!("{:<14} {:>9} {:>8}", "method", "recovery", "#graphs");
+        for ex in roster(u_l) {
+            let mut hits = 0.0;
+            let mut total = 0usize;
+            for class in 0..6 {
+                let motif = class_motif(class);
+                let pairs: Vec<(&Graph, NodeExplanation)> = prep
+                    .split
+                    .test
+                    .iter()
+                    .copied()
+                    .filter(|&gi| prep.db.truth()[gi] == class)
+                    .map(|gi| {
+                        let g = prep.db.graph(gi);
+                        (g, ex.explain(&prep.model, g, u_l))
+                    })
+                    .collect();
+                hits += motif_recovery_rate(&pairs, &motif) * pairs.len() as f64;
+                total += pairs.len();
+            }
+            let rate = if total == 0 { 0.0 } else { hits / total as f64 };
+            println!("{:<14} {rate:>9.3} {total:>8}", ex.name());
+            rows.push(Row {
+                dataset: "ENZ".into(),
+                method: ex.name().to_string(),
+                recovery_rate: rate,
+                graphs: total,
+            });
+        }
+    }
+
+    write_json("motif_recovery.json", &rows);
+}

@@ -1,0 +1,72 @@
+//! Table 3: dataset statistics for the seven synthetic stand-ins.
+//!
+//! Prints the same columns as the paper (avg edges/nodes per graph, node
+//! features, #graphs, #classes) and records the generated numbers next to
+//! the paper's originals in `results/table3.json`.
+
+use gvex_bench::harness::write_json;
+use gvex_datasets::{dataset_stats, DatasetKind, Scale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    avg_edges: f64,
+    avg_nodes: f64,
+    feature_dim: usize,
+    num_graphs: usize,
+    num_classes: usize,
+    paper_avg_edges: f64,
+    paper_avg_nodes: f64,
+    paper_num_graphs: usize,
+    paper_num_classes: usize,
+}
+
+/// Paper's Table 3 values: (avg edges, avg nodes, #graphs, #classes).
+fn paper_row(kind: DatasetKind) -> (f64, f64, usize, usize) {
+    match kind {
+        DatasetKind::Mutagenicity => (31.0, 30.0, 4337, 2),
+        DatasetKind::RedditBinary => (996.0, 430.0, 2000, 2),
+        DatasetKind::Enzymes => (62.0, 33.0, 600, 6),
+        DatasetKind::MalnetTiny => (2860.0, 1522.0, 5000, 5),
+        DatasetKind::Pcqm4m => (31.0, 15.0, 3_746_619, 3),
+        DatasetKind::Products => (5_728_239.0, 1_184_330.0, 1, 47),
+        DatasetKind::Synthetic => (1_999_975.0, 400_275.0, 100, 2),
+    }
+}
+
+fn main() {
+    let scale = Scale::Bench;
+    println!(
+        "{:<6} {:>10} {:>10} {:>6} {:>8} {:>8}   (paper: edges/nodes/graphs/classes)",
+        "data", "avg|E|", "avg|V|", "#NF", "#graphs", "#classes"
+    );
+    let mut rows = Vec::new();
+    for kind in DatasetKind::all() {
+        let db = kind.generate(scale, 42);
+        let s = dataset_stats(&db);
+        let (pe, pn, pg, pc) = paper_row(kind);
+        println!(
+            "{:<6} {:>10.1} {:>10.1} {:>6} {:>8} {:>8}   ({pe}/{pn}/{pg}/{pc})",
+            kind.short_name(),
+            s.avg_edges,
+            s.avg_nodes,
+            s.feature_dim,
+            s.num_graphs,
+            s.num_classes,
+        );
+        rows.push(Row {
+            dataset: kind.short_name().to_string(),
+            avg_edges: s.avg_edges,
+            avg_nodes: s.avg_nodes,
+            feature_dim: s.feature_dim,
+            num_graphs: s.num_graphs,
+            num_classes: s.num_classes,
+            paper_avg_edges: pe,
+            paper_avg_nodes: pn,
+            paper_num_graphs: pg,
+            paper_num_classes: pc,
+        });
+    }
+    write_json("table3.json", &rows);
+}

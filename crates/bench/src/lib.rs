@@ -1,0 +1,4 @@
+//! Shared experiment harness for the figure/table binaries (see DESIGN.md §4
+//! for the experiment index and `src/bin/` for the per-figure entry points).
+
+pub mod harness;

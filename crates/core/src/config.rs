@@ -1,0 +1,154 @@
+//! The GVEX configuration `C = (θ, r, {[b_l, u_l]})` (§3.2).
+
+use gvex_influence::InfluenceMode;
+use gvex_iso::MatchOptions;
+use gvex_mining::MiningConfig;
+
+/// Per-label coverage constraint `[b_l, u_l]` on the number of nodes an
+/// explanation subgraph may select from a graph of label group `l`.
+///
+/// Following Algorithm 1, the bound is enforced per graph; a label group's
+/// view "properly covers" the group when every member graph's explanation
+/// satisfies its bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoverageBound {
+    /// Minimum selected nodes `b_l`.
+    pub lower: usize,
+    /// Maximum selected nodes `u_l` (must be ≥ `lower` and ≥ 1).
+    pub upper: usize,
+}
+
+impl CoverageBound {
+    /// Creates a bound, validating `lower ≤ upper` and `upper ≥ 1`.
+    pub fn new(lower: usize, upper: usize) -> Self {
+        assert!(lower <= upper, "coverage bound [{lower}, {upper}] is empty");
+        assert!(upper >= 1, "upper coverage bound must be at least 1");
+        Self { lower, upper }
+    }
+
+    /// Whether `n` selected nodes satisfy the bound.
+    pub fn contains(&self, n: usize) -> bool {
+        (self.lower..=self.upper).contains(&n)
+    }
+}
+
+/// Full GVEX configuration: explainability thresholds, per-label coverage
+/// bounds, and the knobs of the underlying operators.
+#[derive(Clone, Debug)]
+pub struct Configuration {
+    /// Influence threshold `θ` (Eq. 5).
+    pub theta: f32,
+    /// Embedding-ball radius `r` for diversity (Eq. 6).
+    pub r: f32,
+    /// Influence/diversity trade-off `γ ∈ [0, 1]` (Eq. 2).
+    pub gamma: f32,
+    /// Coverage bounds per class label; labels beyond the vector's length
+    /// fall back to the last entry.
+    pub bounds: Vec<CoverageBound>,
+    /// How the influence matrix is computed (`EVerify` internals).
+    pub influence: InfluenceMode,
+    /// Pattern-mining bounds (`PGen`).
+    pub mining: MiningConfig,
+    /// Pattern-matching semantics (`PMatch`).
+    pub matching: MatchOptions,
+    /// RNG seed (Monte-Carlo influence mode and tie-breaking).
+    pub seed: u64,
+}
+
+impl Configuration {
+    /// A configuration with the same coverage bound for every label — the
+    /// common case in the paper's experiments, where `u_l` is the varied
+    /// knob (Figs. 5–6) and `(θ, r, γ)` come from a grid search (§6.2:
+    /// `(0.08, 0.25)`, `γ = 0.5` on MUT).
+    pub fn uniform(theta: f32, r: f32, gamma: f32, lower: usize, upper: usize) -> Self {
+        Self {
+            theta,
+            r,
+            gamma,
+            bounds: vec![CoverageBound::new(lower, upper)],
+            influence: InfluenceMode::Auto,
+            mining: MiningConfig::default(),
+            matching: MatchOptions::default(),
+            seed: 0,
+        }
+    }
+
+    /// The paper's MUT grid-search optimum with a `[0, u]` bound.
+    pub fn paper_mut(upper: usize) -> Self {
+        Self::uniform(0.08, 0.25, 0.5, 0, upper)
+    }
+
+    /// The coverage bound for label `l`.
+    ///
+    /// # Panics
+    /// If no bounds were configured at all.
+    pub fn bound(&self, l: usize) -> CoverageBound {
+        *self
+            .bounds
+            .get(l)
+            .or_else(|| self.bounds.last())
+            .expect("configuration must define at least one coverage bound")
+    }
+
+    /// Replaces the bound table with per-label bounds.
+    pub fn with_bounds(mut self, bounds: Vec<CoverageBound>) -> Self {
+        assert!(!bounds.is_empty(), "at least one coverage bound required");
+        self.bounds = bounds;
+        self
+    }
+
+    /// Sets the influence estimation mode.
+    pub fn with_influence(mut self, mode: InfluenceMode) -> Self {
+        self.influence = mode;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_membership() {
+        let b = CoverageBound::new(2, 5);
+        assert!(!b.contains(1));
+        assert!(b.contains(2) && b.contains(5));
+        assert!(!b.contains(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn inverted_bound_panics() {
+        let _ = CoverageBound::new(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_upper_bound_panics() {
+        let _ = CoverageBound::new(0, 0);
+    }
+
+    #[test]
+    fn label_fallback_to_last_bound() {
+        let cfg = Configuration::uniform(0.1, 0.2, 0.5, 0, 10)
+            .with_bounds(vec![CoverageBound::new(0, 5), CoverageBound::new(1, 7)]);
+        assert_eq!(cfg.bound(0), CoverageBound::new(0, 5));
+        assert_eq!(cfg.bound(1), CoverageBound::new(1, 7));
+        assert_eq!(cfg.bound(9), CoverageBound::new(1, 7));
+    }
+
+    #[test]
+    fn paper_mut_settings() {
+        let cfg = Configuration::paper_mut(15);
+        assert_eq!(cfg.theta, 0.08);
+        assert_eq!(cfg.r, 0.25);
+        assert_eq!(cfg.gamma, 0.5);
+        assert_eq!(cfg.bound(0), CoverageBound::new(0, 15));
+    }
+}

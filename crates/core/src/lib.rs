@@ -1,0 +1,47 @@
+//! GVEX core: explanation views and the two generation algorithms.
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * [`config::Configuration`] — the user configuration
+//!   `C = (θ, r, {[b_l, u_l]})` plus the diversity weight `γ` (§3.2),
+//! * [`view`] — the two-tier explanation structure: explanation subgraphs
+//!   (consistent + counterfactual, §2.2) summarized by graph patterns,
+//! * [`verify`] — the view-verification primitives `EVerify` and `PMatch`
+//!   (constraints **C1–C3**, Lemma 3.1),
+//! * [`psum`] — procedure `Psum`: weighted greedy set cover of subgraph
+//!   nodes by mined patterns with minimal edge-coverage loss
+//!   (`H_{u_l}`-approximation, Lemma 4.3),
+//! * [`approx`] — **ApproxGVEX** (Algorithm 1): the explain-and-summarize
+//!   ½-approximation,
+//! * [`stream`] — **StreamGVEX** (Algorithm 3 + Procedures 4–5): the
+//!   single-pass anytime ¼-approximation with swap-based maintenance,
+//! * [`parallel`] — the per-graph parallel driver (§A.7),
+//! * [`explainer`] — the [`explainer::Explainer`] trait shared with the
+//!   baseline explainers so the evaluation harness can treat every method
+//!   uniformly.
+
+pub mod approx;
+pub mod config;
+pub mod distributed;
+pub mod exact;
+pub mod explainer;
+pub mod maintain;
+pub mod node_explain;
+pub mod parallel;
+pub mod psum;
+pub mod query;
+pub mod stream;
+pub mod verify;
+pub mod view;
+
+pub use approx::ApproxGvex;
+pub use config::{Configuration, CoverageBound};
+pub use distributed::explain_database_sharded;
+pub use explainer::{Explainer, NodeExplanation};
+pub use maintain::ViewMaintainer;
+pub use node_explain::{explain_node, NodeExplanationView};
+pub use parallel::explain_database;
+pub use query::{index_views, ViewIndex};
+pub use stream::StreamGvex;
+pub use verify::{everify, pmatch, verify_view, VerificationReport};
+pub use view::{ExplanationSubgraph, ExplanationView, ExplanationViewSet};

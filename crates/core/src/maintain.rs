@@ -1,0 +1,242 @@
+//! Incremental view maintenance (Example 2.1).
+//!
+//! "Consider adding two more graphs {G₅, G₆} … Ideally, one wants to
+//! efficiently maintain the explanation view by properly enlarging 𝒫 and
+//! 𝒢ₛ *only when necessary*. For example, it suffices to keep only P₁₁ or
+//! P₃₂ …" — when the classified database grows or shrinks, the view should
+//! be patched, not regenerated:
+//!
+//! * [`ViewMaintainer::add_graph`] explains the new graph, appends its
+//!   subgraph, and mines **only** the patterns needed to cover what the
+//!   existing pattern set misses (deduplicating isomorphic candidates — the
+//!   "keep only P₁₁ or P₃₂" behavior),
+//! * [`ViewMaintainer::remove_graph`] drops the subgraph and garbage-collects
+//!   patterns that no longer cover anything.
+
+use crate::approx::ApproxGvex;
+use crate::config::Configuration;
+use crate::psum::coverage_stats;
+use crate::view::ExplanationView;
+use gvex_gnn::GcnModel;
+use gvex_graph::Graph;
+use gvex_iso::coverage::{covered, covered_by_set};
+use gvex_iso::vf2::are_isomorphic;
+use gvex_mining::pgen;
+
+/// Incremental maintenance of one label's explanation view.
+#[derive(Clone, Debug)]
+pub struct ViewMaintainer {
+    cfg: Configuration,
+}
+
+impl ViewMaintainer {
+    /// Creates a maintainer with the generation configuration.
+    pub fn new(cfg: Configuration) -> Self {
+        Self { cfg }
+    }
+
+    /// Adds a newly classified graph to the view. Returns how many *new*
+    /// patterns were needed (0 when the existing pattern tier already
+    /// covers the new explanation subgraph — the "only when necessary"
+    /// case). Returns `None` if the graph yields no explanation under the
+    /// coverage bound or its label does not match the view's.
+    pub fn add_graph(
+        &self,
+        model: &GcnModel,
+        view: &mut ExplanationView,
+        g: &Graph,
+        graph_index: usize,
+    ) -> Option<usize> {
+        if model.predict(g) != view.label {
+            return None;
+        }
+        let ag = ApproxGvex::new(self.cfg.clone());
+        let sub = ag.explain_graph(model, g, graph_index)?;
+
+        // which of the new subgraph's nodes do existing patterns miss?
+        let cov = covered_by_set(&view.patterns, &sub.subgraph, self.cfg.matching);
+        let mut added = 0;
+        if !cov.covers_all_nodes(&sub.subgraph) {
+            // mine candidates from the new subgraph only (IncPGen's scope)
+            let cands = pgen(&[&sub.subgraph], &self.cfg.mining);
+            let mut covered_now = cov.nodes.clone();
+            // structural-first, then singletons, mirroring Psum's phases
+            for structural_only in [true, false] {
+                for c in &cands {
+                    if covered_now.len() == sub.subgraph.num_nodes() {
+                        break;
+                    }
+                    if structural_only && c.pattern.num_edges() == 0 {
+                        continue;
+                    }
+                    if view.patterns.iter().any(|p| are_isomorphic(p, &c.pattern)) {
+                        continue; // the P₁₁-or-P₃₂ dedup
+                    }
+                    let pc = covered(&c.pattern, &sub.subgraph, self.cfg.matching);
+                    if pc.nodes.iter().any(|v| !covered_now.contains(v)) {
+                        covered_now.extend(pc.nodes);
+                        view.patterns.push(c.pattern.clone());
+                        added += 1;
+                    }
+                }
+            }
+        }
+
+        view.explainability += sub.explainability;
+        view.subgraphs.push(sub);
+        self.refresh_edge_loss(view);
+        Some(added)
+    }
+
+    /// Removes a graph's explanation from the view; garbage-collects
+    /// patterns that no longer cover any node of any remaining subgraph.
+    /// Returns `true` if the graph was present.
+    pub fn remove_graph(&self, view: &mut ExplanationView, graph_index: usize) -> bool {
+        let before = view.subgraphs.len();
+        view.subgraphs.retain(|s| s.graph_index != graph_index);
+        if view.subgraphs.len() == before {
+            return false;
+        }
+        view.explainability = view.subgraphs.iter().map(|s| s.explainability).sum();
+
+        // drop patterns with no remaining coverage contribution
+        let graphs: Vec<&Graph> = view.subgraphs.iter().map(|s| &s.subgraph).collect();
+        let matching = self.cfg.matching;
+        view.patterns.retain(|p| {
+            graphs
+                .iter()
+                .any(|sg| !covered(p, sg, matching).nodes.is_empty())
+        });
+        self.refresh_edge_loss(view);
+        true
+    }
+
+    fn refresh_edge_loss(&self, view: &mut ExplanationView) {
+        let graphs: Vec<&Graph> = view.subgraphs.iter().map(|s| &s.subgraph).collect();
+        let (_, edge_loss) = coverage_stats(&view.patterns, &graphs, self.cfg.matching);
+        view.edge_loss = edge_loss;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvex_gnn::{trainer, GcnConfig};
+    use gvex_graph::GraphDatabase;
+
+    fn motif_graph(chain: usize) -> Graph {
+        let mut b = Graph::builder(false);
+        for _ in 0..chain {
+            b.add_node(0, &[1.0, 0.0, 0.0]);
+        }
+        let m1 = b.add_node(1, &[0.0, 1.0, 0.0]);
+        let m2 = b.add_node(2, &[0.0, 0.0, 1.0]);
+        for v in 1..chain {
+            b.add_edge(v - 1, v, 0);
+        }
+        b.add_edge(chain - 1, m1, 0);
+        b.add_edge(m1, m2, 0);
+        b.build()
+    }
+
+    fn plain_graph(chain: usize) -> Graph {
+        let mut b = Graph::builder(false);
+        for _ in 0..chain {
+            b.add_node(0, &[1.0, 0.0, 0.0]);
+        }
+        for v in 1..chain {
+            b.add_edge(v - 1, v, 0);
+        }
+        b.build()
+    }
+
+    fn setup() -> (GraphDatabase, GcnModel, Configuration) {
+        let mut db = GraphDatabase::new(vec!["plain".into(), "motif".into()]);
+        for i in 0..8 {
+            db.push(plain_graph(5 + i % 2), 0);
+            db.push(motif_graph(4 + i % 2), 1);
+        }
+        let split = trainer::Split {
+            train: (0..db.len()).collect(),
+            val: (0..db.len()).collect(),
+            test: vec![],
+        };
+        let gcfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
+        let opts = trainer::TrainOptions { epochs: 80, lr: 0.01, seed: 1, patience: 0 };
+        let (model, _) = trainer::train(&db, gcfg, &split, opts);
+        (db, model, Configuration::uniform(0.05, 0.3, 0.5, 0, 4))
+    }
+
+    #[test]
+    fn adding_similar_graph_needs_no_new_patterns() {
+        let (db, model, cfg) = setup();
+        let ag = ApproxGvex::new(cfg.clone());
+        let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
+        let groups = db.label_groups(&assigned);
+        let mut view = ag.explain_label_group(&model, &db, 1, groups.group(1));
+        let before = view.patterns.len();
+
+        // a new motif graph isomorphic in structure to existing ones
+        let new_graph = motif_graph(4);
+        let added = ViewMaintainer::new(cfg)
+            .add_graph(&model, &mut view, &new_graph, 999)
+            .expect("new graph explainable");
+        assert_eq!(added, 0, "existing patterns should already cover the newcomer");
+        assert_eq!(view.patterns.len(), before);
+        assert!(view.subgraph_for(999).is_some());
+    }
+
+    #[test]
+    fn wrong_label_graph_rejected() {
+        let (db, model, cfg) = setup();
+        let ag = ApproxGvex::new(cfg.clone());
+        let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
+        let groups = db.label_groups(&assigned);
+        let mut view = ag.explain_label_group(&model, &db, 1, groups.group(1));
+        // a plain (label 0) graph cannot join the label-1 view
+        assert!(ViewMaintainer::new(cfg)
+            .add_graph(&model, &mut view, &plain_graph(6), 998)
+            .is_none());
+    }
+
+    #[test]
+    fn maintained_view_keeps_full_coverage() {
+        let (db, model, cfg) = setup();
+        let ag = ApproxGvex::new(cfg.clone());
+        let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
+        let groups = db.label_groups(&assigned);
+        let mut view = ag.explain_label_group(&model, &db, 1, groups.group(1));
+        let maintainer = ViewMaintainer::new(cfg.clone());
+        maintainer.add_graph(&model, &mut view, &motif_graph(7), 777);
+        for s in &view.subgraphs {
+            assert!(
+                crate::verify::pmatch(&view.patterns, &s.subgraph, &cfg),
+                "coverage broken after maintenance (graph {})",
+                s.graph_index
+            );
+        }
+    }
+
+    #[test]
+    fn remove_graph_garbage_collects() {
+        let (db, model, cfg) = setup();
+        let ag = ApproxGvex::new(cfg.clone());
+        let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
+        let groups = db.label_groups(&assigned);
+        let mut view = ag.explain_label_group(&model, &db, 1, groups.group(1));
+        let maintainer = ViewMaintainer::new(cfg);
+        let total = view.subgraphs.len();
+        let first = view.subgraphs[0].graph_index;
+        assert!(maintainer.remove_graph(&mut view, first));
+        assert_eq!(view.subgraphs.len(), total - 1);
+        assert!(!maintainer.remove_graph(&mut view, first), "double remove");
+        // removing everything empties the pattern tier too
+        let remaining: Vec<usize> = view.subgraphs.iter().map(|s| s.graph_index).collect();
+        for gi in remaining {
+            maintainer.remove_graph(&mut view, gi);
+        }
+        assert!(view.subgraphs.is_empty());
+        assert!(view.patterns.is_empty(), "patterns must be garbage-collected");
+        assert_eq!(view.explainability, 0.0);
+    }
+}

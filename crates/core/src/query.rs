@@ -1,0 +1,257 @@
+//! Queryable explanation views (§1's "queryable" property, Table 1).
+//!
+//! The paper motivates views as *directly queryable* structures: a domain
+//! expert should be able to ask "which toxicophores occur in mutagens?" or
+//! "which nonmutagens contain pattern P₂₂?" without re-running the
+//! explainer. [`ViewIndex`] materializes a set of explanation views into an
+//! index supporting exactly those queries:
+//!
+//! * pattern → explanation subgraphs (and their source graphs) it matches,
+//! * graph → patterns occurring in its explanation,
+//! * label → its pattern vocabulary,
+//! * ad-hoc pattern queries against any tier (`contains`),
+//! * discriminative patterns: present in one label group's view, absent
+//!   from the others' (the `P₁₂` example of §1).
+
+use crate::view::ExplanationViewSet;
+use gvex_iso::coverage::covered;
+use gvex_iso::vf2::{are_isomorphic, matches};
+use gvex_iso::MatchOptions;
+use gvex_graph::{Graph, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// A pattern occurrence inside one explanation subgraph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Label of the view the subgraph belongs to.
+    pub label: usize,
+    /// Index of the explained database graph.
+    pub graph_index: usize,
+    /// Nodes of the explanation subgraph covered by the pattern (subgraph-
+    /// local ids).
+    pub covered_nodes: Vec<NodeId>,
+}
+
+/// An inverted index over a set of explanation views.
+pub struct ViewIndex {
+    /// Deduplicated pattern vocabulary across all views.
+    patterns: Vec<Graph>,
+    /// Per pattern: its occurrences.
+    occurrences: Vec<Vec<Occurrence>>,
+    /// Per label: indices into `patterns` used by that label's view.
+    label_patterns: HashMap<usize, Vec<usize>>,
+    /// Matching semantics used to build the index.
+    matching: MatchOptions,
+}
+
+impl ViewIndex {
+    /// Builds the index from a view set.
+    pub fn build(views: &ExplanationViewSet, matching: MatchOptions) -> Self {
+        let mut patterns: Vec<Graph> = Vec::new();
+        let mut occurrences: Vec<Vec<Occurrence>> = Vec::new();
+        let mut label_patterns: HashMap<usize, Vec<usize>> = HashMap::new();
+
+        for view in &views.views {
+            for p in &view.patterns {
+                let pid = match patterns.iter().position(|q| are_isomorphic(q, p)) {
+                    Some(i) => i,
+                    None => {
+                        patterns.push(p.clone());
+                        occurrences.push(Vec::new());
+                        patterns.len() - 1
+                    }
+                };
+                let entry = label_patterns.entry(view.label).or_default();
+                if !entry.contains(&pid) {
+                    entry.push(pid);
+                }
+                for sub in &view.subgraphs {
+                    let cov = covered(&patterns[pid], &sub.subgraph, matching);
+                    if !cov.nodes.is_empty() {
+                        let mut nodes: Vec<NodeId> = cov.nodes.into_iter().collect();
+                        nodes.sort_unstable();
+                        occurrences[pid].push(Occurrence {
+                            label: view.label,
+                            graph_index: sub.graph_index,
+                            covered_nodes: nodes,
+                        });
+                    }
+                }
+            }
+        }
+        Self { patterns, occurrences, label_patterns, matching }
+    }
+
+    /// The deduplicated pattern vocabulary.
+    pub fn patterns(&self) -> &[Graph] {
+        &self.patterns
+    }
+
+    /// Occurrences of pattern `pid`.
+    pub fn occurrences(&self, pid: usize) -> &[Occurrence] {
+        &self.occurrences[pid]
+    }
+
+    /// "Which patterns occur in label `l`?"
+    pub fn patterns_of_label(&self, label: usize) -> Vec<usize> {
+        self.label_patterns.get(&label).cloned().unwrap_or_default()
+    }
+
+    /// "Which database graphs does pattern `pid` explain?" (per label)
+    pub fn graphs_matching(&self, pid: usize) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self.occurrences[pid]
+            .iter()
+            .map(|o| (o.label, o.graph_index))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ad-hoc query: which indexed patterns *contain* the query pattern
+    /// (e.g. "which patterns include an N–O bond?").
+    pub fn patterns_containing(&self, query: &Graph) -> Vec<usize> {
+        let opts = MatchOptions { induced: false, ..self.matching };
+        (0..self.patterns.len())
+            .filter(|&pid| matches(query, &self.patterns[pid], opts))
+            .collect()
+    }
+
+    /// Discriminative patterns of `label`: in its vocabulary and in no other
+    /// label's (the paper's `P₁₂` — covers mutagens, absent from
+    /// nonmutagens).
+    pub fn discriminative_patterns(&self, label: usize) -> Vec<usize> {
+        let own: HashSet<usize> = self.patterns_of_label(label).into_iter().collect();
+        let others: HashSet<usize> = self
+            .label_patterns
+            .iter()
+            .filter(|&(&l, _)| l != label)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        let mut out: Vec<usize> = own.difference(&others).copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Looks up a single view-level question: does `label`'s explanation
+    /// contain the query pattern anywhere (pattern tier or subgraph tier)?
+    pub fn label_contains(&self, views: &ExplanationViewSet, label: usize, query: &Graph) -> bool {
+        let opts = MatchOptions { induced: false, ..self.matching };
+        let Some(view) = views.view_for(label) else {
+            return false;
+        };
+        view.patterns.iter().any(|p| matches(query, p, opts))
+            || view.subgraphs.iter().any(|s| matches(query, &s.subgraph, opts))
+    }
+}
+
+/// Convenience: builds the index with default matching.
+pub fn index_views(views: &ExplanationViewSet) -> ViewIndex {
+    ViewIndex::build(views, MatchOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{ExplanationSubgraph, ExplanationView};
+
+    fn g(types: &[u32], edges: &[(usize, usize)]) -> Graph {
+        let mut b = Graph::builder(false);
+        for &t in types {
+            b.add_node(t, &[]);
+        }
+        for &(u, v) in edges {
+            b.add_edge(u, v, 0);
+        }
+        b.build()
+    }
+
+    fn sub(gi: usize, graph: Graph) -> ExplanationSubgraph {
+        ExplanationSubgraph {
+            graph_index: gi,
+            nodes: (0..graph.num_nodes()).collect(),
+            subgraph: graph,
+            consistent: true,
+            counterfactual: true,
+            explainability: 1.0,
+        }
+    }
+
+    /// Two labels: label 0's view has an (0)-(1) edge pattern; label 1's
+    /// has a (2) singleton; both share a (0) singleton.
+    fn views() -> ExplanationViewSet {
+        let v0 = ExplanationView {
+            label: 0,
+            patterns: vec![g(&[0, 1], &[(0, 1)]), g(&[0], &[])],
+            subgraphs: vec![sub(0, g(&[0, 1], &[(0, 1)])), sub(1, g(&[0, 1, 0], &[(0, 1), (1, 2)]))],
+            edge_loss: 0.0,
+            explainability: 1.0,
+        };
+        let v1 = ExplanationView {
+            label: 1,
+            patterns: vec![g(&[2], &[]), g(&[0], &[])],
+            subgraphs: vec![sub(2, g(&[2, 0], &[(0, 1)]))],
+            edge_loss: 0.0,
+            explainability: 1.0,
+        };
+        ExplanationViewSet { views: vec![v0, v1] }
+    }
+
+    #[test]
+    fn vocabulary_is_deduplicated() {
+        let idx = index_views(&views());
+        // 3 distinct patterns: (0)-(1) edge, (0), (2)
+        assert_eq!(idx.patterns().len(), 3);
+    }
+
+    #[test]
+    fn label_vocabulary() {
+        let idx = index_views(&views());
+        assert_eq!(idx.patterns_of_label(0).len(), 2);
+        assert_eq!(idx.patterns_of_label(1).len(), 2);
+        assert!(idx.patterns_of_label(9).is_empty());
+    }
+
+    #[test]
+    fn occurrences_point_to_matching_subgraphs() {
+        let idx = index_views(&views());
+        // pattern 0 is the (0)-(1) edge; it occurs in both label-0 subgraphs
+        let hits = idx.graphs_matching(0);
+        assert_eq!(hits, vec![(0, 0), (0, 1)]);
+        for o in idx.occurrences(0) {
+            assert!(!o.covered_nodes.is_empty());
+        }
+    }
+
+    #[test]
+    fn discriminative_excludes_shared_patterns() {
+        let idx = index_views(&views());
+        // (0) singleton is shared → not discriminative; the edge pattern is
+        let d0 = idx.discriminative_patterns(0);
+        assert_eq!(d0.len(), 1);
+        assert!(are_isomorphic(&idx.patterns()[d0[0]], &g(&[0, 1], &[(0, 1)])));
+        let d1 = idx.discriminative_patterns(1);
+        assert_eq!(d1.len(), 1);
+        assert!(are_isomorphic(&idx.patterns()[d1[0]], &g(&[2], &[])));
+    }
+
+    #[test]
+    fn containment_query() {
+        let idx = index_views(&views());
+        // "which patterns contain a type-1 node?"
+        let q = g(&[1], &[]);
+        let hits = idx.patterns_containing(&q);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn label_contains_searches_both_tiers() {
+        let vs = views();
+        let idx = index_views(&vs);
+        // the (0)-(1)-(0) path exists only in label 0's *subgraph* tier
+        let q = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        assert!(idx.label_contains(&vs, 0, &q));
+        assert!(!idx.label_contains(&vs, 1, &q));
+        assert!(!idx.label_contains(&vs, 7, &q));
+    }
+}

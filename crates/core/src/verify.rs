@@ -1,0 +1,208 @@
+//! View verification (Lemma 3.1): the `EVerify` and `PMatch` primitives and
+//! the three-constraint check **C1–C3**.
+
+use crate::config::Configuration;
+use crate::view::ExplanationView;
+use gvex_gnn::GcnModel;
+use gvex_graph::{Graph, GraphDatabase, NodeId};
+use gvex_iso::coverage::covered_by_set;
+
+/// Result of `EVerify` on one candidate explanation subgraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EVerdict {
+    /// `ℳ(G_s) = ℳ(G)` — the "consistent" property.
+    pub consistent: bool,
+    /// `ℳ(G \ G_s) ≠ ℳ(G)` — the "counterfactual" property.
+    pub counterfactual: bool,
+}
+
+impl EVerdict {
+    /// Both §2.2 properties hold (constraint **C2**).
+    pub fn is_explanation(&self) -> bool {
+        self.consistent && self.counterfactual
+    }
+}
+
+/// `EVerify`: runs GNN inference on the node-induced subgraph and its
+/// complement, checking constraint **C2** (§4, "Verifiers").
+pub fn everify(model: &GcnModel, g: &Graph, nodes: &[NodeId]) -> EVerdict {
+    let label = model.predict(g);
+    let sub = g.induced_subgraph(nodes);
+    let rest = g.remove_nodes(nodes);
+    EVerdict {
+        consistent: model.predict(&sub.graph) == label,
+        counterfactual: model.predict(&rest.graph) != label,
+    }
+}
+
+/// `PMatch` over one subgraph: do the patterns cover all its nodes
+/// (constraint **C1** — the graph-view property)?
+pub fn pmatch(patterns: &[Graph], subgraph: &Graph, cfg: &Configuration) -> bool {
+    covered_by_set(patterns, subgraph, cfg.matching).covers_all_nodes(subgraph)
+}
+
+/// Outcome of the full view-verification problem on one view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerificationReport {
+    /// **C1**: the patterns cover every node of every explanation subgraph
+    /// (i.e. `(𝒫, 𝒢_s)` is a graph view).
+    pub is_graph_view: bool,
+    /// **C2**: every subgraph is consistent and counterfactual.
+    pub is_explanation_view: bool,
+    /// **C3**: every per-graph node count lies within `[b_l, u_l]`.
+    pub properly_covers: bool,
+    /// Indices (into `view.subgraphs`) that failed C2, for diagnostics.
+    pub failing_subgraphs: Vec<usize>,
+}
+
+impl VerificationReport {
+    /// All three constraints hold.
+    pub fn is_valid(&self) -> bool {
+        self.is_graph_view && self.is_explanation_view && self.properly_covers
+    }
+}
+
+/// Verifies a candidate view against all three constraints of the view
+/// verification problem (§3.3). The decision problem is NP-complete in
+/// general; with the small, bounded patterns GVEX produces, the isomorphism
+/// tests run fast in practice.
+pub fn verify_view(
+    model: &GcnModel,
+    db: &GraphDatabase,
+    view: &ExplanationView,
+    cfg: &Configuration,
+) -> VerificationReport {
+    let bound = cfg.bound(view.label);
+    let mut is_graph_view = true;
+    let mut is_explanation_view = true;
+    let mut properly_covers = true;
+    let mut failing = Vec::new();
+
+    for (i, s) in view.subgraphs.iter().enumerate() {
+        if !pmatch(&view.patterns, &s.subgraph, cfg) {
+            is_graph_view = false;
+        }
+        let verdict = everify(model, db.graph(s.graph_index), &s.nodes);
+        if !verdict.is_explanation() {
+            is_explanation_view = false;
+            failing.push(i);
+        }
+        if !bound.contains(s.nodes.len()) {
+            properly_covers = false;
+        }
+    }
+
+    VerificationReport {
+        is_graph_view,
+        is_explanation_view,
+        properly_covers,
+        failing_subgraphs: failing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ExplanationSubgraph;
+    use gvex_gnn::{GcnConfig, GcnModel};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A model whose prediction is driven by feature sums; with a fresh
+    /// random init it is at least *deterministic*, which is all these
+    /// structural tests need.
+    fn model() -> GcnModel {
+        GcnModel::new(
+            GcnConfig { input_dim: 2, hidden: 4, layers: 2, num_classes: 2 },
+            &mut ChaCha8Rng::seed_from_u64(1),
+        )
+    }
+
+    fn chain(n: usize, hot: usize) -> Graph {
+        let mut b = Graph::builder(false);
+        for i in 0..n {
+            b.add_node(0, &[if i < hot { 5.0 } else { 0.0 }, 1.0]);
+        }
+        for i in 1..n {
+            b.add_edge(i - 1, i, 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn everify_full_graph_is_consistent_never_counterfactual_when_bias_matches() {
+        let m = model();
+        let g = chain(5, 2);
+        let all: Vec<usize> = (0..5).collect();
+        let v = everify(&m, &g, &all);
+        // subgraph == graph, so consistency is trivially true
+        assert!(v.consistent);
+        // complement is empty; counterfactual iff bias class differs from
+        // the graph's label — either way the call must not panic.
+        let _ = v.counterfactual;
+    }
+
+    #[test]
+    fn everify_empty_selection() {
+        let m = model();
+        let g = chain(4, 1);
+        let v = everify(&m, &g, &[]);
+        // removing nothing keeps the label: never counterfactual
+        assert!(!v.counterfactual);
+    }
+
+    #[test]
+    fn pmatch_requires_full_node_coverage() {
+        let cfg = Configuration::uniform(0.1, 0.25, 0.5, 0, 10);
+        let sub = chain(3, 0); // all nodes type 0
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[]);
+        let node_pattern = b.build();
+        assert!(pmatch(std::slice::from_ref(&node_pattern), &sub, &cfg));
+        let mut b = Graph::builder(false);
+        b.add_node(7, &[]);
+        let wrong_type = b.build();
+        assert!(!pmatch(&[wrong_type], &sub, &cfg));
+        assert!(!pmatch(&[], &sub, &cfg));
+    }
+
+    #[test]
+    fn verify_view_checks_bounds() {
+        let m = model();
+        let mut db = GraphDatabase::new(vec!["a".into(), "b".into()]);
+        let g = chain(5, 2);
+        db.push(g.clone(), 0);
+
+        let nodes = vec![0usize, 1, 2];
+        let sub = g.induced_subgraph(&nodes);
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[]);
+        let pattern = b.build();
+
+        let verdict = everify(&m, &g, &nodes);
+        let view = ExplanationView {
+            label: m.predict(&g),
+            patterns: vec![pattern],
+            subgraphs: vec![ExplanationSubgraph {
+                graph_index: 0,
+                nodes: nodes.clone(),
+                subgraph: sub.graph,
+                consistent: verdict.consistent,
+                counterfactual: verdict.counterfactual,
+                explainability: 0.0,
+            }],
+            edge_loss: 0.0,
+            explainability: 0.0,
+        };
+
+        // generous bound: C3 holds; tight bound: C3 fails.
+        let cfg = Configuration::uniform(0.1, 0.25, 0.5, 0, 10);
+        let report = verify_view(&m, &db, &view, &cfg);
+        assert!(report.is_graph_view);
+        assert!(report.properly_covers);
+
+        let tight = Configuration::uniform(0.1, 0.25, 0.5, 0, 2);
+        let report = verify_view(&m, &db, &view, &tight);
+        assert!(!report.properly_covers);
+    }
+}

@@ -1,0 +1,199 @@
+//! The two-tier explanation structures (§2.2).
+
+use gvex_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The lower tier: one explanation subgraph `G_s^l` of a database graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExplanationSubgraph {
+    /// Index of the explained graph in the database.
+    pub graph_index: usize,
+    /// Selected node ids, in the *parent* graph's id space, sorted.
+    pub nodes: Vec<NodeId>,
+    /// The induced subgraph (ids are `0..nodes.len()`, aligned with
+    /// `nodes`).
+    pub subgraph: Graph,
+    /// Whether the consistency check `ℳ(G_s) = ℳ(G)` held at build time.
+    pub consistent: bool,
+    /// Whether the counterfactual check `ℳ(G \ G_s) ≠ ℳ(G)` held.
+    pub counterfactual: bool,
+    /// The per-graph explainability term `(I(V_s) + γ·D(V_s)) / |V|`
+    /// (one summand of Eq. 2).
+    pub explainability: f64,
+}
+
+impl ExplanationSubgraph {
+    /// Number of selected nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes were selected.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Both §2.2 properties hold: this is a *bona fide* explanation
+    /// subgraph.
+    pub fn is_valid_explanation(&self) -> bool {
+        self.consistent && self.counterfactual
+    }
+}
+
+/// An explanation view `𝒢_V^l = (𝒫^l, 𝒢_s^l)` for one class label.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExplanationView {
+    /// The explained class label.
+    pub label: usize,
+    /// Higher tier: graph patterns covering all subgraph nodes.
+    pub patterns: Vec<Graph>,
+    /// Lower tier: one explanation subgraph per graph of the label group
+    /// (graphs for which no explanation satisfying the bound exists are
+    /// simply absent, per Algorithm 1's `return ∅`).
+    pub subgraphs: Vec<ExplanationSubgraph>,
+    /// Fraction of subgraph edges the patterns fail to cover
+    /// (the quantity of Fig. 8(c,d); `Psum` minimizes it).
+    pub edge_loss: f64,
+    /// Aggregated explainability `f(𝒢_V^l)` (Eq. 2).
+    pub explainability: f64,
+}
+
+impl ExplanationView {
+    /// Total nodes across all explanation subgraphs.
+    pub fn total_nodes(&self) -> usize {
+        self.subgraphs.iter().map(ExplanationSubgraph::len).sum()
+    }
+
+    /// Total edges across all explanation subgraphs.
+    pub fn total_edges(&self) -> usize {
+        self.subgraphs.iter().map(|s| s.subgraph.num_edges()).sum()
+    }
+
+    /// Total nodes + edges across the pattern tier.
+    pub fn pattern_size(&self) -> usize {
+        self.patterns.iter().map(|p| p.num_nodes() + p.num_edges()).sum()
+    }
+
+    /// The compression metric of Eq. 11:
+    /// `1 − (|V_P| + |E_P|) / (|V_S| + |E_S|)` (0 when there is nothing to
+    /// compress).
+    pub fn compression(&self) -> f64 {
+        let denom = (self.total_nodes() + self.total_edges()) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.pattern_size() as f64 / denom
+    }
+
+    /// The explanation subgraph for a database graph, if present.
+    pub fn subgraph_for(&self, graph_index: usize) -> Option<&ExplanationSubgraph> {
+        self.subgraphs.iter().find(|s| s.graph_index == graph_index)
+    }
+}
+
+/// The full answer to an EVG instance: one view per label of interest.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExplanationViewSet {
+    /// Views, one per requested label, in request order.
+    pub views: Vec<ExplanationView>,
+}
+
+impl ExplanationViewSet {
+    /// The objective of Problem 1: `Σ_l f(𝒢_V^l)`.
+    pub fn total_explainability(&self) -> f64 {
+        self.views.iter().map(|v| v.explainability).sum()
+    }
+
+    /// View for a given label.
+    pub fn view_for(&self, label: usize) -> Option<&ExplanationView> {
+        self.views.iter().find(|v| v.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_graph(n: usize) -> Graph {
+        let mut b = Graph::builder(false);
+        for _ in 0..n {
+            b.add_node(0, &[]);
+        }
+        for i in 1..n {
+            b.add_edge(i - 1, i, 0);
+        }
+        b.build()
+    }
+
+    fn subgraph(gi: usize, n: usize) -> ExplanationSubgraph {
+        ExplanationSubgraph {
+            graph_index: gi,
+            nodes: (0..n).collect(),
+            subgraph: node_graph(n),
+            consistent: true,
+            counterfactual: true,
+            explainability: 0.5,
+        }
+    }
+
+    #[test]
+    fn totals_and_compression() {
+        let view = ExplanationView {
+            label: 0,
+            patterns: vec![node_graph(2)], // 2 nodes + 1 edge = 3
+            subgraphs: vec![subgraph(0, 4), subgraph(1, 3)], // 7 nodes + 5 edges
+            edge_loss: 0.0,
+            explainability: 1.0,
+        };
+        assert_eq!(view.total_nodes(), 7);
+        assert_eq!(view.total_edges(), 5);
+        assert_eq!(view.pattern_size(), 3);
+        assert!((view.compression() - (1.0 - 3.0 / 12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_view_compression_zero() {
+        let view = ExplanationView {
+            label: 0,
+            patterns: vec![],
+            subgraphs: vec![],
+            edge_loss: 0.0,
+            explainability: 0.0,
+        };
+        assert_eq!(view.compression(), 0.0);
+    }
+
+    #[test]
+    fn subgraph_lookup() {
+        let view = ExplanationView {
+            label: 1,
+            patterns: vec![],
+            subgraphs: vec![subgraph(3, 2)],
+            edge_loss: 0.0,
+            explainability: 0.0,
+        };
+        assert!(view.subgraph_for(3).is_some());
+        assert!(view.subgraph_for(0).is_none());
+    }
+
+    #[test]
+    fn set_objective_sums_views() {
+        let mk = |e| ExplanationView {
+            label: 0,
+            patterns: vec![],
+            subgraphs: vec![],
+            edge_loss: 0.0,
+            explainability: e,
+        };
+        let set = ExplanationViewSet { views: vec![mk(0.25), mk(0.5)] };
+        assert!((set.total_explainability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity_requires_both_properties() {
+        let mut s = subgraph(0, 1);
+        assert!(s.is_valid_explanation());
+        s.counterfactual = false;
+        assert!(!s.is_valid_explanation());
+    }
+}

@@ -1,0 +1,169 @@
+//! REDDIT-BINARY stand-in (RED): discussion-thread interaction graphs.
+//!
+//! Table 3: 2000 featureless graphs, ~430 nodes, 2 classes. The two classes'
+//! interaction topology (§6.2's case study, Fig. 11):
+//!
+//! * *online-discussion* — star-like: a few popular posters, many strangers
+//!   replying to them;
+//! * *question-answer* — biclique-like: a few domain experts each answering
+//!   many distinct askers.
+//!
+//! Nodes are untyped users with the default constant feature (the paper
+//! assigns a default feature to featureless datasets, §6.1).
+
+use gvex_graph::{Graph, GraphDatabase};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// RED generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RedditParams {
+    /// Number of threads (half per class).
+    pub num_graphs: usize,
+    /// Approximate users per thread.
+    pub users: usize,
+}
+
+impl RedditParams {
+    /// Scale presets.
+    pub fn at_scale(scale: crate::Scale) -> Self {
+        match scale {
+            crate::Scale::Small => Self { num_graphs: 30, users: 40 },
+            crate::Scale::Bench => Self { num_graphs: 80, users: 80 },
+            crate::Scale::Full => Self { num_graphs: 300, users: 200 },
+        }
+    }
+
+    /// Generates the dataset. Class 0 = online-discussion (stars),
+    /// class 1 = question-answer (bicliques).
+    pub fn generate(&self, seed: u64) -> GraphDatabase {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut db =
+            GraphDatabase::new(vec!["online-discussion".into(), "question-answer".into()]);
+        db.node_types.intern("user");
+        db.edge_types.intern("reply");
+
+        for i in 0..self.num_graphs {
+            let qa = i % 2 == 1;
+            let n = self.users + rng.gen_range(0..self.users / 2 + 1);
+            let g = if qa {
+                biclique_thread(n, &mut rng)
+            } else {
+                star_thread(n, &mut rng)
+            };
+            db.push(crate::util::attach_degree_features(&g), usize::from(qa));
+        }
+        db
+    }
+}
+
+/// Star-like: 1–3 hubs; every other user replies to exactly one hub, so the
+/// thread is full of degree-1 strangers around extreme-degree hubs.
+fn star_thread(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut b = Graph::builder(false);
+    for _ in 0..n {
+        b.add_node(0, &[1.0]);
+    }
+    let hubs = rng.gen_range(1..=3.min(n));
+    for v in hubs..n {
+        let hub = rng.gen_range(0..hubs);
+        b.add_edge(v, hub, 0);
+    }
+    for h in 1..hubs {
+        b.add_edge(0, h, 0); // hubs know each other; keeps the thread connected
+    }
+    b.build()
+}
+
+/// Biclique-like: `e` experts (3–5); every asker is answered by **at least
+/// two** experts (no degree-1 users — the structural opposite of a star).
+fn biclique_thread(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut b = Graph::builder(false);
+    for _ in 0..n {
+        b.add_node(0, &[1.0]);
+    }
+    let experts = rng.gen_range(3..=5.min(n.max(3)));
+    for asker in experts..n {
+        // two guaranteed answers + chance of more
+        let first = rng.gen_range(0..experts);
+        let mut second = rng.gen_range(0..experts);
+        while second == first && experts > 1 {
+            second = rng.gen_range(0..experts);
+        }
+        b.add_edge(asker, first, 0);
+        b.add_edge(asker, second, 0);
+        for expert in 0..experts {
+            if expert != first && expert != second && rng.gen_bool(0.5) {
+                b.add_edge(asker, expert, 0);
+            }
+        }
+    }
+    // experts lightly interlinked
+    for a in 0..experts {
+        for c in a + 1..experts {
+            if rng.gen_bool(0.3) {
+                b.add_edge(a, c, 0);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_have_distinct_degree_profiles() {
+        let db = RedditParams { num_graphs: 10, users: 40 }.generate(3);
+        for (gi, g) in db.graphs().iter().enumerate() {
+            let max_deg = (0..g.num_nodes()).map(|v| g.degree(v)).max().unwrap();
+            let mean_deg = g.avg_degree();
+            if db.truth()[gi] == 0 {
+                // star: hub degree dwarfs the mean
+                assert!(
+                    max_deg as f64 > 4.0 * mean_deg,
+                    "star thread {gi}: max {max_deg} vs mean {mean_deg}"
+                );
+            } else {
+                // biclique: asker degrees cluster around #experts
+                assert!(mean_deg >= 2.0, "qa thread {gi} too sparse");
+            }
+        }
+    }
+
+    #[test]
+    fn featureless_gets_degree_default_feature() {
+        let db = RedditParams { num_graphs: 4, users: 20 }.generate(0);
+        assert_eq!(db.feature_dim(), 2);
+        for g in db.graphs() {
+            // column 0 is the constant default, column 1 encodes degree
+            for v in 0..g.num_nodes() {
+                assert_eq!(g.features()[(v, 0)], 1.0);
+                let expect = (1.0 + g.degree(v) as f32).ln();
+                assert!((g.features()[(v, 1)] - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn biclique_threads_have_no_lonely_users() {
+        let db = RedditParams { num_graphs: 6, users: 30 }.generate(4);
+        for (gi, g) in db.graphs().iter().enumerate() {
+            if db.truth()[gi] == 1 {
+                assert!((0..g.num_nodes()).all(|v| g.degree(v) >= 2));
+            } else {
+                assert!((0..g.num_nodes()).any(|v| g.degree(v) == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn thread_sizes_near_parameter() {
+        let p = RedditParams { num_graphs: 6, users: 30 };
+        let db = p.generate(1);
+        for g in db.graphs() {
+            assert!(g.num_nodes() >= 30 && g.num_nodes() <= 46);
+        }
+    }
+}

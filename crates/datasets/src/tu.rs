@@ -1,0 +1,309 @@
+//! TUDataset-format I/O.
+//!
+//! The paper's MUTAGENICITY / REDDIT-BINARY / ENZYMES corpora ship in the
+//! TU graph-kernel format (one directory of aligned text files). This
+//! module reads and writes that format, so users with the real downloads
+//! can run GVEX on them unchanged, and our synthetic stand-ins can be
+//! exported for inspection by other tools.
+//!
+//! Files (per dataset `DS` in directory `dir`):
+//!
+//! * `DS_A.txt` — edge list `u, v` (1-based global node ids),
+//! * `DS_graph_indicator.txt` — graph id per node (1-based),
+//! * `DS_graph_labels.txt` — class label per graph (arbitrary integers,
+//!   remapped to dense `0..k`),
+//! * `DS_node_labels.txt` — optional node type per node,
+//! * `DS_edge_labels.txt` — optional edge type per edge,
+//! * `DS_node_attributes.txt` — optional comma-separated float features.
+
+use gvex_graph::{Graph, GraphDatabase};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+fn read_lines(path: &Path) -> io::Result<Vec<String>> {
+    Ok(std::fs::read_to_string(path)?
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect())
+}
+
+fn parse_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads a TU-format dataset from `dir` with file prefix `name`.
+///
+/// Graphs are built undirected (the TU convention stores both directions of
+/// each undirected edge; duplicates collapse in the builder). Missing
+/// optional files default to node type 0, edge type 0, and — when no
+/// attribute file exists — a one-hot encoding of the node label as features
+/// (the usual TU preprocessing).
+pub fn read_tu_dataset(dir: &Path, name: &str) -> io::Result<GraphDatabase> {
+    let file = |suffix: &str| dir.join(format!("{name}_{suffix}.txt"));
+
+    let indicator: Vec<usize> = read_lines(&file("graph_indicator"))?
+        .iter()
+        .map(|l| l.parse::<usize>().map_err(|e| parse_err(format!("graph_indicator: {e}"))))
+        .collect::<io::Result<_>>()?;
+    let n_total = indicator.len();
+    let n_graphs = indicator.iter().copied().max().unwrap_or(0);
+
+    let raw_labels: Vec<i64> = read_lines(&file("graph_labels"))?
+        .iter()
+        .map(|l| l.parse::<i64>().map_err(|e| parse_err(format!("graph_labels: {e}"))))
+        .collect::<io::Result<_>>()?;
+    if raw_labels.len() != n_graphs {
+        return Err(parse_err(format!(
+            "{} graph labels for {} graphs",
+            raw_labels.len(),
+            n_graphs
+        )));
+    }
+    // dense class remap, ordered by raw value
+    let class_map: BTreeMap<i64, usize> = raw_labels
+        .iter()
+        .copied()
+        .collect::<std::collections::BTreeSet<i64>>()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+
+    let node_labels: Vec<u32> = if file("node_labels").exists() {
+        read_lines(&file("node_labels"))?
+            .iter()
+            .map(|l| l.parse::<u32>().map_err(|e| parse_err(format!("node_labels: {e}"))))
+            .collect::<io::Result<_>>()?
+    } else {
+        vec![0; n_total]
+    };
+    if node_labels.len() != n_total {
+        return Err(parse_err("node_labels length mismatch".into()));
+    }
+
+    let attributes: Option<Vec<Vec<f32>>> = if file("node_attributes").exists() {
+        let rows = read_lines(&file("node_attributes"))?
+            .iter()
+            .map(|l| {
+                l.split(',')
+                    .map(|x| {
+                        x.trim()
+                            .parse::<f32>()
+                            .map_err(|e| parse_err(format!("node_attributes: {e}")))
+                    })
+                    .collect::<io::Result<Vec<f32>>>()
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        if rows.len() != n_total {
+            return Err(parse_err("node_attributes length mismatch".into()));
+        }
+        Some(rows)
+    } else {
+        None
+    };
+    // one-hot fallback over node labels
+    let max_label = node_labels.iter().copied().max().unwrap_or(0) as usize;
+
+    let edges: Vec<(usize, usize)> = read_lines(&file("A"))?
+        .iter()
+        .map(|l| {
+            let mut parts = l.split(',').map(str::trim);
+            let u = parts
+                .next()
+                .ok_or_else(|| parse_err("edge missing source".into()))?
+                .parse::<usize>()
+                .map_err(|e| parse_err(format!("A: {e}")))?;
+            let v = parts
+                .next()
+                .ok_or_else(|| parse_err("edge missing target".into()))?
+                .parse::<usize>()
+                .map_err(|e| parse_err(format!("A: {e}")))?;
+            Ok((u, v))
+        })
+        .collect::<io::Result<_>>()?;
+
+    let edge_labels: Vec<u32> = if file("edge_labels").exists() {
+        read_lines(&file("edge_labels"))?
+            .iter()
+            .map(|l| l.parse::<u32>().map_err(|e| parse_err(format!("edge_labels: {e}"))))
+            .collect::<io::Result<_>>()?
+    } else {
+        vec![0; edges.len()]
+    };
+    if edge_labels.len() != edges.len() {
+        return Err(parse_err("edge_labels length mismatch".into()));
+    }
+
+    // per-graph node id remap
+    let mut local_id = vec![0usize; n_total];
+    let mut counts = vec![0usize; n_graphs];
+    for (i, &gid) in indicator.iter().enumerate() {
+        if gid == 0 || gid > n_graphs {
+            return Err(parse_err(format!("graph indicator {gid} out of range")));
+        }
+        local_id[i] = counts[gid - 1];
+        counts[gid - 1] += 1;
+    }
+
+    let class_names: Vec<String> = class_map.keys().map(|v| format!("class-{v}")).collect();
+    let mut builders: Vec<gvex_graph::GraphBuilder> =
+        (0..n_graphs).map(|_| Graph::builder(false)).collect();
+    for (i, &gid) in indicator.iter().enumerate() {
+        let feat: Vec<f32> = match &attributes {
+            Some(rows) => rows[i].clone(),
+            None => {
+                let mut f = vec![0.0; max_label + 1];
+                f[node_labels[i] as usize] = 1.0;
+                f
+            }
+        };
+        builders[gid - 1].add_node(node_labels[i], &feat);
+    }
+    for (ei, &(u, v)) in edges.iter().enumerate() {
+        if u == 0 || v == 0 || u > n_total || v > n_total {
+            return Err(parse_err(format!("edge ({u}, {v}) out of range")));
+        }
+        let (gu, gv) = (indicator[u - 1], indicator[v - 1]);
+        if gu != gv {
+            return Err(parse_err(format!("edge ({u}, {v}) crosses graphs {gu}/{gv}")));
+        }
+        builders[gu - 1].add_edge(local_id[u - 1], local_id[v - 1], edge_labels[ei]);
+    }
+
+    let mut db = GraphDatabase::new(class_names);
+    for (b, &raw) in builders.into_iter().zip(&raw_labels) {
+        db.push(b.build(), class_map[&raw]);
+    }
+    Ok(db)
+}
+
+/// Writes `db` in TU format under `dir` with prefix `name`. Node features
+/// go to `*_node_attributes.txt`; node/edge types to the label files.
+pub fn write_tu_dataset(db: &GraphDatabase, dir: &Path, name: &str) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let file = |suffix: &str| dir.join(format!("{name}_{suffix}.txt"));
+
+    let mut a = String::new();
+    let mut indicator = String::new();
+    let mut graph_labels = String::new();
+    let mut node_labels = String::new();
+    let mut node_attributes = String::new();
+    let mut edge_labels = String::new();
+
+    let mut offset = 1usize; // TU ids are 1-based
+    for (gi, g) in db.graphs().iter().enumerate() {
+        graph_labels.push_str(&format!("{}\n", db.truth()[gi]));
+        for v in 0..g.num_nodes() {
+            indicator.push_str(&format!("{}\n", gi + 1));
+            node_labels.push_str(&format!("{}\n", g.node_type(v)));
+            let feats: Vec<String> =
+                g.features().row(v).iter().map(|x| format!("{x}")).collect();
+            node_attributes.push_str(&feats.join(", "));
+            node_attributes.push('\n');
+        }
+        for (u, v, t) in g.edges() {
+            // both directions, TU convention for undirected graphs
+            a.push_str(&format!("{}, {}\n", offset + u, offset + v));
+            edge_labels.push_str(&format!("{t}\n"));
+            if !g.is_directed() {
+                a.push_str(&format!("{}, {}\n", offset + v, offset + u));
+                edge_labels.push_str(&format!("{t}\n"));
+            }
+        }
+        offset += g.num_nodes();
+    }
+
+    std::fs::write(file("A"), a)?;
+    std::fs::write(file("graph_indicator"), indicator)?;
+    std::fs::write(file("graph_labels"), graph_labels)?;
+    std::fs::write(file("node_labels"), node_labels)?;
+    std::fs::write(file("node_attributes"), node_attributes)?;
+    std::fs::write(file("edge_labels"), edge_labels)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecules::MutagenicityParams;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gvex-tu-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let db = MutagenicityParams { num_graphs: 6, chain_len: 3 }.generate(5);
+        let dir = tmpdir("roundtrip");
+        write_tu_dataset(&db, &dir, "MUT").unwrap();
+        let back = read_tu_dataset(&dir, "MUT").unwrap();
+
+        assert_eq!(back.len(), db.len());
+        assert_eq!(back.num_classes(), db.num_classes());
+        for (a, b) in db.graphs().iter().zip(back.graphs()) {
+            assert_eq!(a.num_nodes(), b.num_nodes());
+            assert_eq!(a.num_edges(), b.num_edges());
+            assert_eq!(a.node_types(), b.node_types());
+            // features survive the text round trip
+            for v in 0..a.num_nodes() {
+                for (x, y) in a.features().row(v).iter().zip(b.features().row(v)) {
+                    assert!((x - y).abs() < 1e-5);
+                }
+            }
+        }
+        assert_eq!(db.truth(), back.truth());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn minimal_dataset_without_optional_files() {
+        let dir = tmpdir("minimal");
+        // two graphs: a 2-node edge and a single node; labels 7 and -1
+        std::fs::write(dir.join("T_A.txt"), "1, 2\n2, 1\n").unwrap();
+        std::fs::write(dir.join("T_graph_indicator.txt"), "1\n1\n2\n").unwrap();
+        std::fs::write(dir.join("T_graph_labels.txt"), "7\n-1\n").unwrap();
+        let db = read_tu_dataset(&dir, "T").unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.num_classes(), 2);
+        // -1 remaps to class 0 (ordered), 7 to class 1
+        assert_eq!(db.truth(), &[1, 0]);
+        assert_eq!(db.graph(0).num_edges(), 1);
+        assert_eq!(db.graph(1).num_nodes(), 1);
+        // one-hot fallback features exist
+        assert_eq!(db.feature_dim(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_graph_edge_rejected() {
+        let dir = tmpdir("crossedge");
+        std::fs::write(dir.join("X_A.txt"), "1, 2\n").unwrap();
+        std::fs::write(dir.join("X_graph_indicator.txt"), "1\n2\n").unwrap();
+        std::fs::write(dir.join("X_graph_labels.txt"), "0\n1\n").unwrap();
+        let err = read_tu_dataset(&dir, "X").unwrap_err();
+        assert!(err.to_string().contains("crosses graphs"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_numbers_rejected() {
+        let dir = tmpdir("badnum");
+        std::fs::write(dir.join("B_A.txt"), "1, oops\n").unwrap();
+        std::fs::write(dir.join("B_graph_indicator.txt"), "1\n").unwrap();
+        std::fs::write(dir.join("B_graph_labels.txt"), "0\n").unwrap();
+        assert!(read_tu_dataset(&dir, "B").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_files_are_io_errors() {
+        let dir = tmpdir("missing");
+        assert!(read_tu_dataset(&dir, "NOPE").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,34 @@
+//! GCN-based graph classification (§2.1, §6.1 of the GVEX paper).
+//!
+//! The paper's classifier `ℳ` is a graph convolutional network (Kipf &
+//! Welling, ICLR'17) with three convolution layers, a max-pooling readout and
+//! a fully-connected head, trained with Adam. This crate implements that
+//! model from scratch:
+//!
+//! * [`propagation`] — the symmetric-normalized adjacency
+//!   `D̂^{-1/2} Â D̂^{-1/2}` of Eq. 1, as sparse rows, plus sparse–dense
+//!   multiply,
+//! * [`model::GcnModel`] — forward inference (returning a full
+//!   [`model::ForwardTrace`] so the influence analysis can replay
+//!   layer-by-layer propagation) and backward gradients, gradient-checked in
+//!   tests,
+//! * [`trainer`] — the Adam training loop with train/val/test splits,
+//! * [`masked`] — an edge/feature *soft-masked* forward pass with gradients
+//!   with respect to the masks, the differentiable substrate the
+//!   GNNExplainer baseline optimizes over.
+//!
+//! GVEX itself treats the trained model as a black box: it only calls
+//! [`model::GcnModel::predict`], [`model::GcnModel::predict_proba`], and
+//! reads last-layer embeddings — exactly the "output of the last layer" the
+//! paper's model-agnostic claim rests on.
+
+pub mod masked;
+pub mod model;
+pub mod node_classify;
+pub mod propagation;
+pub mod trainer;
+
+pub use model::{ForwardTrace, GcnConfig, GcnModel, Readout};
+pub use propagation::Aggregation;
+pub use node_classify::{node_accuracy, train_node_classifier, NodeTrainOptions};
+pub use trainer::{train, train_model, Split, TrainReport};

@@ -1,0 +1,314 @@
+//! Normalized adjacency construction and sparse–dense products (Eq. 1).
+//!
+//! GCN propagation multiplies node representations by
+//! `Ã = D̂^{-1/2} Â D̂^{-1/2}` with `Â = A + I`. We materialize `Ã` as sparse
+//! rows once per graph and reuse it across layers, training epochs, and the
+//! Jacobian computation. Directed graphs (MALNET-style call graphs) are
+//! symmetrized for propagation, matching PyG's default `GCNConv` treatment.
+
+use gvex_graph::Graph;
+use gvex_linalg::Matrix;
+
+/// Neighborhood aggregation scheme — the message-passing variant the model
+/// uses (§2.1 notes GNN variants share the same feature-learning paradigm;
+/// GVEX is agnostic to which one is plugged in).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Aggregation {
+    /// GCN: symmetric normalization `D̂^{-1/2} Â D̂^{-1/2}` (Kipf & Welling).
+    #[default]
+    GcnNorm,
+    /// GraphSAGE-style mean aggregation `D̂^{-1} Â` (Hamilton et al.).
+    Mean,
+    /// GIN-style sum aggregation `Â = A + I` (Xu et al.).
+    Sum,
+}
+
+/// `Ã` stored as per-row `(col, weight)` lists, sorted by column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NormAdj {
+    rows: Vec<Vec<(usize, f32)>>,
+}
+
+impl NormAdj {
+    /// Builds `D̂^{-1/2} (A + Aᵀ + I) D̂^{-1/2}` for `g`.
+    pub fn new(g: &Graph) -> Self {
+        Self::with_edge_weights(g, |_, _| 1.0)
+    }
+
+    /// Builds the propagation operator for the chosen aggregation scheme.
+    pub fn with_aggregation(g: &Graph, aggregation: Aggregation) -> Self {
+        match aggregation {
+            Aggregation::GcnNorm => Self::new(g),
+            Aggregation::Mean => {
+                let mut adj = Self::new(g);
+                // re-weight rows: every entry 1/(deg+1)
+                for u in 0..adj.rows.len() {
+                    let inv = 1.0 / adj.rows[u].len() as f32;
+                    for e in &mut adj.rows[u] {
+                        e.1 = inv;
+                    }
+                }
+                adj
+            }
+            Aggregation::Sum => {
+                let mut adj = Self::new(g);
+                for row in &mut adj.rows {
+                    for e in row.iter_mut() {
+                        e.1 = 1.0;
+                    }
+                }
+                adj
+            }
+        }
+    }
+
+    /// Builds the normalized adjacency with a per-edge-**type** weight
+    /// multiplier (self-loops stay unweighted). The substrate for
+    /// edge-feature-aware propagation: bond types, call kinds, and other
+    /// `L(e)` information modulate message passing.
+    pub fn with_typed_edge_weights(g: &Graph, w: impl Fn(gvex_graph::EdgeTypeId) -> f32) -> Self {
+        let mut adj = Self::new(g);
+        for u in 0..adj.rows.len() {
+            for e in adj.rows[u].iter_mut() {
+                if e.0 == u {
+                    continue; // self loop
+                }
+                // symmetrized directed graphs: the edge may exist either way
+                let t = g.edge_type(u, e.0).or_else(|| g.edge_type(e.0, u));
+                if let Some(t) = t {
+                    e.1 *= w(t).max(0.0);
+                }
+            }
+        }
+        adj
+    }
+
+    /// Builds the normalized adjacency with a per-edge weight multiplier
+    /// `w(u, v) ∈ [0, 1]` applied to the *unnormalized* entry, while the
+    /// degree normalization stays that of the unmasked graph. This is the
+    /// soft-mask semantics the GNNExplainer baseline differentiates through.
+    #[allow(clippy::needless_range_loop)] // index parallels a second structure; enumerate would obscure it
+    pub fn with_edge_weights(g: &Graph, w: impl Fn(usize, usize) -> f32) -> Self {
+        let n = g.num_nodes();
+        // symmetrized neighbor sets (direction ignored for propagation)
+        let mut nbrs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for u in 0..n {
+            for &(v, _) in g.neighbors(u) {
+                nbrs[u].push(v);
+                if g.is_directed() {
+                    nbrs[v].push(u);
+                }
+            }
+        }
+        for l in &mut nbrs {
+            l.sort_unstable();
+            l.dedup();
+        }
+        let deg_inv_sqrt: Vec<f32> = (0..n)
+            .map(|u| 1.0 / ((nbrs[u].len() + 1) as f32).sqrt())
+            .collect();
+        let mut rows = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut row = Vec::with_capacity(nbrs[u].len() + 1);
+            let mut pushed_self = false;
+            for &v in &nbrs[u] {
+                if !pushed_self && v > u {
+                    row.push((u, deg_inv_sqrt[u] * deg_inv_sqrt[u]));
+                    pushed_self = true;
+                }
+                let weight = w(u, v).clamp(0.0, 1.0);
+                row.push((v, weight * deg_inv_sqrt[u] * deg_inv_sqrt[v]));
+            }
+            if !pushed_self {
+                row.push((u, deg_inv_sqrt[u] * deg_inv_sqrt[u]));
+            }
+            rows.push(row);
+        }
+        Self { rows }
+    }
+
+    /// Number of rows (= nodes).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True for a graph with no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sparse row `u` as `(col, weight)` pairs.
+    pub fn row(&self, u: usize) -> &[(usize, f32)] {
+        &self.rows[u]
+    }
+
+    /// Dense product `Ã · X`.
+    pub fn matmul(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.rows.len(), x.rows(), "NormAdj/matrix shape mismatch");
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for (u, row) in self.rows.iter().enumerate() {
+            let out_row = out.row_mut(u);
+            for &(v, w) in row {
+                for (o, &xv) in out_row.iter_mut().zip(x.row(v)) {
+                    *o += w * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense product `Ãᵀ · X`. `Ã` is symmetric whenever the edge-weight
+    /// function was symmetric (always true for [`NormAdj::new`]), but the
+    /// masked variant can be asymmetric, so backprop uses this explicitly.
+    pub fn matmul_transpose(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.rows.len(), x.rows(), "NormAdj/matrix shape mismatch");
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for (u, row) in self.rows.iter().enumerate() {
+            let x_row = x.row(u);
+            for &(v, w) in row {
+                let out_row = out.row_mut(v);
+                for (o, &xu) in out_row.iter_mut().zip(x_row) {
+                    *o += w * xu;
+                }
+            }
+        }
+        out
+    }
+
+    /// The dense `n × n` matrix (tests and the exact Jacobian path only).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.rows.len();
+        let mut m = Matrix::zeros(n, n);
+        for (u, row) in self.rows.iter().enumerate() {
+            for &(v, w) in row {
+                m[(u, v)] = w;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvex_graph::Graph;
+
+    fn edge_pair() -> Graph {
+        let mut b = Graph::builder(false);
+        let a = b.add_node(0, &[1.0]);
+        let c = b.add_node(0, &[2.0]);
+        b.add_edge(a, c, 0);
+        b.build()
+    }
+
+    #[test]
+    fn two_node_normalization() {
+        // both nodes have deg 1 => \hat{D} = 2I, entries = 1/2.
+        let adj = NormAdj::new(&edge_pair());
+        let d = adj.to_dense();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((d[(r, c)] - 0.5).abs() < 1e-6, "entry ({r},{c}) = {}", d[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_at_most_one() {
+        // D^{-1/2} Â D^{-1/2} row sums are ≤ 1, = 1 for regular graphs.
+        let mut b = Graph::builder(false);
+        for _ in 0..4 {
+            b.add_node(0, &[0.0]);
+        }
+        // cycle: 2-regular
+        for i in 0..4 {
+            b.add_edge(i, (i + 1) % 4, 0);
+        }
+        let adj = NormAdj::new(&b.build());
+        for u in 0..4 {
+            let s: f32 = adj.row(u).iter().map(|&(_, w)| w).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn isolated_node_keeps_self_loop() {
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[]);
+        let adj = NormAdj::new(&b.build());
+        assert_eq!(adj.row(0), &[(0, 1.0)]);
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let g = edge_pair();
+        let adj = NormAdj::new(&g);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let sparse = adj.matmul(&x);
+        let dense = adj.to_dense().matmul(&x);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((sparse[(i, j)] - dense[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_matches_dense_transpose() {
+        let g = edge_pair();
+        let adj = NormAdj::with_edge_weights(&g, |u, _v| if u == 0 { 0.3 } else { 0.9 });
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let got = adj.matmul_transpose(&x);
+        let want = adj.to_dense().transpose().matmul(&x);
+        for i in 0..2 {
+            assert!((got[(i, 0)] - want[(i, 0)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn directed_graph_symmetrized() {
+        let mut b = Graph::builder(true);
+        let a = b.add_node(0, &[]);
+        let c = b.add_node(0, &[]);
+        b.add_edge(a, c, 0);
+        let adj = NormAdj::new(&b.build());
+        let d = adj.to_dense();
+        assert!(d[(1, 0)] > 0.0, "reverse direction present after symmetrization");
+        assert!((d[(0, 1)] - d[(1, 0)]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_aggregation_rows_sum_to_one() {
+        let g = edge_pair();
+        let adj = NormAdj::with_aggregation(&g, Aggregation::Mean);
+        for u in 0..2 {
+            let s: f32 = adj.row(u).iter().map(|&(_, w)| w).sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {u} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn sum_aggregation_entries_are_unit() {
+        let g = edge_pair();
+        let adj = NormAdj::with_aggregation(&g, Aggregation::Sum);
+        for u in 0..2 {
+            assert!(adj.row(u).iter().all(|&(_, w)| w == 1.0));
+            assert_eq!(adj.row(u).len(), 2); // neighbor + self loop
+        }
+    }
+
+    #[test]
+    fn gcn_aggregation_matches_new() {
+        let g = edge_pair();
+        assert_eq!(NormAdj::with_aggregation(&g, Aggregation::GcnNorm), NormAdj::new(&g));
+    }
+
+    #[test]
+    fn zero_edge_weight_removes_entry_weight() {
+        let g = edge_pair();
+        let adj = NormAdj::with_edge_weights(&g, |_, _| 0.0);
+        let d = adj.to_dense();
+        assert_eq!(d[(0, 1)], 0.0);
+        assert!(d[(0, 0)] > 0.0, "self loop survives masking");
+    }
+}

@@ -1,0 +1,215 @@
+//! The graph database `𝒢` and class-label bookkeeping.
+
+use crate::graph::{Graph, NodeId};
+use crate::registry::TypeRegistry;
+use serde::{Deserialize, Serialize};
+
+/// A node identified across the whole database: graph index + node id.
+/// The streaming algorithm (§5) consumes the database as a stream of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalNodeId {
+    /// Index of the graph within the database.
+    pub graph: usize,
+    /// Node id within that graph.
+    pub node: NodeId,
+}
+
+/// A database `𝒢 = {G₁ … G_m}` of attributed graphs plus the shared type
+/// registries and (optionally) ground-truth class labels from the generator.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GraphDatabase {
+    graphs: Vec<Graph>,
+    /// Ground-truth class labels (`y` for training), one per graph.
+    truth: Vec<usize>,
+    /// Node type names.
+    pub node_types: TypeRegistry,
+    /// Edge type names.
+    pub edge_types: TypeRegistry,
+    /// Class label names (e.g. "mutagen" / "nonmutagen").
+    pub class_names: Vec<String>,
+}
+
+impl GraphDatabase {
+    /// Creates an empty database with the given class names.
+    pub fn new(class_names: Vec<String>) -> Self {
+        Self { class_names, ..Self::default() }
+    }
+
+    /// Adds a graph with its ground-truth class, returning its index.
+    ///
+    /// # Panics
+    /// If `truth` is not a valid class index.
+    pub fn push(&mut self, g: Graph, truth: usize) -> usize {
+        assert!(truth < self.class_names.len(), "class {truth} out of range");
+        self.graphs.push(g);
+        self.truth.push(truth);
+        self.graphs.len() - 1
+    }
+
+    /// Number of graphs `|𝒢|`.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the database holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Number of classes `|Ł|`.
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// The graphs, indexed by graph id.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// One graph.
+    pub fn graph(&self, i: usize) -> &Graph {
+        &self.graphs[i]
+    }
+
+    /// Ground-truth labels, one per graph.
+    pub fn truth(&self) -> &[usize] {
+        &self.truth
+    }
+
+    /// Total node count across all graphs.
+    pub fn total_nodes(&self) -> usize {
+        self.graphs.iter().map(Graph::num_nodes).sum()
+    }
+
+    /// Total edge count across all graphs.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(Graph::num_edges).sum()
+    }
+
+    /// Largest node set of any single graph (`|V_m|` in Theorem 4.1).
+    pub fn max_nodes(&self) -> usize {
+        self.graphs.iter().map(Graph::num_nodes).max().unwrap_or(0)
+    }
+
+    /// Feature dimensionality (0 when featureless); assumes homogeneity,
+    /// which the generators guarantee.
+    pub fn feature_dim(&self) -> usize {
+        self.graphs.first().map_or(0, Graph::feature_dim)
+    }
+
+    /// Iterates all nodes of all graphs in graph-then-node order — the
+    /// default stream order for [`StreamGVEX`](https://docs.rs) style
+    /// processing.
+    pub fn all_nodes(&self) -> impl Iterator<Item = GlobalNodeId> + '_ {
+        self.graphs.iter().enumerate().flat_map(|(gi, g)| {
+            (0..g.num_nodes()).map(move |v| GlobalNodeId { graph: gi, node: v })
+        })
+    }
+
+    /// Groups graph indices by an *assigned* labeling (e.g. the classifier's
+    /// outputs), producing the label groups `𝒢^l` of §2.2.
+    ///
+    /// # Panics
+    /// If `assigned.len() != self.len()` or a label is out of range.
+    pub fn label_groups(&self, assigned: &[usize]) -> LabelGroups {
+        assert_eq!(assigned.len(), self.len(), "one label per graph required");
+        let mut groups = vec![Vec::new(); self.num_classes()];
+        for (gi, &l) in assigned.iter().enumerate() {
+            assert!(l < self.num_classes(), "label {l} out of range");
+            groups[l].push(gi);
+        }
+        LabelGroups { groups }
+    }
+}
+
+/// Label groups `𝒢^l ⊆ 𝒢`: graph indices per class label.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LabelGroups {
+    groups: Vec<Vec<usize>>,
+}
+
+impl LabelGroups {
+    /// Graph indices assigned label `l`.
+    pub fn group(&self, l: usize) -> &[usize] {
+        &self.groups[l]
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total node count of label group `l` (`|𝒱^l|`), given the database.
+    pub fn group_nodes(&self, db: &GraphDatabase, l: usize) -> usize {
+        self.groups[l].iter().map(|&gi| db.graph(gi).num_nodes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn tiny(n: usize) -> Graph {
+        let mut b = Graph::builder(false);
+        for _ in 0..n {
+            b.add_node(0, &[1.0]);
+        }
+        for i in 1..n {
+            b.add_edge(i - 1, i, 0);
+        }
+        b.build()
+    }
+
+    fn db2() -> GraphDatabase {
+        let mut db = GraphDatabase::new(vec!["a".into(), "b".into()]);
+        db.push(tiny(3), 0);
+        db.push(tiny(5), 1);
+        db.push(tiny(2), 0);
+        db
+    }
+
+    #[test]
+    fn counts() {
+        let db = db2();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.total_nodes(), 10);
+        assert_eq!(db.total_edges(), 7);
+        assert_eq!(db.max_nodes(), 5);
+        assert_eq!(db.feature_dim(), 1);
+        assert_eq!(db.num_classes(), 2);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn all_nodes_streams_in_order() {
+        let db = db2();
+        let nodes: Vec<_> = db.all_nodes().collect();
+        assert_eq!(nodes.len(), 10);
+        assert_eq!(nodes[0], GlobalNodeId { graph: 0, node: 0 });
+        assert_eq!(nodes[3], GlobalNodeId { graph: 1, node: 0 });
+    }
+
+    #[test]
+    fn label_groups_partition() {
+        let db = db2();
+        let groups = db.label_groups(&[1, 1, 0]);
+        assert_eq!(groups.group(0), &[2]);
+        assert_eq!(groups.group(1), &[0, 1]);
+        assert_eq!(groups.group_nodes(&db, 1), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per graph")]
+    fn label_groups_length_checked() {
+        let db = db2();
+        let _ = db.label_groups(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "class 5 out of range")]
+    fn push_checks_class() {
+        let mut db = GraphDatabase::new(vec!["only".into()]);
+        db.push(tiny(1), 5);
+    }
+}

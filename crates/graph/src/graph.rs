@@ -1,0 +1,523 @@
+//! The core typed, attributed graph structure.
+
+use gvex_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within one [`Graph`].
+pub type NodeId = usize;
+/// Interned node type (`L(v)` in the paper, e.g. an atom symbol).
+pub type NodeTypeId = u32;
+/// Interned edge type (`L(e)` in the paper, e.g. a bond kind).
+pub type EdgeTypeId = u32;
+
+/// A connected or disconnected attributed graph `G = (V, E, T, L)`.
+///
+/// Nodes are dense indices `0..n`. Adjacency is stored as per-node sorted
+/// neighbor lists, once for out-edges and once for in-edges; for undirected
+/// graphs the two lists are identical and every undirected edge is counted
+/// once in [`Graph::num_edges`].
+///
+/// Node features `T(v)` live in a dense `|V| × D` matrix (`D` may be zero for
+/// datasets without features, mirroring REDDIT-BINARY / MALNET in Table 3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    directed: bool,
+    node_types: Vec<NodeTypeId>,
+    features: Matrix,
+    out_adj: Vec<Vec<(NodeId, EdgeTypeId)>>,
+    in_adj: Vec<Vec<(NodeId, EdgeTypeId)>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Starts building a graph. See [`GraphBuilder`].
+    pub fn builder(directed: bool) -> GraphBuilder {
+        GraphBuilder::new(directed)
+    }
+
+    /// Whether edges are directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of edges `|E|` (each undirected edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_types.is_empty()
+    }
+
+    /// The type `L(v)` of a node.
+    #[inline]
+    pub fn node_type(&self, v: NodeId) -> NodeTypeId {
+        self.node_types[v]
+    }
+
+    /// All node types, indexed by node id.
+    #[inline]
+    pub fn node_types(&self) -> &[NodeTypeId] {
+        &self.node_types
+    }
+
+    /// The dense `|V| × D` feature matrix.
+    #[inline]
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Feature dimensionality `D`.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Out-neighbors of `v` with edge types, sorted by neighbor id.
+    /// For undirected graphs this is simply the neighbor list.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeTypeId)] {
+        &self.out_adj[v]
+    }
+
+    /// In-neighbors of `v` with edge types (equals [`Self::neighbors`] for
+    /// undirected graphs).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[(NodeId, EdgeTypeId)] {
+        &self.in_adj[v]
+    }
+
+    /// Degree of `v` (out-degree for directed graphs).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_adj[v].len()
+    }
+
+    /// Degree counting both directions (used for GCN symmetrization).
+    pub fn total_degree(&self, v: NodeId) -> usize {
+        if self.directed {
+            self.out_adj[v].len() + self.in_adj[v].len()
+        } else {
+            self.out_adj[v].len()
+        }
+    }
+
+    /// Returns the type of the edge `u → v` if present.
+    pub fn edge_type(&self, u: NodeId, v: NodeId) -> Option<EdgeTypeId> {
+        self.out_adj[u]
+            .binary_search_by_key(&v, |&(n, _)| n)
+            .ok()
+            .map(|i| self.out_adj[u][i].1)
+    }
+
+    /// True if the edge `u → v` exists (`u — v` for undirected graphs).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_type(u, v).is_some()
+    }
+
+    /// Iterates over every edge once as `(u, v, type)`. For undirected
+    /// graphs, yields each edge with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeTypeId)> + '_ {
+        self.out_adj.iter().enumerate().flat_map(move |(u, nbrs)| {
+            nbrs.iter().filter_map(move |&(v, t)| {
+                if self.directed || u < v {
+                    Some((u, v, t))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Average degree (2|E| / |V| for undirected graphs; |E| / |V| directed).
+    pub fn avg_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let ends = if self.directed { self.num_edges } else { 2 * self.num_edges };
+        ends as f64 / self.num_nodes() as f64
+    }
+
+    /// The node-induced subgraph on `nodes` (order defines the new ids).
+    ///
+    /// Duplicates in `nodes` are ignored after the first occurrence. The
+    /// result keeps features and all edges between retained nodes, and
+    /// records the old↔new id mapping (needed to map explanations back onto
+    /// the original graph).
+    #[allow(clippy::needless_range_loop)] // index parallels a second structure
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> InducedSubgraph {
+        let mut old_of_new = Vec::with_capacity(nodes.len());
+        let mut new_of_old = vec![usize::MAX; self.num_nodes()];
+        for &v in nodes {
+            assert!(v < self.num_nodes(), "node {v} out of range");
+            if new_of_old[v] == usize::MAX {
+                new_of_old[v] = old_of_new.len();
+                old_of_new.push(v);
+            }
+        }
+        let n = old_of_new.len();
+        let mut b = GraphBuilder::new(self.directed);
+        for &old in &old_of_new {
+            b.add_node(self.node_types[old], self.features.row(old));
+        }
+        for new_u in 0..n {
+            let old_u = old_of_new[new_u];
+            for &(old_v, t) in &self.out_adj[old_u] {
+                let new_v = new_of_old[old_v];
+                if new_v == usize::MAX {
+                    continue;
+                }
+                if self.directed || new_u < new_v || old_u == old_v {
+                    b.add_edge(new_u, new_v, t);
+                }
+            }
+        }
+        InducedSubgraph { graph: b.build(), old_of_new, new_of_old }
+    }
+
+    /// The remainder `G \ Gs`: the subgraph induced by all nodes *not* in
+    /// `removed` (the paper's counterfactual test input, §2.2).
+    pub fn remove_nodes(&self, removed: &[NodeId]) -> InducedSubgraph {
+        let mut keep_mask = vec![true; self.num_nodes()];
+        for &v in removed {
+            assert!(v < self.num_nodes(), "node {v} out of range");
+            keep_mask[v] = false;
+        }
+        let keep: Vec<NodeId> =
+            (0..self.num_nodes()).filter(|&v| keep_mask[v]).collect();
+        self.induced_subgraph(&keep)
+    }
+
+    /// Connected components (ignoring edge direction), each sorted by id.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.num_nodes();
+        let mut comp = vec![usize::MAX; n];
+        let mut comps: Vec<Vec<NodeId>> = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let id = comps.len();
+            comps.push(Vec::new());
+            comp[start] = id;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                comps[id].push(u);
+                for &(v, _) in self.out_adj[u].iter().chain(&self.in_adj[u]) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = id;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        for c in &mut comps {
+            c.sort_unstable();
+        }
+        comps
+    }
+
+    /// True if the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Nodes within `k` hops of `v` (ignoring direction), including `v`,
+    /// sorted by id.
+    pub fn k_hop_neighborhood(&self, v: NodeId, k: usize) -> Vec<NodeId> {
+        let mut dist = vec![usize::MAX; self.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[v] = 0;
+        queue.push_back(v);
+        let mut out = vec![v];
+        while let Some(u) = queue.pop_front() {
+            if dist[u] == k {
+                continue;
+            }
+            for &(w, _) in self.out_adj[u].iter().chain(&self.in_adj[u]) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    out.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Re-types every node to `t` and drops features (helper for datasets
+    /// without node attributes, which get a constant default feature later).
+    pub fn with_uniform_type(mut self, t: NodeTypeId) -> Self {
+        for nt in &mut self.node_types {
+            *nt = t;
+        }
+        self
+    }
+}
+
+/// A node-induced subgraph together with its id mappings.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The extracted subgraph (ids are `0..k`).
+    pub graph: Graph,
+    /// `old_of_new[new_id] = old_id` in the parent graph.
+    pub old_of_new: Vec<NodeId>,
+    /// `new_of_old[old_id] = new_id`, or `usize::MAX` for dropped nodes.
+    pub new_of_old: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Maps a node id of the subgraph back to the parent graph.
+    #[inline]
+    pub fn to_parent(&self, new_id: NodeId) -> NodeId {
+        self.old_of_new[new_id]
+    }
+
+    /// Maps a parent node id into the subgraph, if retained.
+    #[inline]
+    pub fn from_parent(&self, old_id: NodeId) -> Option<NodeId> {
+        match self.new_of_old.get(old_id) {
+            Some(&v) if v != usize::MAX => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// ```
+/// use gvex_graph::Graph;
+/// let mut b = Graph::builder(false);
+/// let a = b.add_node(0, &[1.0]);
+/// let c = b.add_node(1, &[0.0]);
+/// b.add_edge(a, c, 0);
+/// let g = b.build();
+/// assert_eq!(g.num_nodes(), 2);
+/// assert!(g.has_edge(a, c) && g.has_edge(c, a));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    directed: bool,
+    node_types: Vec<NodeTypeId>,
+    features: Vec<Vec<f32>>,
+    feature_dim: Option<usize>,
+    edges: Vec<(NodeId, NodeId, EdgeTypeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new(directed: bool) -> Self {
+        Self {
+            directed,
+            node_types: Vec::new(),
+            features: Vec::new(),
+            feature_dim: None,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a node with type `t` and feature vector `feat`, returning its id.
+    ///
+    /// # Panics
+    /// If `feat`'s length differs from previously added nodes'.
+    pub fn add_node(&mut self, t: NodeTypeId, feat: &[f32]) -> NodeId {
+        match self.feature_dim {
+            None => self.feature_dim = Some(feat.len()),
+            Some(d) => assert_eq!(d, feat.len(), "inconsistent feature dimension"),
+        }
+        self.node_types.push(t);
+        self.features.push(feat.to_vec());
+        self.node_types.len() - 1
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Adds an edge `u → v` (`u — v` when undirected) with type `t`.
+    /// Self-loops and duplicate edges are ignored at [`Self::build`] time.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, t: EdgeTypeId) {
+        assert!(u < self.node_types.len() && v < self.node_types.len(), "edge endpoint out of range");
+        self.edges.push((u, v, t));
+    }
+
+    /// Finalizes the graph: deduplicates edges, drops self-loops, sorts
+    /// neighbor lists.
+    pub fn build(self) -> Graph {
+        let n = self.node_types.len();
+        let d = self.feature_dim.unwrap_or(0);
+        let mut fm = Matrix::zeros(n, d);
+        for (i, f) in self.features.iter().enumerate() {
+            fm.set_row(i, f);
+        }
+        let mut out_adj: Vec<Vec<(NodeId, EdgeTypeId)>> = vec![Vec::new(); n];
+        let mut in_adj: Vec<Vec<(NodeId, EdgeTypeId)>> = vec![Vec::new(); n];
+        for (u, v, t) in self.edges {
+            if u == v {
+                continue;
+            }
+            out_adj[u].push((v, t));
+            in_adj[v].push((u, t));
+            if !self.directed {
+                out_adj[v].push((u, t));
+                in_adj[u].push((v, t));
+            }
+        }
+        let mut num_edges = 0;
+        for adj in out_adj.iter_mut() {
+            adj.sort_unstable();
+            adj.dedup_by_key(|&mut (v, _)| v);
+            num_edges += adj.len();
+        }
+        for adj in in_adj.iter_mut() {
+            adj.sort_unstable();
+            adj.dedup_by_key(|&mut (v, _)| v);
+        }
+        if !self.directed {
+            num_edges /= 2;
+        }
+        Graph { directed: self.directed, node_types: self.node_types, features: fm, out_adj, in_adj, num_edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        // 0 - 1 - 2, types a,b,a
+        let mut b = Graph::builder(false);
+        let v0 = b.add_node(0, &[1.0, 0.0]);
+        let v1 = b.add_node(1, &[0.0, 1.0]);
+        let v2 = b.add_node(0, &[1.0, 0.0]);
+        b.add_edge(v0, v1, 0);
+        b.add_edge(v1, v2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn builder_counts() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.feature_dim(), 2);
+        assert!(!g.is_directed());
+    }
+
+    #[test]
+    fn undirected_edges_are_symmetric() {
+        let g = path3();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_dropped() {
+        let mut b = Graph::builder(false);
+        let v0 = b.add_node(0, &[]);
+        let v1 = b.add_node(0, &[]);
+        b.add_edge(v0, v1, 0);
+        b.add_edge(v1, v0, 0);
+        b.add_edge(v0, v0, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn directed_adjacency() {
+        let mut b = Graph::builder(true);
+        let v0 = b.add_node(0, &[]);
+        let v1 = b.add_node(0, &[]);
+        b.add_edge(v0, v1, 3);
+        let g = b.build();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.edge_type(0, 1), Some(3));
+        assert_eq!(g.in_neighbors(1), &[(0, 3)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_degree(0), 1);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = path3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 0), (1, 2, 0)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = path3();
+        let sub = g.induced_subgraph(&[1, 2]);
+        assert_eq!(sub.graph.num_nodes(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert_eq!(sub.graph.node_type(0), 1); // old node 1 had type b=1
+        assert_eq!(sub.to_parent(1), 2);
+        assert_eq!(sub.from_parent(0), None);
+        assert_eq!(sub.from_parent(2), Some(1));
+        // features carried over
+        assert_eq!(sub.graph.features().row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = path3();
+        let sub = g.induced_subgraph(&[1, 1, 2]);
+        assert_eq!(sub.graph.num_nodes(), 2);
+    }
+
+    #[test]
+    fn remove_nodes_is_complement() {
+        let g = path3();
+        let rest = g.remove_nodes(&[1]);
+        assert_eq!(rest.graph.num_nodes(), 2);
+        assert_eq!(rest.graph.num_edges(), 0); // removing center disconnects
+        assert_eq!(rest.old_of_new, vec![0, 2]);
+    }
+
+    #[test]
+    fn connected_components_found() {
+        let g = path3();
+        assert!(g.is_connected());
+        let rest = g.remove_nodes(&[1]).graph;
+        let comps = rest.connected_components();
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::builder(false).build();
+        assert!(g.is_connected());
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn k_hop_neighborhood_radii() {
+        let g = path3();
+        assert_eq!(g.k_hop_neighborhood(0, 0), vec![0]);
+        assert_eq!(g.k_hop_neighborhood(0, 1), vec![0, 1]);
+        assert_eq!(g.k_hop_neighborhood(0, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn avg_degree_undirected() {
+        let g = path3();
+        assert!((g.avg_degree() - 4.0 / 3.0).abs() < 1e-9);
+    }
+}

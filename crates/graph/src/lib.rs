@@ -1,0 +1,25 @@
+//! Attributed graph substrate for GVEX (§2.1 of the paper).
+//!
+//! The paper works over a *graph database* `𝒢 = {G₁ … G_m}` where each graph
+//! `G = (V, E, T, L)` carries node features `T(v)` and node/edge *types*
+//! `L(·)` (distinct from the task's class labels). This crate provides:
+//!
+//! * [`Graph`] — a compact adjacency-list graph with typed nodes/edges and a
+//!   dense feature matrix,
+//! * subgraph algebra: node-induced subgraphs ([`Graph::induced_subgraph`]),
+//!   node removal `G \ Gs` ([`Graph::remove_nodes`]), connected components,
+//!   and k-hop neighborhoods — the primitives the explanation algorithms and
+//!   verifiers are built from,
+//! * [`GraphDatabase`] — the collection the classifier and explainers run
+//!   over, with label groups `𝒢^l`,
+//! * [`TypeRegistry`] — string interning for human-readable node/edge types
+//!   (e.g. atom symbols), keeping the hot graph structures numeric.
+
+pub mod db;
+pub mod graph;
+pub mod registry;
+pub mod traversal;
+
+pub use db::{GlobalNodeId, GraphDatabase, LabelGroups};
+pub use graph::{EdgeTypeId, Graph, GraphBuilder, InducedSubgraph, NodeId, NodeTypeId};
+pub use registry::TypeRegistry;

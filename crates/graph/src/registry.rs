@@ -1,0 +1,89 @@
+//! String interning for node and edge types.
+//!
+//! Pattern matching (§2.1) compares node/edge *types* `L(·)` constantly, so
+//! graphs store them as dense `u32` ids; this registry maps those ids back to
+//! human-readable names ("C", "NO2-bond", …) for display and case studies.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional name ↔ id map for node or edge types.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TypeRegistry {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name for `id`, or `"?<id>"` if unknown (never panics — display
+    /// paths shouldn't crash experiments).
+    pub fn name(&self, id: u32) -> String {
+        self.names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("?{id}"))
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut r = TypeRegistry::new();
+        let c = r.intern("C");
+        let n = r.intern("N");
+        assert_ne!(c, n);
+        assert_eq!(r.intern("C"), c);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn name_round_trip_and_fallback() {
+        let mut r = TypeRegistry::new();
+        let o = r.intern("O");
+        assert_eq!(r.name(o), "O");
+        assert_eq!(r.name(99), "?99");
+        assert_eq!(r.get("O"), Some(o));
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = TypeRegistry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Influence-matrix construction: three routes to `I₂` (Eqs. 3–4).
+
+use gvex_gnn::propagation::NormAdj;
+use gvex_gnn::GcnModel;
+use gvex_graph::Graph;
+use gvex_linalg::Matrix;
+use rand::Rng;
+
+/// How to estimate the expected-Jacobian influence scores.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Default)]
+pub enum InfluenceMode {
+    /// Row-normalized `Ã^k` — exactly the expected Jacobian of a `k`-layer
+    /// ReLU GCN up to a per-row constant that `I₂`'s normalization cancels
+    /// (Xu et al., ICML'18). Cost `O(k·|E|·|V|)`; the default.
+    Expected,
+    /// The realized Jacobian under the trained weights and actual ReLU
+    /// gates, via forward-mode propagation of per-(node, feature) seeds.
+    /// Cost `O(|V|·D·k·(|E|·h + |V|·h²))` — the expensive exact option used
+    /// for validation and the ablation bench.
+    Realized,
+    /// Monte-Carlo random-walk estimate with the given number of walks per
+    /// node — the paper's technique for its largest graphs (§6.2).
+    MonteCarlo {
+        /// Walks sampled per source node.
+        walks: u32,
+    },
+    /// The paper's overall strategy: the exact Jacobian where affordable
+    /// (it is the `O(|V|³)` precompute of Theorem 4.1), falling back to the
+    /// walk-based surrogate on large graphs (§6.2's optimization for
+    /// PRO/SYN). The switch happens at `|V|·D` forward-mode seeds > 2048 or
+    /// `|V|` > 256.
+    #[default]
+    Auto,
+}
+
+
+/// Computes the row-stochastic influence matrix `I₂`, with `I₂[(v, u)]`
+/// the normalized influence of `u` on `v` (Eq. 4). Every row sums to 1
+/// (rows of isolated nodes concentrate on the self-loop).
+///
+/// `rng` is only consulted in [`InfluenceMode::MonteCarlo`].
+pub fn influence_matrix(model: &GcnModel, g: &Graph, mode: InfluenceMode, rng: &mut impl Rng) -> Matrix {
+    let k = model.config().layers;
+    match mode {
+        InfluenceMode::Expected => expected(g, k),
+        InfluenceMode::Realized => realized(model, g),
+        InfluenceMode::MonteCarlo { walks } => monte_carlo(g, k, walks, rng),
+        InfluenceMode::Auto => {
+            let seeds = g.num_nodes() * model.config().input_dim;
+            if g.num_nodes() <= 256 && seeds <= 2048 {
+                realized(model, g)
+            } else {
+                expected(g, k)
+            }
+        }
+    }
+}
+
+/// Row-normalizes `m` in place; all-zero rows become the indicator of the
+/// diagonal entry (a node always influences itself).
+fn normalize_rows(mut m: Matrix) -> Matrix {
+    for v in 0..m.rows() {
+        let sum: f32 = m.row(v).iter().map(|x| x.abs()).sum();
+        if sum > 0.0 {
+            for x in m.row_mut(v) {
+                *x = x.abs() / sum;
+            }
+        } else {
+            m[(v, v)] = 1.0;
+        }
+    }
+    m
+}
+
+fn expected(g: &Graph, k: usize) -> Matrix {
+    let n = g.num_nodes();
+    let adj = NormAdj::new(g);
+    // R = Ã^k computed as k sparse-dense products against I.
+    let mut r = Matrix::identity(n);
+    for _ in 0..k {
+        r = adj.matmul(&r);
+    }
+    normalize_rows(r)
+}
+
+#[allow(clippy::needless_range_loop)] // layer index parallels gates/pre/weights
+fn realized(model: &GcnModel, g: &Graph) -> Matrix {
+    let n = g.num_nodes();
+    let d = model.config().input_dim;
+    let trace = model.forward(g);
+    let adj = &trace.adj;
+    let k = model.config().layers;
+
+    // ReLU gate masks per layer.
+    let gates: Vec<Matrix> = trace.pre.iter().map(|z| z.map(|x| if x > 0.0 { 1.0 } else { 0.0 })).collect();
+
+    let mut i1 = Matrix::zeros(n, n); // i1[(v, u)] = ‖∂X_v^k/∂X_u^0‖₁
+    // forward-mode: seed ∂X/∂X_u[d] = e_u e_dᵀ and push through the layers.
+    for u in 0..n {
+        for dim in 0..d {
+            let mut t = Matrix::zeros(n, d);
+            t[(u, dim)] = 1.0;
+            for layer in 0..k {
+                let propagated = adj.matmul(&t);
+                let z = propagated.matmul(model.conv_weight(layer));
+                t = z.hadamard(&gates[layer]);
+            }
+            for v in 0..n {
+                i1[(v, u)] += t.row_l1(v);
+            }
+        }
+    }
+    normalize_rows(i1)
+}
+
+fn monte_carlo(g: &Graph, k: usize, walks: u32, rng: &mut impl Rng) -> Matrix {
+    let n = g.num_nodes();
+    let mut counts = Matrix::zeros(n, n);
+    // Walk on the self-looped, symmetrized graph (the GCN's receptive field).
+    for v in 0..n {
+        for _ in 0..walks.max(1) {
+            let mut cur = v;
+            for _ in 0..k {
+                // neighbors + self loop, uniform choice (degree-proportional
+                // approximation of Ã's support).
+                let out = g.neighbors(cur);
+                let inn = if g.is_directed() { g.in_neighbors(cur) } else { &[] };
+                let deg = out.len() + inn.len();
+                let pick = rng.gen_range(0..=deg);
+                cur = if pick == deg {
+                    cur // self loop
+                } else if pick < out.len() {
+                    out[pick].0
+                } else {
+                    inn[pick - out.len()].0
+                };
+            }
+            counts[(v, cur)] += 1.0;
+        }
+    }
+    normalize_rows(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvex_gnn::GcnConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path(n: usize, d: usize) -> Graph {
+        let mut b = Graph::builder(false);
+        for i in 0..n {
+            let mut f = vec![0.0; d];
+            f[i % d] = 1.0;
+            b.add_node(0, &f);
+        }
+        for i in 1..n {
+            b.add_edge(i - 1, i, 0);
+        }
+        b.build()
+    }
+
+    fn model(layers: usize, d: usize) -> GcnModel {
+        let cfg = GcnConfig { input_dim: d, hidden: 6, layers, num_classes: 2 };
+        GcnModel::new(cfg, &mut ChaCha8Rng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn expected_rows_are_stochastic() {
+        let g = path(6, 2);
+        let m = model(3, 2);
+        let inf = influence_matrix(&m, &g, InfluenceMode::Expected, &mut ChaCha8Rng::seed_from_u64(0));
+        for v in 0..6 {
+            let s: f32 = inf.row(v).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {v} sums to {s}");
+            assert!(inf.row(v).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn expected_influence_decays_with_distance() {
+        let g = path(7, 2);
+        let m = model(2, 2);
+        let inf = influence_matrix(&m, &g, InfluenceMode::Expected, &mut ChaCha8Rng::seed_from_u64(0));
+        // node 0's influence on node 3 (distance 3 > k=2) must be zero,
+        // on node 1 positive and larger than on node 2.
+        assert_eq!(inf[(3, 0)], 0.0);
+        assert!(inf[(1, 0)] > inf[(2, 0)]);
+        assert!(inf[(2, 0)] > 0.0);
+    }
+
+    #[test]
+    fn realized_agrees_with_expected_support() {
+        // realized Jacobian must vanish outside the k-hop neighborhood too
+        let g = path(7, 2);
+        let m = model(2, 2);
+        let inf = influence_matrix(&m, &g, InfluenceMode::Realized, &mut ChaCha8Rng::seed_from_u64(0));
+        assert_eq!(inf[(4, 0)], 0.0);
+        for v in 0..7 {
+            let s: f32 = inf.row(v).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// The realized Jacobian must match central finite differences of the
+    /// actual network output w.r.t. an input feature entry (up to the L1
+    /// aggregation): spot-check one (v, u) pair's sensitivity ordering.
+    #[test]
+    fn realized_matches_finite_difference() {
+        let g = path(4, 2);
+        let m = model(2, 2);
+        // analytic: unnormalized L1 via realized(); recompute here directly
+        let inf = realized(&m, &g);
+        // finite difference of sum|X_v^k| wrt X_u feature 0:
+        let eps = 1e-2_f32;
+        let u = 0usize;
+        let v = 1usize;
+        let adj = gvex_gnn::propagation::NormAdj::new(&g);
+        let perturb = |delta: f32| {
+            let mut x = g.features().clone();
+            x[(u, 0)] += delta;
+            let t = m.forward_from_features(x, adj.clone());
+            t.embeddings().row(v).to_vec()
+        };
+        let plus = perturb(eps);
+        let minus = perturb(-eps);
+        let fd: f32 = plus.iter().zip(&minus).map(|(p, q)| ((p - q) / (2.0 * eps)).abs()).sum();
+        // realized() normalizes rows, so compare *signs of presence* only:
+        assert_eq!(fd > 1e-4, inf[(v, u)] > 1e-6, "fd {fd} vs inf {}", inf[(v, u)]);
+    }
+
+    #[test]
+    fn monte_carlo_rows_stochastic_and_local() {
+        let g = path(8, 2);
+        let m = model(2, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let inf = influence_matrix(&m, &g, InfluenceMode::MonteCarlo { walks: 200 }, &mut rng);
+        for v in 0..8 {
+            let s: f32 = inf.row(v).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+        // walks of length 2 cannot reach distance 3+
+        assert_eq!(inf[(0, 5)], 0.0);
+    }
+
+    #[test]
+    fn isolated_node_self_influence() {
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[1.0]);
+        b.add_node(0, &[1.0]);
+        let g = b.build();
+        let m = model(2, 1);
+        let inf = influence_matrix(&m, &g, InfluenceMode::Expected, &mut ChaCha8Rng::seed_from_u64(0));
+        assert!((inf[(0, 0)] - 1.0).abs() < 1e-6);
+        assert_eq!(inf[(0, 1)], 0.0);
+    }
+}

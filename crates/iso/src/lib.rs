@@ -1,0 +1,28 @@
+//! Graph pattern matching for GVEX (§2.1 "Graph Pattern Matching").
+//!
+//! The paper characterizes pattern semantics via **node-induced subgraph
+//! isomorphism** [Floderus et al., TCS'15]: a matching `h` maps each pattern
+//! node to a distinct graph node of the same type, pattern edges to graph
+//! edges of the same type and — in induced mode — pattern *non-edges* to
+//! graph non-edges.
+//!
+//! This crate provides:
+//!
+//! * [`vf2`] — a VF2-style backtracking matcher with type- and
+//!   degree-based pruning, embedding enumeration, and anchored enumeration
+//!   (all embeddings through one node) for incremental matching
+//!   (`IncPMatch`, §5),
+//! * [`coverage`] — node/edge coverage of a graph by one or many patterns,
+//!   the primitive behind constraint **C1/C3** verification and the `Psum`
+//!   set-cover weights,
+//! * [`vf2::are_isomorphic`] — full graph isomorphism, used by the miner to
+//!   deduplicate candidate patterns.
+//!
+//! Patterns are ordinary [`gvex_graph::Graph`] values whose features are
+//! ignored; only node/edge types constrain matching.
+
+pub mod coverage;
+pub mod vf2;
+
+pub use coverage::{covered, covered_by_set, Coverage};
+pub use vf2::{are_isomorphic, enumerate, find_one, for_each_embedding, matches, MatchOptions};

@@ -1,0 +1,449 @@
+//! VF2-style backtracking subgraph isomorphism with type constraints.
+
+use gvex_graph::{Graph, NodeId};
+use std::ops::ControlFlow;
+
+/// Matching semantics and search limits.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchOptions {
+    /// `true` (the paper's default): node-induced isomorphism — pattern
+    /// non-edges must map to graph non-edges. `false`: plain subgraph
+    /// (monomorphism) semantics.
+    pub induced: bool,
+    /// Hard cap on enumerated embeddings (guards against factorial blowup on
+    /// symmetric patterns); `usize::MAX` disables the cap.
+    pub max_embeddings: usize,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        Self { induced: true, max_embeddings: 10_000 }
+    }
+}
+
+/// Precomputed matching order: pattern nodes arranged so each node after the
+/// first has at least one earlier neighbor (when the pattern is connected),
+/// which keeps the candidate frontier small.
+fn matching_order(pattern: &Graph) -> Vec<NodeId> {
+    let n = pattern.num_nodes();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    // start from the highest-degree node: most constrained first.
+    while order.len() < n {
+        let start = (0..n)
+            .filter(|&v| !seen[v])
+            .max_by_key(|&v| pattern.degree(v) + pattern.in_neighbors(v).len())
+            .expect("unvisited node exists");
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            // visit neighbors by descending degree
+            let mut nbrs: Vec<NodeId> = pattern
+                .neighbors(u)
+                .iter()
+                .chain(pattern.in_neighbors(u))
+                .map(|&(v, _)| v)
+                .filter(|&v| !seen[v])
+                .collect();
+            nbrs.sort_unstable_by_key(|&v| std::cmp::Reverse(pattern.degree(v)));
+            nbrs.dedup();
+            for v in nbrs {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    order
+}
+
+struct Vf2<'a, F> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    opts: MatchOptions,
+    order: Vec<NodeId>,
+    /// pattern node -> target node (usize::MAX = unmapped)
+    map: Vec<NodeId>,
+    used: Vec<bool>,
+    found: usize,
+    callback: F,
+}
+
+impl<'a, F: FnMut(&[NodeId]) -> ControlFlow<()>> Vf2<'a, F> {
+    fn feasible(&self, p: NodeId, t: NodeId) -> bool {
+        if self.pattern.node_type(p) != self.target.node_type(t) {
+            return false;
+        }
+        // degree pruning: the image must have at least as many connections.
+        if self.target.degree(t) < self.pattern.degree(p)
+            || self.target.in_neighbors(t).len() < self.pattern.in_neighbors(p).len()
+        {
+            return false;
+        }
+        // out-edges of p to already-mapped nodes must exist with same type
+        for &(q, et) in self.pattern.neighbors(p) {
+            let tq = self.map[q];
+            if tq == usize::MAX {
+                continue;
+            }
+            match self.target.edge_type(t, tq) {
+                Some(tet) if tet == et => {}
+                _ => return false,
+            }
+        }
+        // in-edges (directed graphs; for undirected these repeat the above)
+        if self.pattern.is_directed() {
+            for &(q, et) in self.pattern.in_neighbors(p) {
+                let tq = self.map[q];
+                if tq == usize::MAX {
+                    continue;
+                }
+                match self.target.edge_type(tq, t) {
+                    Some(tet) if tet == et => {}
+                    _ => return false,
+                }
+            }
+        }
+        if self.opts.induced {
+            // pattern NON-edges to mapped nodes must be absent in the target
+            for (q, &tq) in self.map.iter().enumerate() {
+                if tq == usize::MAX || q == p {
+                    continue;
+                }
+                if self.pattern.edge_type(p, q).is_none() && self.target.has_edge(t, tq) {
+                    return false;
+                }
+                if self.pattern.is_directed()
+                    && self.pattern.edge_type(q, p).is_none()
+                    && self.target.has_edge(tq, t)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn candidates(&self, p: NodeId) -> Vec<NodeId> {
+        // prefer extending from a mapped pattern neighbor: candidates are the
+        // image's neighbors, not the whole graph.
+        for &(q, _) in self.pattern.neighbors(p).iter().chain(self.pattern.in_neighbors(p)) {
+            let tq = self.map[q];
+            if tq != usize::MAX {
+                return self
+                    .target
+                    .neighbors(tq)
+                    .iter()
+                    .chain(self.target.in_neighbors(tq))
+                    .map(|&(t, _)| t)
+                    .filter(|&t| !self.used[t])
+                    .collect();
+            }
+        }
+        (0..self.target.num_nodes()).filter(|&t| !self.used[t]).collect()
+    }
+
+    fn search(&mut self, depth: usize) -> ControlFlow<()> {
+        if self.found >= self.opts.max_embeddings {
+            return ControlFlow::Break(());
+        }
+        if depth == self.order.len() {
+            self.found += 1;
+            return (self.callback)(&self.map);
+        }
+        let p = self.order[depth];
+        let mut cands = self.candidates(p);
+        cands.sort_unstable();
+        cands.dedup();
+        for t in cands {
+            if self.used[t] || !self.feasible(p, t) {
+                continue;
+            }
+            self.map[p] = t;
+            self.used[t] = true;
+            let flow = self.search(depth + 1);
+            self.map[p] = usize::MAX;
+            self.used[t] = false;
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Calls `cb` with each embedding (`map[pattern_node] = target_node`) until
+/// exhaustion, the embedding cap, or `cb` breaking. An empty pattern yields a
+/// single empty embedding.
+pub fn for_each_embedding(
+    pattern: &Graph,
+    target: &Graph,
+    opts: MatchOptions,
+    cb: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+) {
+    if pattern.num_nodes() > target.num_nodes() {
+        return;
+    }
+    let order = matching_order(pattern);
+    let mut vf2 = Vf2 {
+        pattern,
+        target,
+        opts,
+        order,
+        map: vec![usize::MAX; pattern.num_nodes()],
+        used: vec![false; target.num_nodes()],
+        found: 0,
+        callback: cb,
+    };
+    let _ = vf2.search(0);
+}
+
+/// Like [`for_each_embedding`], but only yields embeddings whose image
+/// contains the target node `anchor` — the incremental-matching primitive
+/// (`IncPMatch`): when a node arrives, only embeddings through it are new.
+pub fn for_each_embedding_anchored(
+    pattern: &Graph,
+    target: &Graph,
+    anchor: NodeId,
+    opts: MatchOptions,
+    mut cb: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+) {
+    for_each_embedding(pattern, target, opts, |map| {
+        if map.contains(&anchor) {
+            cb(map)
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+}
+
+/// First embedding of `pattern` in `target`, if any.
+///
+/// ```
+/// use gvex_graph::Graph;
+/// use gvex_iso::{find_one, MatchOptions};
+/// // pattern: a type-1/type-2 edge; target: a path 0-1-2 with types 0,1,2
+/// let mut b = Graph::builder(false);
+/// let n = b.add_node(1, &[]);
+/// let o = b.add_node(2, &[]);
+/// b.add_edge(n, o, 0);
+/// let pattern = b.build();
+/// let mut b = Graph::builder(false);
+/// for t in 0..3 { b.add_node(t, &[]); }
+/// b.add_edge(0, 1, 0);
+/// b.add_edge(1, 2, 0);
+/// let target = b.build();
+/// let emb = find_one(&pattern, &target, MatchOptions::default()).unwrap();
+/// assert_eq!(emb, vec![1, 2]); // pattern node 0 -> target 1, node 1 -> target 2
+/// ```
+pub fn find_one(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Option<Vec<NodeId>> {
+    let mut result = None;
+    for_each_embedding(pattern, target, opts, |map| {
+        result = Some(map.to_vec());
+        ControlFlow::Break(())
+    });
+    result
+}
+
+/// All embeddings up to `opts.max_embeddings`.
+pub fn enumerate(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    for_each_embedding(pattern, target, opts, |map| {
+        out.push(map.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Whether `pattern` matches anywhere in `target`.
+pub fn matches(pattern: &Graph, target: &Graph, opts: MatchOptions) -> bool {
+    find_one(pattern, target, opts).is_some()
+}
+
+/// Exact graph isomorphism: same node/edge counts and a bijective induced
+/// embedding. Used by the pattern miner to deduplicate candidates.
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    if a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    // sorted type multiset must agree
+    let mut ta = a.node_types().to_vec();
+    let mut tb = b.node_types().to_vec();
+    ta.sort_unstable();
+    tb.sort_unstable();
+    if ta != tb {
+        return false;
+    }
+    matches(a, b, MatchOptions { induced: true, max_embeddings: usize::MAX })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvex_graph::Graph;
+
+    /// Builds an undirected graph from node types + edges (edge type 0).
+    fn g(types: &[u32], edges: &[(usize, usize)]) -> Graph {
+        let mut b = Graph::builder(false);
+        for &t in types {
+            b.add_node(t, &[]);
+        }
+        for &(u, v) in edges {
+            b.add_edge(u, v, 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_node_pattern_matches_same_type() {
+        let pat = g(&[1], &[]);
+        let target = g(&[0, 1, 1], &[(0, 1), (1, 2)]);
+        let embs = enumerate(&pat, &target, MatchOptions::default());
+        let mut hits: Vec<usize> = embs.iter().map(|m| m[0]).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn type_mismatch_never_matches() {
+        let pat = g(&[5], &[]);
+        let target = g(&[0, 1], &[(0, 1)]);
+        assert!(!matches(&pat, &target, MatchOptions::default()));
+    }
+
+    #[test]
+    fn edge_pattern_in_triangle() {
+        let pat = g(&[0, 0], &[(0, 1)]);
+        let tri = g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let embs = enumerate(&pat, &tri, MatchOptions::default());
+        assert_eq!(embs.len(), 6); // 3 edges × 2 orientations
+    }
+
+    #[test]
+    fn induced_path_does_not_match_triangle() {
+        // induced P3 (no chord) cannot embed in K3
+        let p3 = g(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let tri = g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        assert!(!matches(&p3, &tri, MatchOptions::default()));
+        // but a non-induced match exists
+        assert!(matches(&p3, &tri, MatchOptions { induced: false, max_embeddings: 10 }));
+    }
+
+    #[test]
+    fn induced_path_matches_square() {
+        let p3 = g(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let square = g(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(matches(&p3, &square, MatchOptions::default()));
+    }
+
+    #[test]
+    fn edge_type_constrains_match() {
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[]);
+        b.add_node(0, &[]);
+        b.add_edge(0, 1, 7); // pattern edge type 7
+        let pat = b.build();
+
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[]);
+        b.add_node(0, &[]);
+        b.add_edge(0, 1, 3); // different edge type
+        let target = b.build();
+        assert!(!matches(&pat, &target, MatchOptions::default()));
+
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[]);
+        b.add_node(0, &[]);
+        b.add_edge(0, 1, 7);
+        let target2 = b.build();
+        assert!(matches(&pat, &target2, MatchOptions::default()));
+    }
+
+    #[test]
+    fn directed_edge_direction_respected() {
+        let mut b = Graph::builder(true);
+        b.add_node(0, &[]);
+        b.add_node(1, &[]);
+        b.add_edge(0, 1, 0);
+        let pat = b.build();
+
+        let mut b = Graph::builder(true);
+        b.add_node(1, &[]);
+        b.add_node(0, &[]);
+        b.add_edge(1, 0, 0); // type0 -> type1 (matches)
+        let fwd = b.build();
+        assert!(matches(&pat, &fwd, MatchOptions::default()));
+
+        let mut b = Graph::builder(true);
+        b.add_node(1, &[]);
+        b.add_node(0, &[]);
+        b.add_edge(0, 1, 0); // type1 -> type0 (wrong direction)
+        let bwd = b.build();
+        assert!(!matches(&pat, &bwd, MatchOptions::default()));
+    }
+
+    #[test]
+    fn injectivity_enforced() {
+        // two-node pattern cannot map onto a single target node
+        let pat = g(&[0, 0], &[(0, 1)]);
+        let single = g(&[0], &[]);
+        assert!(!matches(&pat, &single, MatchOptions::default()));
+    }
+
+    #[test]
+    fn embedding_cap_respected() {
+        let pat = g(&[0], &[]);
+        let big = g(&[0; 50], &[]);
+        let embs = enumerate(&pat, &big, MatchOptions { induced: true, max_embeddings: 7 });
+        assert_eq!(embs.len(), 7);
+    }
+
+    #[test]
+    fn anchored_enumeration_filters() {
+        let pat = g(&[0, 0], &[(0, 1)]);
+        let path = g(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let mut count = 0;
+        for_each_embedding_anchored(&pat, &path, 2, MatchOptions::default(), |m| {
+            assert!(m.contains(&2));
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 2); // (1,2) and (2,1)
+    }
+
+    #[test]
+    fn isomorphism_positive_and_negative() {
+        let tri1 = g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let tri2 = g(&[0, 0, 0], &[(2, 0), (0, 1), (2, 1)]);
+        assert!(are_isomorphic(&tri1, &tri2));
+
+        let p3 = g(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        assert!(!are_isomorphic(&tri1, &p3));
+
+        let tri_typed = g(&[0, 0, 1], &[(0, 1), (1, 2), (0, 2)]);
+        assert!(!are_isomorphic(&tri1, &tri_typed));
+    }
+
+    #[test]
+    fn isomorphism_distinguishes_same_degree_sequence() {
+        // hexagon vs two triangles: same degree sequence, not isomorphic
+        let hex = g(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let two_tri = g(&[0; 6], &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert!(!are_isomorphic(&hex, &two_tri));
+    }
+
+    #[test]
+    fn empty_pattern_yields_one_empty_embedding() {
+        let pat = g(&[], &[]);
+        let target = g(&[0], &[]);
+        let embs = enumerate(&pat, &target, MatchOptions::default());
+        assert_eq!(embs, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn pattern_larger_than_target_never_matches() {
+        let pat = g(&[0, 0], &[(0, 1)]);
+        let target = g(&[0], &[]);
+        assert!(enumerate(&pat, &target, MatchOptions::default()).is_empty());
+    }
+}

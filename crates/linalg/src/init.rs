@@ -1,0 +1,59 @@
+//! Weight initializers.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: entries drawn from
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// This is the initialization PyTorch Geometric's `GCNConv` uses by default,
+/// matching the paper's classifier setup.
+pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-bound..bound);
+    }
+    m
+}
+
+/// Uniform initialization in `[lo, hi)`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+    assert!(lo < hi, "empty init range");
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(lo..hi);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m = xavier_uniform(&mut rng, 16, 32);
+        let bound = (6.0 / 48.0_f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        // not all zeros
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn xavier_deterministic_under_seed() {
+        let a = xavier_uniform(&mut ChaCha8Rng::seed_from_u64(1), 4, 4);
+        let b = xavier_uniform(&mut ChaCha8Rng::seed_from_u64(1), 4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = uniform(&mut rng, 8, 8, -0.25, 0.25);
+        assert!(m.as_slice().iter().all(|v| (-0.25..0.25).contains(v)));
+    }
+}

@@ -1,0 +1,24 @@
+//! Dense linear algebra and optimization primitives for GVEX.
+//!
+//! The GVEX reproduction implements its GCN classifier from scratch; this
+//! crate provides the small, allocation-conscious numeric kernel it is built
+//! on:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with the handful of BLAS-like
+//!   operations a message-passing GNN needs (matmul, transpose, row ops),
+//! * [`ops`] — element-wise activations, row-wise softmax, and the
+//!   cross-entropy loss with its gradient,
+//! * [`init`] — Xavier/Glorot and uniform initializers,
+//! * [`adam::Adam`] — the Adam optimizer used to train the classifier
+//!   (Kingma & Ba, ICLR'15), matching the paper's training setup (§6.1).
+//!
+//! Everything is deterministic given a seeded RNG, which the dataset
+//! generators and experiment harness rely on.
+
+pub mod adam;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use adam::Adam;
+pub use matrix::Matrix;

@@ -1,0 +1,431 @@
+//! A minimal row-major dense matrix.
+//!
+//! The GNN workloads in this repository only ever touch small-to-medium dense
+//! matrices (node features × hidden width, hidden × hidden weights), so a
+//! plain contiguous `Vec<f32>` with explicit loops is both simpler and — with
+//! the blocked multiply below — fast enough to train the paper's classifier
+//! on CPU in seconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Row-major dense `f32` matrix.
+///
+/// Indexing is `(row, col)`. All shape mismatches panic: shapes in the GNN
+/// stack are static properties of the architecture, so a mismatch is a
+/// programming error, not a runtime condition to recover from.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates an identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies the contents of `src` into row `r`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// ```
+    /// use gvex_linalg::Matrix;
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+    /// let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+    /// assert_eq!(a.matmul(&b), Matrix::from_rows(&[&[11.0]]));
+    /// ```
+    ///
+    /// Uses the classic i-k-j loop order so the inner loop streams through
+    /// contiguous rows of both the output and `rhs` — the single most
+    /// important cache optimization for row-major matmul.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // feature matrices are often one-hot / sparse
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place `self += scale * rhs` (AXPY).
+    pub fn add_scaled(&mut self, rhs: &Matrix, scale: f32) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|&a| f(a)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// L1 norm (sum of absolute values) of row `r`.
+    pub fn row_l1(&self, r: usize) -> f32 {
+        self.row(r).iter().map(|v| v.abs()).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute entry, 0.0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Column-wise max over rows: returns a `1 × cols` matrix together with
+    /// the argmax row index per column (needed for max-pool backprop).
+    ///
+    /// For an empty matrix (0 rows) returns zeros with argmax indices of 0.
+    pub fn col_max(&self) -> (Matrix, Vec<usize>) {
+        let mut out = Matrix::zeros(1, self.cols);
+        let mut arg = vec![0usize; self.cols];
+        if self.rows == 0 {
+            return (out, arg);
+        }
+        out.row_mut(0).copy_from_slice(self.row(0));
+        for i in 1..self.rows {
+            for j in 0..self.cols {
+                let v = self[(i, j)];
+                if v > out[(0, j)] {
+                    out[(0, j)] = v;
+                    arg[j] = i;
+                }
+            }
+        }
+        (out, arg)
+    }
+
+    /// Column-wise mean over rows as a `1 × cols` matrix (zeros if no rows).
+    pub fn col_mean(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        if self.rows == 0 {
+            return out;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(0, j)] += self[(i, j)];
+            }
+        }
+        let inv = 1.0 / self.rows as f32;
+        out.map_inplace(|v| v * inv);
+        out
+    }
+
+    /// Extracts the sub-matrix formed by the given rows, in order.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            out.set_row(i, self.row(r));
+        }
+        out
+    }
+
+    /// True if any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:8.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_contents() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 4.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 1.0], &[-1.0, 2.0]]);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn hadamard_and_scale() {
+        let a = Matrix::from_rows(&[&[2.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[4.0, 5.0]]);
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[8.0, 15.0]]));
+        assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[4.0, 6.0]]));
+    }
+
+    #[test]
+    fn col_max_tracks_argmax() {
+        let a = Matrix::from_rows(&[&[1.0, 9.0], &[5.0, 2.0], &[3.0, 3.0]]);
+        let (m, arg) = a.col_max();
+        assert_eq!(m, Matrix::from_rows(&[&[5.0, 9.0]]));
+        assert_eq!(arg, vec![1, 0]);
+    }
+
+    #[test]
+    fn col_max_empty_matrix() {
+        let a = Matrix::zeros(0, 3);
+        let (m, arg) = a.col_max();
+        assert_eq!(m.shape(), (1, 3));
+        assert_eq!(arg, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn col_mean_averages_rows() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 6.0]]);
+        assert_eq!(a.col_mean(), Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(a.select_rows(&[2, 0]), Matrix::from_rows(&[&[3.0], &[1.0]]));
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[3.0, -4.0]]);
+        assert_eq!(a.row_l1(0), 7.0);
+        assert!((a.frobenius() - 5.0).abs() < 1e-6);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 4.0]]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a, Matrix::from_rows(&[&[2.0, 3.0]]));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::zeros(1, 2);
+        assert!(!a.has_non_finite());
+        a[(0, 1)] = f32::NAN;
+        assert!(a.has_non_finite());
+    }
+}

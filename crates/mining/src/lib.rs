@@ -1,0 +1,21 @@
+//! Constrained graph pattern mining — the `PGen` / `IncPGen` operators (§4, §5).
+//!
+//! `Psum` needs candidate patterns to run its weighted set cover over. The
+//! paper's `PGen` "exploits the minimum description length (MDL) principle
+//! and conducts a constrained graph pattern mining process" (it cites gSpan
+//! as one possible engine). We implement:
+//!
+//! * [`enumerate::connected_subsets`] — ESU-style enumeration of every
+//!   connected node subset up to a size bound, each exactly once,
+//! * [`pgen::pgen`] — enumerates candidate patterns from a set of
+//!   explanation subgraphs, deduplicates them up to isomorphism (via
+//!   `gvex-iso`), counts support, and ranks by MDL gain,
+//! * [`pgen::inc_pgen`] — the streaming variant: mines only patterns through
+//!   a newly arrived node's local neighborhood and returns those not already
+//!   represented in the maintained pattern set (`ΔP`, §5).
+
+pub mod enumerate;
+pub mod pgen;
+
+pub use enumerate::connected_subsets;
+pub use pgen::{inc_pgen, pgen, MiningConfig, PatternCandidate};

@@ -1,0 +1,259 @@
+//! `PGen` / `IncPGen`: pattern candidate generation with MDL ranking.
+
+use crate::enumerate::connected_subsets;
+use gvex_graph::{Graph, NodeId};
+use gvex_iso::vf2::are_isomorphic;
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// Mining bounds. Patterns are small by design — they are the human-facing
+/// tier of the explanation view.
+#[derive(Clone, Copy, Debug)]
+pub struct MiningConfig {
+    /// Maximum pattern size in nodes (paper patterns like NO₂ or a carbon
+    /// ring are ≤ 6 nodes).
+    pub max_pattern_nodes: usize,
+    /// Minimum number of occurrences for a candidate to be kept. Singleton
+    /// node patterns are always kept regardless, so `Psum` can always reach
+    /// full node coverage.
+    pub min_support: usize,
+    /// Cap on distinct candidates (guards worst-case enumeration).
+    pub max_candidates: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        Self { max_pattern_nodes: 6, min_support: 1, max_candidates: 512 }
+    }
+}
+
+/// A mined pattern with its statistics.
+#[derive(Clone, Debug)]
+pub struct PatternCandidate {
+    /// The pattern graph (types only; features are irrelevant).
+    pub pattern: Graph,
+    /// Number of connected occurrences across the mined subgraphs.
+    pub support: usize,
+    /// MDL gain: description-length saving from factoring the occurrences
+    /// through the pattern. Higher is better.
+    pub mdl_score: f64,
+}
+
+/// SUBDUE-style MDL gain: encoding `s` occurrences of a pattern with
+/// `n + m` elements by one definition plus `s` references saves
+/// `s·(n + m − 1) − (n + m)` units.
+fn mdl_gain(pattern: &Graph, support: usize) -> f64 {
+    let size = (pattern.num_nodes() + pattern.num_edges()) as f64;
+    support as f64 * (size - 1.0) - size
+}
+
+/// Cheap isomorphism-invariant signature used to bucket candidates before
+/// the exact `are_isomorphic` check.
+fn signature(g: &Graph) -> Signature {
+    let mut types = g.node_types().to_vec();
+    types.sort_unstable();
+    let mut degrees: Vec<usize> = (0..g.num_nodes()).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    (g.num_nodes(), g.num_edges(), types, degrees)
+}
+
+/// Isomorphism-invariant bucket key: (nodes, edges, sorted types, degrees).
+type Signature = (usize, usize, Vec<u32>, Vec<usize>);
+
+/// Internal accumulator that deduplicates candidates up to isomorphism.
+#[derive(Default)]
+struct CandidateStore {
+    buckets: HashMap<Signature, Vec<usize>>,
+    candidates: Vec<PatternCandidate>,
+}
+
+impl CandidateStore {
+    fn add_occurrence(&mut self, pattern: Graph) -> bool {
+        let sig = signature(&pattern);
+        let bucket = self.buckets.entry(sig).or_default();
+        for &idx in bucket.iter() {
+            if are_isomorphic(&self.candidates[idx].pattern, &pattern) {
+                self.candidates[idx].support += 1;
+                return false;
+            }
+        }
+        let idx = self.candidates.len();
+        self.candidates.push(PatternCandidate { pattern, support: 1, mdl_score: 0.0 });
+        bucket.push(idx);
+        true
+    }
+
+    fn finish(mut self, cfg: &MiningConfig) -> Vec<PatternCandidate> {
+        for c in &mut self.candidates {
+            c.mdl_score = mdl_gain(&c.pattern, c.support);
+        }
+        self.candidates.retain(|c| c.support >= cfg.min_support || c.pattern.num_nodes() == 1);
+        // rank: best MDL first, ties toward larger support then smaller size
+        self.candidates.sort_by(|a, b| {
+            b.mdl_score
+                .partial_cmp(&a.mdl_score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.support.cmp(&a.support))
+                .then(a.pattern.num_nodes().cmp(&b.pattern.num_nodes()))
+        });
+        self.candidates.truncate(cfg.max_candidates);
+        self.candidates
+    }
+}
+
+/// Mines pattern candidates from a set of explanation subgraphs (`PGen`).
+///
+/// Enumerates every connected node subset of every subgraph up to
+/// `cfg.max_pattern_nodes`, takes its induced typed subgraph as a pattern,
+/// deduplicates up to isomorphism, counts support, and ranks by MDL gain.
+pub fn pgen(subgraphs: &[&Graph], cfg: &MiningConfig) -> Vec<PatternCandidate> {
+    let mut store = CandidateStore::default();
+    let mut total = 0usize;
+    // Hard enumeration budget: distinct candidates are capped by
+    // max_candidates; occurrences by a generous multiple.
+    let occurrence_budget = cfg.max_candidates.saturating_mul(64).max(10_000);
+    for g in subgraphs {
+        connected_subsets(g, cfg.max_pattern_nodes, |nodes| {
+            total += 1;
+            store.add_occurrence(g.induced_subgraph(nodes).graph);
+            if total >= occurrence_budget || store.candidates.len() >= cfg.max_candidates * 4 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+    }
+    store.finish(cfg)
+}
+
+/// Streaming pattern generation (`IncPGen`, §5): mines only patterns whose
+/// occurrence passes through `anchor` inside `subgraph`, and drops any that
+/// is isomorphic to an already-maintained pattern. Returns `ΔP`.
+pub fn inc_pgen(
+    subgraph: &Graph,
+    anchor: NodeId,
+    existing: &[Graph],
+    cfg: &MiningConfig,
+) -> Vec<PatternCandidate> {
+    let mut store = CandidateStore::default();
+    connected_subsets(subgraph, cfg.max_pattern_nodes, |nodes| {
+        if nodes.contains(&anchor) {
+            store.add_occurrence(subgraph.induced_subgraph(nodes).graph);
+        }
+        ControlFlow::Continue(())
+    });
+    let mut fresh = store.finish(cfg);
+    fresh.retain(|c| !existing.iter().any(|p| are_isomorphic(p, &c.pattern)));
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(types: &[u32], edges: &[(usize, usize)]) -> Graph {
+        let mut b = Graph::builder(false);
+        for &t in types {
+            b.add_node(t, &[]);
+        }
+        for &(u, v) in edges {
+            b.add_edge(u, v, 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn singleton_patterns_always_present() {
+        let sub = g(&[0, 1], &[(0, 1)]);
+        let cands = pgen(&[&sub], &MiningConfig { min_support: 10, ..Default::default() });
+        // supports are 1 < 10, but singletons survive the support filter
+        let singles: Vec<_> = cands.iter().filter(|c| c.pattern.num_nodes() == 1).collect();
+        assert_eq!(singles.len(), 2);
+        assert!(cands.iter().all(|c| c.pattern.num_nodes() == 1));
+    }
+
+    #[test]
+    fn repeated_motif_gets_high_support_and_mdl() {
+        // three disjoint type-0/type-1 edges: the (0)-(1) edge pattern has
+        // support 3 and should outrank singletons by MDL.
+        let sub = g(&[0, 1, 0, 1, 0, 1], &[(0, 1), (2, 3), (4, 5)]);
+        let cands = pgen(&[&sub], &MiningConfig::default());
+        let top = &cands[0];
+        assert_eq!(top.pattern.num_nodes(), 2);
+        assert_eq!(top.pattern.num_edges(), 1);
+        assert_eq!(top.support, 3);
+        assert!(top.mdl_score > 0.0);
+    }
+
+    #[test]
+    fn isomorphic_occurrences_deduplicated_across_subgraphs() {
+        let a = g(&[0, 0], &[(0, 1)]);
+        let b = g(&[0, 0], &[(0, 1)]);
+        let cands = pgen(&[&a, &b], &MiningConfig::default());
+        let edge_patterns: Vec<_> = cands.iter().filter(|c| c.pattern.num_edges() == 1).collect();
+        assert_eq!(edge_patterns.len(), 1);
+        assert_eq!(edge_patterns[0].support, 2);
+    }
+
+    #[test]
+    fn typed_patterns_not_conflated() {
+        let sub = g(&[0, 1, 1, 1], &[(0, 1), (2, 3)]);
+        let cands = pgen(&[&sub], &MiningConfig::default());
+        // edges (0)-(1) and (1)-(1) are distinct patterns
+        let edges: Vec<_> = cands.iter().filter(|c| c.pattern.num_edges() == 1).collect();
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn max_pattern_nodes_respected() {
+        let sub = g(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let cfg = MiningConfig { max_pattern_nodes: 3, ..Default::default() };
+        let cands = pgen(&[&sub], &cfg);
+        assert!(cands.iter().all(|c| c.pattern.num_nodes() <= 3));
+    }
+
+    #[test]
+    fn inc_pgen_only_mines_through_anchor() {
+        let sub = g(&[0, 0, 1], &[(0, 1), (1, 2)]);
+        let fresh = inc_pgen(&sub, 2, &[], &MiningConfig::default());
+        // every returned pattern must have an occurrence through node 2;
+        // the type-0/type-0 edge (0)-(1) must NOT appear.
+        assert!(fresh.iter().all(|c| {
+            !(c.pattern.num_edges() == 1
+                && c.pattern.node_type(0) == 0
+                && c.pattern.node_type(1) == 0)
+        }));
+        // the single type-1 node pattern must appear
+        assert!(fresh
+            .iter()
+            .any(|c| c.pattern.num_nodes() == 1 && c.pattern.node_type(0) == 1));
+    }
+
+    #[test]
+    fn inc_pgen_filters_existing_patterns() {
+        let sub = g(&[1], &[]);
+        let existing = vec![g(&[1], &[])];
+        let fresh = inc_pgen(&sub, 0, &existing, &MiningConfig::default());
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn mdl_gain_formula() {
+        // pattern of size n+m=3 with support 2: 2*(3-1) - 3 = 1
+        let p = g(&[0, 0], &[(0, 1)]);
+        assert_eq!(mdl_gain(&p, 2), 1.0);
+        // support-1 patterns never have positive MDL gain
+        assert!(mdl_gain(&p, 1) < 0.0);
+    }
+
+    #[test]
+    fn candidate_cap_respected() {
+        // a path with many distinct type labels explodes candidate count
+        let types: Vec<u32> = (0..12).collect();
+        let edges: Vec<(usize, usize)> = (1..12).map(|i| (i - 1, i)).collect();
+        let sub = g(&types, &edges);
+        let cfg = MiningConfig { max_pattern_nodes: 4, max_candidates: 10, min_support: 1 };
+        let cands = pgen(&[&sub], &cfg);
+        assert!(cands.len() <= 10);
+    }
+}

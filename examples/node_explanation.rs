@@ -1,0 +1,93 @@
+//! Node-classification explanation (Table 1's "NC" task): train a node
+//! classifier on a co-purchase-style community graph and explain individual
+//! node predictions with node-level GVEX views.
+//!
+//! ```bash
+//! cargo run --release --example node_explanation
+//! ```
+
+use gvex::core::{explain_node, Configuration};
+use gvex::gnn::{train_node_classifier, GcnConfig, NodeTrainOptions};
+use gvex::graph::Graph;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // A product co-purchase graph with three categories: dense communities,
+    // sparse cross-links; the node's category is its label.
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let communities = 3usize;
+    let size = 20usize;
+    let mut b = Graph::builder(false);
+    let mut labels = Vec::new();
+    for c in 0..communities {
+        for _ in 0..size {
+            let mut f = vec![0.0; communities];
+            f[c] = 1.0;
+            f[(c + 1) % communities] = rng.gen_range(0.0..0.3); // noisy
+            b.add_node(c as u32, &f);
+            labels.push(c);
+        }
+    }
+    let n = communities * size;
+    for v in 0..n {
+        let c = v / size;
+        for _ in 0..3 {
+            let w = c * size + rng.gen_range(0..size);
+            if w != v {
+                b.add_edge(v, w, 0);
+            }
+        }
+        if rng.gen_bool(0.08) {
+            let w = rng.gen_range(0..n);
+            if w != v {
+                b.add_edge(v, w, 0);
+            }
+        }
+    }
+    let g = b.build();
+
+    let cfg = GcnConfig { input_dim: communities, hidden: 16, layers: 3, num_classes: communities };
+    let train_nodes: Vec<usize> = (0..n).filter(|v| v % 2 == 0).collect();
+    let (model, acc) = train_node_classifier(
+        &g,
+        &labels,
+        &train_nodes,
+        cfg,
+        NodeTrainOptions { epochs: 200, lr: 0.02, seed: 9 },
+    );
+    println!("node classifier training accuracy: {acc:.3}");
+    let test_nodes: Vec<usize> = (0..n).filter(|v| v % 2 == 1).collect();
+    println!(
+        "held-out accuracy: {:.3}",
+        gvex::gnn::node_accuracy(&model, &g, &labels, &test_nodes)
+    );
+
+    // Explain a few held-out nodes: why does the model place product #v in
+    // its category?
+    let gvex_cfg = Configuration::paper_mut(8);
+    for &v in test_nodes.iter().take(4) {
+        match explain_node(&model, &g, v, &gvex_cfg) {
+            Some(view) => {
+                println!(
+                    "\nnode {v} (predicted category {}): explanation keeps {} of its \
+                     receptive field, consistent={}, counterfactual={}, {} patterns",
+                    view.label,
+                    view.nodes.len(),
+                    view.consistent,
+                    view.counterfactual,
+                    view.patterns.len()
+                );
+                let same_community =
+                    view.nodes.iter().filter(|&&u| labels[u] == view.label).count();
+                println!(
+                    "  {} / {} explanation nodes come from the predicted community",
+                    same_community,
+                    view.nodes.len()
+                );
+            }
+            None => println!("node {v}: no explanation under the coverage bound"),
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The `gvex` command-line tool: generate data, train the classifier,
+//! produce explanation views, and query them — the full §1 workflow from a
+//! terminal.
+//!
+//! ```text
+//! gvex stats    --dataset MUT --scale bench
+//! gvex export   --dataset MUT --scale bench --out ./mut-tu
+//! gvex train    --dataset MUT --scale bench --model-out model.json
+//! gvex explain  --dataset MUT --scale bench --model model.json \
+//!               --labels 0,1 --upper 10 --views-out views.json
+//! gvex query    --views views.json --discriminative 1
+//! ```
+//!
+//! `--tu-dir <dir> --tu-name <DS>` may replace `--dataset` everywhere to run
+//! on a real TUDataset download instead of a synthetic stand-in.
+
+use gvex::core::{index_views, ApproxGvex, Configuration, ExplanationViewSet, StreamGvex};
+use gvex::datasets::{dataset_stats, read_tu_dataset, write_tu_dataset, DatasetKind, Scale};
+use gvex::gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split};
+use gvex::graph::GraphDatabase;
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gvex <stats|export|train|explain|query> [options]\n\
+         \n\
+         common options:\n\
+           --dataset <MUT|RED|ENZ|MAL|PCQ|PRO|SYN>   synthetic stand-in\n\
+           --scale <small|bench|full>                 generation scale (default bench)\n\
+           --seed <u64>                               generation/training seed (default 42)\n\
+           --tu-dir <dir> --tu-name <DS>              read a TU-format dataset instead\n\
+         \n\
+         stats    print the Table-3 row for the dataset\n\
+         export   --out <dir>: write the dataset in TU format\n\
+         train    --model-out <file>: train the GCN and save it as JSON\n\
+         explain  --model <file> --labels <l0,l1,..> --upper <n>\n\
+                  [--stream] [--views-out <file>]: generate explanation views\n\
+         query    --views <file> [--label <l>] [--discriminative <l>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), String::from("true"));
+                i += 1;
+            }
+        } else {
+            eprintln!("unexpected argument: {a}");
+            usage();
+        }
+    }
+    flags
+}
+
+fn load_db(flags: &HashMap<String, String>) -> GraphDatabase {
+    if let (Some(dir), Some(name)) = (flags.get("tu-dir"), flags.get("tu-name")) {
+        return read_tu_dataset(Path::new(dir), name).unwrap_or_else(|e| {
+            eprintln!("failed to read TU dataset: {e}");
+            std::process::exit(1);
+        });
+    }
+    let kind = match flags.get("dataset").map(String::as_str) {
+        Some("MUT") => DatasetKind::Mutagenicity,
+        Some("RED") => DatasetKind::RedditBinary,
+        Some("ENZ") => DatasetKind::Enzymes,
+        Some("MAL") => DatasetKind::MalnetTiny,
+        Some("PCQ") => DatasetKind::Pcqm4m,
+        Some("PRO") => DatasetKind::Products,
+        Some("SYN") => DatasetKind::Synthetic,
+        other => {
+            eprintln!("missing or unknown --dataset {other:?}");
+            usage();
+        }
+    };
+    let scale = match flags.get("scale").map(String::as_str) {
+        None | Some("bench") => Scale::Bench,
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        Some(s) => {
+            eprintln!("unknown --scale {s}");
+            usage();
+        }
+    };
+    let seed: u64 = flags.get("seed").map_or(42, |s| s.parse().unwrap_or(42));
+    kind.generate(scale, seed)
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) {
+    let db = load_db(flags);
+    let s = dataset_stats(&db);
+    println!(
+        "graphs: {}\nclasses: {}\navg nodes: {:.1}\navg edges: {:.1}\nfeature dim: {}\nmax |V|: {}",
+        s.num_graphs, s.num_classes, s.avg_nodes, s.avg_edges, s.feature_dim, s.max_nodes
+    );
+}
+
+fn cmd_export(flags: &HashMap<String, String>) {
+    let db = load_db(flags);
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let name = flags.get("tu-name").map(String::as_str).unwrap_or("GVEX");
+    write_tu_dataset(&db, Path::new(out), name).unwrap_or_else(|e| {
+        eprintln!("export failed: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote TU dataset '{name}' to {out}");
+}
+
+fn trained_model(flags: &HashMap<String, String>, db: &GraphDatabase) -> (GcnModel, Split) {
+    let seed: u64 = flags.get("seed").map_or(42, |s| s.parse().unwrap_or(42));
+    let split = Split::paper(db, seed);
+    if let Some(path) = flags.get("model") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read model {path}: {e}");
+            std::process::exit(1);
+        });
+        let model = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("failed to parse model {path}: {e}");
+            std::process::exit(1);
+        });
+        return (model, split);
+    }
+    let epochs: usize = flags.get("epochs").map_or(150, |s| s.parse().unwrap_or(150));
+    let lr: f32 = flags.get("lr").map_or(0.01, |s| s.parse().unwrap_or(0.01));
+    let cfg = GcnConfig {
+        input_dim: db.feature_dim().max(1),
+        hidden: flags.get("hidden").map_or(16, |s| s.parse().unwrap_or(16)),
+        layers: 3,
+        num_classes: db.num_classes(),
+    };
+    let (model, report) =
+        train(db, cfg, &split, TrainOptions { epochs, lr, seed, patience: 0 });
+    eprintln!(
+        "trained: val accuracy {:.3}, test accuracy {:.3} ({} epochs)",
+        report.best_val_accuracy, report.test_accuracy, report.epochs
+    );
+    (model, split)
+}
+
+fn cmd_train(flags: &HashMap<String, String>) {
+    let db = load_db(flags);
+    let (model, _) = trained_model(flags, &db);
+    let out = flags.get("model-out").unwrap_or_else(|| usage());
+    let json = serde_json::to_string(&model).expect("model serializes");
+    std::fs::write(out, json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("saved model to {out}");
+}
+
+fn cmd_explain(flags: &HashMap<String, String>) {
+    let db = load_db(flags);
+    let (model, _) = trained_model(flags, &db);
+    let labels: Vec<usize> = flags
+        .get("labels")
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| (0..db.num_classes()).collect());
+    let upper: usize = flags.get("upper").map_or(10, |s| s.parse().unwrap_or(10));
+    let cfg = Configuration::paper_mut(upper);
+
+    let views = if flags.contains_key("stream") {
+        StreamGvex::new(cfg).explain(&model, &db, &labels)
+    } else {
+        ApproxGvex::new(cfg).explain(&model, &db, &labels)
+    };
+
+    for view in &views.views {
+        println!(
+            "label {} ({}): {} subgraphs, {} patterns, compression {:.1}%, edge loss {:.2}%, f = {:.3}",
+            view.label,
+            db.class_names.get(view.label).cloned().unwrap_or_default(),
+            view.subgraphs.len(),
+            view.patterns.len(),
+            view.compression() * 100.0,
+            view.edge_loss * 100.0,
+            view.explainability
+        );
+        for (i, p) in view.patterns.iter().enumerate() {
+            let desc: Vec<String> = if p.num_edges() == 0 {
+                (0..p.num_nodes()).map(|v| db.node_types.name(p.node_type(v))).collect()
+            } else {
+                p.edges()
+                    .map(|(u, v, _)| {
+                        format!(
+                            "{}-{}",
+                            db.node_types.name(p.node_type(u)),
+                            db.node_types.name(p.node_type(v))
+                        )
+                    })
+                    .collect()
+            };
+            println!("  P{i}: {}", desc.join(", "));
+        }
+    }
+    if let Some(out) = flags.get("views-out") {
+        let json = serde_json::to_string(&views).expect("views serialize");
+        std::fs::write(out, json).unwrap_or_else(|e| {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("saved views to {out}");
+    }
+}
+
+fn cmd_query(flags: &HashMap<String, String>) {
+    let path = flags.get("views").unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("failed to read {path}: {e}");
+        std::process::exit(1);
+    });
+    let views: ExplanationViewSet = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("failed to parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let idx = index_views(&views);
+    println!("{} distinct patterns across {} views", idx.patterns().len(), views.views.len());
+
+    if let Some(l) = flags.get("label").and_then(|s| s.parse::<usize>().ok()) {
+        let pids = idx.patterns_of_label(l);
+        println!("label {l} uses {} patterns: {pids:?}", pids.len());
+        for pid in pids {
+            println!("  P{pid} occurs in graphs {:?}", idx.graphs_matching(pid));
+        }
+    }
+    if let Some(l) = flags.get("discriminative").and_then(|s| s.parse::<usize>().ok()) {
+        let pids = idx.discriminative_patterns(l);
+        println!("discriminative patterns of label {l}: {pids:?}");
+        for pid in pids {
+            let p = &idx.patterns()[pid];
+            println!("  P{pid}: {} nodes, {} edges", p.num_nodes(), p.num_edges());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "stats" => cmd_stats(&flags),
+        "export" => cmd_export(&flags),
+        "train" => cmd_train(&flags),
+        "explain" => cmd_explain(&flags),
+        "query" => cmd_query(&flags),
+        _ => usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,89 @@
+//! Serialization round trips: the CLI's persistence paths (models and
+//! views as JSON, databases as TU files) must preserve behavior, not just
+//! structure.
+
+use gvex::core::{index_views, ApproxGvex, Configuration, ExplanationViewSet};
+use gvex::datasets::{read_tu_dataset, write_tu_dataset, DatasetKind, Scale};
+use gvex::gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split};
+
+#[test]
+fn model_json_round_trip_preserves_predictions() {
+    let db = DatasetKind::Mutagenicity.generate(Scale::Small, 21);
+    let split = Split::paper(&db, 21);
+    let cfg = GcnConfig {
+        input_dim: db.feature_dim(),
+        hidden: 16,
+        layers: 3,
+        num_classes: db.num_classes(),
+    };
+    let (model, _) = train(
+        &db,
+        cfg,
+        &split,
+        TrainOptions { epochs: 60, lr: 0.01, seed: 21, patience: 0 },
+    );
+    let json = serde_json::to_string(&model).expect("model serializes");
+    let back: GcnModel = serde_json::from_str(&json).expect("model parses");
+    for g in db.graphs().iter().take(10) {
+        assert_eq!(model.predict_proba(g), back.predict_proba(g));
+    }
+}
+
+#[test]
+fn views_json_round_trip_is_queryable() {
+    let db = DatasetKind::Mutagenicity.generate(Scale::Small, 22);
+    let split = Split::paper(&db, 22);
+    let cfg = GcnConfig {
+        input_dim: db.feature_dim(),
+        hidden: 16,
+        layers: 3,
+        num_classes: db.num_classes(),
+    };
+    let (model, _) = train(
+        &db,
+        cfg,
+        &split,
+        TrainOptions { epochs: 60, lr: 0.01, seed: 22, patience: 0 },
+    );
+    let views = ApproxGvex::new(Configuration::paper_mut(8)).explain(&model, &db, &[1]);
+    let json = serde_json::to_string(&views).expect("views serialize");
+    let back: ExplanationViewSet = serde_json::from_str(&json).expect("views parse");
+
+    assert_eq!(back.views.len(), views.views.len());
+    assert_eq!(back.total_explainability(), views.total_explainability());
+    // the deserialized views must be indexable and answer the same queries
+    let idx_a = index_views(&views);
+    let idx_b = index_views(&back);
+    assert_eq!(idx_a.patterns().len(), idx_b.patterns().len());
+    for pid in 0..idx_a.patterns().len() {
+        assert_eq!(idx_a.graphs_matching(pid), idx_b.graphs_matching(pid));
+    }
+}
+
+#[test]
+fn tu_round_trip_preserves_classifier_behavior() {
+    let db = DatasetKind::Pcqm4m.generate(Scale::Small, 23);
+    let dir = std::env::temp_dir().join(format!("gvex-ser-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    write_tu_dataset(&db, &dir, "PCQ").expect("export");
+    let back = read_tu_dataset(&dir, "PCQ").expect("import");
+
+    // train on the original, predict identically on the round-tripped copy
+    let split = Split::paper(&db, 23);
+    let cfg = GcnConfig {
+        input_dim: db.feature_dim(),
+        hidden: 8,
+        layers: 2,
+        num_classes: db.num_classes(),
+    };
+    let (model, _) = train(
+        &db,
+        cfg,
+        &split,
+        TrainOptions { epochs: 40, lr: 0.01, seed: 23, patience: 0 },
+    );
+    for (a, b) in db.graphs().iter().zip(back.graphs()).take(12) {
+        assert_eq!(model.predict(a), model.predict(b));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
