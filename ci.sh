@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# GVEX CI gate — run from the workspace root.
+#
+#   ./ci.sh          full gate: fmt, clippy, build, tests, bench smoke
+#   ./ci.sh --fast   skip the bench smoke (useful while iterating)
+#
+# The bench smoke runs the hot-path benchmark and rewrites
+# BENCH_hotpaths.json at the workspace root, so every green CI run leaves
+# a fresh perf snapshot behind.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --release --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q --workspace --release
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "==> bench smoke (writes BENCH_hotpaths.json)"
+    cargo run -q --release -p gvex-bench --bin hotpaths
+fi
+
+echo "==> CI green"

@@ -72,8 +72,7 @@ impl GcfExplainer {
         for _ in 0..self.restarts.max(1) {
             let mut deleted: Vec<NodeId> = Vec::new();
             while deleted.len() < max_delete.min(n) {
-                let mut pool: Vec<NodeId> =
-                    (0..n).filter(|v| !deleted.contains(v)).collect();
+                let mut pool: Vec<NodeId> = (0..n).filter(|v| !deleted.contains(v)).collect();
                 pool.shuffle(&mut rng);
                 pool.truncate(sample);
                 let mut candidate: Option<(f64, NodeId)> = None;

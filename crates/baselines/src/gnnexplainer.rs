@@ -151,8 +151,18 @@ mod tests {
     fn size_penalty_shrinks_masks() {
         let g = graph();
         let m = model();
-        let light = GnnExplainer { epochs: 50, size_weight: 0.0, entropy_weight: 0.0, ..Default::default() };
-        let heavy = GnnExplainer { epochs: 50, size_weight: 2.0, entropy_weight: 0.0, ..Default::default() };
+        let light = GnnExplainer {
+            epochs: 50,
+            size_weight: 0.0,
+            entropy_weight: 0.0,
+            ..Default::default()
+        };
+        let heavy = GnnExplainer {
+            epochs: 50,
+            size_weight: 2.0,
+            entropy_weight: 0.0,
+            ..Default::default()
+        };
         let (_, w_light, _) = light.learn_masks(&m, &g);
         let (_, w_heavy, _) = heavy.learn_masks(&m, &g);
         let s_light: f32 = w_light.iter().sum();

@@ -62,8 +62,7 @@ impl GStarX {
             for _ in 0..self.samples_per_node.max(1) {
                 let coalition = self.sample_coalition(g, v, &mut rng);
                 let p_with = prob_of(model, g, &coalition, label);
-                let without: Vec<NodeId> =
-                    coalition.iter().copied().filter(|&u| u != v).collect();
+                let without: Vec<NodeId> = coalition.iter().copied().filter(|&u| u != v).collect();
                 let p_without = prob_of(model, g, &without, label);
                 total += p_with - p_without;
             }

@@ -41,9 +41,7 @@ fn bench_explainers(c: &mut Criterion) {
         Box::new(GcfExplainer::default()),
     ];
     for ex in &methods {
-        group.bench_function(ex.name(), |b| {
-            b.iter(|| black_box(ex.explain(&model, g, 8)))
-        });
+        group.bench_function(ex.name(), |b| b.iter(|| black_box(ex.explain(&model, g, 8))));
     }
     group.finish();
 }

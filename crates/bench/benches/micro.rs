@@ -35,9 +35,7 @@ fn setup() -> (GraphDatabase, GcnModel) {
 fn bench_inference(c: &mut Criterion) {
     let (db, model) = setup();
     let g = db.graph(0);
-    c.bench_function("everify_inference", |b| {
-        b.iter(|| black_box(model.predict(black_box(g))))
-    });
+    c.bench_function("everify_inference", |b| b.iter(|| black_box(model.predict(black_box(g)))));
 }
 
 fn bench_influence_modes(c: &mut Criterion) {
@@ -109,9 +107,7 @@ fn bench_pgen_and_psum(c: &mut Criterion) {
         .collect();
     let refs: Vec<&Graph> = subs.iter().collect();
     let mining = MiningConfig::default();
-    c.bench_function("pgen_three_subgraphs", |b| {
-        b.iter(|| black_box(pgen(&refs, &mining)))
-    });
+    c.bench_function("pgen_three_subgraphs", |b| b.iter(|| black_box(pgen(&refs, &mining))));
     c.bench_function("psum_three_subgraphs", |b| {
         b.iter(|| black_box(psum(&refs, &mining, MatchOptions::default())))
     });

@@ -89,13 +89,8 @@ fn main() {
     let ag = ApproxGvex::new(gvex_config(15));
     let assigned: Vec<usize> = prep.db.graphs().iter().map(|g| prep.model.predict(g)).collect();
     let groups = prep.db.label_groups(&assigned);
-    let mutagen_test: Vec<usize> = prep
-        .split
-        .test
-        .iter()
-        .copied()
-        .filter(|gi| groups.group(1).contains(gi))
-        .collect();
+    let mutagen_test: Vec<usize> =
+        prep.split.test.iter().copied().filter(|gi| groups.group(1).contains(gi)).collect();
     let view = ag.explain_label_group(&prep.model, &prep.db, 1, &mutagen_test);
     println!("\nGVEX explanation view for label 'mutagen' ({} subgraphs):", view.subgraphs.len());
     let mut pattern_strs = Vec::new();

@@ -43,11 +43,8 @@ fn main() {
             view.patterns.len(),
             if recovered { "RECOVERED" } else { "missed" },
         );
-        let patterns: Vec<String> = view
-            .patterns
-            .iter()
-            .map(|p| format_pattern(p, &prep.db.node_types))
-            .collect();
+        let patterns: Vec<String> =
+            view.patterns.iter().map(|p| format_pattern(p, &prep.db.node_types)).collect();
         for (i, p) in patterns.iter().enumerate() {
             println!("  P{i}: {p}");
         }

@@ -22,11 +22,7 @@ struct Scenario {
 }
 
 fn max_pattern_degree(patterns: &[Graph]) -> usize {
-    patterns
-        .iter()
-        .flat_map(|p| (0..p.num_nodes()).map(|v| p.degree(v)))
-        .max()
-        .unwrap_or(0)
+    patterns.iter().flat_map(|p| (0..p.num_nodes()).map(|v| p.degree(v))).max().unwrap_or(0)
 }
 
 fn main() {

@@ -22,12 +22,13 @@ fn main() {
     for ds in datasets.iter().map(|d| d.short_name()) {
         println!("[{ds}]");
         println!("{:<14} {:>7} {:>7} {:>7} {:>7}", "method", "u=5", "u=10", "u=15", "u=20");
-        for method in ["ApproxGVEX", "StreamGVEX", "GNNExplainer", "SubgraphX", "GStarX", "GCFExplainer"] {
+        for method in
+            ["ApproxGVEX", "StreamGVEX", "GNNExplainer", "SubgraphX", "GStarX", "GCFExplainer"]
+        {
             let mut line = format!("{method:<14}");
             for &u in &uls {
-                let cell = cells
-                    .iter()
-                    .find(|c| c.dataset == ds && c.method == method && c.u_l == u);
+                let cell =
+                    cells.iter().find(|c| c.dataset == ds && c.method == method && c.u_l == u);
                 match cell {
                     Some(c) if !c.timed_out => {
                         line.push_str(&format!(" {:>7.3}", c.quality.fidelity_minus))

@@ -18,9 +18,9 @@ use std::time::Duration;
 
 #[derive(Serialize, Default)]
 struct Fig8 {
-    sparsity: Vec<(String, String, f64)>,          // (dataset, method, sparsity @ u=10)
-    compression: Vec<(String, String, f64)>,       // (dataset, algorithm, compression)
-    edge_loss: Vec<(String, usize, f64, f64)>,     // (dataset, u_l, greedy, singleton-only)
+    sparsity: Vec<(String, String, f64)>, // (dataset, method, sparsity @ u=10)
+    compression: Vec<(String, String, f64)>, // (dataset, algorithm, compression)
+    edge_loss: Vec<(String, usize, f64, f64)>, // (dataset, u_l, greedy, singleton-only)
 }
 
 fn main() {
@@ -37,13 +37,12 @@ fn main() {
     let cells = fidelity_grid(&datasets, &uls, Scale::Bench, Duration::from_secs(120));
     println!("\nFigure 8(a) — Sparsity (u_l = 10, higher = more concise)\n");
     println!("{:<14} {:>7} {:>7} {:>7} {:>7}", "method", "MUT", "ENZ", "RED", "MAL");
-    for method in ["ApproxGVEX", "StreamGVEX", "GNNExplainer", "SubgraphX", "GStarX", "GCFExplainer"] {
+    for method in
+        ["ApproxGVEX", "StreamGVEX", "GNNExplainer", "SubgraphX", "GStarX", "GCFExplainer"]
+    {
         let mut line = format!("{method:<14}");
         for ds in ["MUT", "ENZ", "RED", "MAL"] {
-            match cells
-                .iter()
-                .find(|c| c.dataset == ds && c.method == method && c.u_l == 10)
-            {
+            match cells.iter().find(|c| c.dataset == ds && c.method == method && c.u_l == 10) {
                 Some(c) if !c.timed_out => {
                     line.push_str(&format!(" {:>7.3}", c.quality.sparsity));
                     out.sparsity.push((ds.into(), method.into(), c.quality.sparsity));
@@ -72,8 +71,7 @@ fn main() {
             println!("\nFigure 8(c/d) — Edge loss vs u_l on {}:", kind.short_name());
             println!("{:>6} {:>10} {:>16}", "u_l", "greedy", "singleton-only");
             for &u in &uls {
-                let views =
-                    ApproxGvex::new(gvex_config(u)).explain(&prep.model, &prep.db, &labels);
+                let views = ApproxGvex::new(gvex_config(u)).explain(&prep.model, &prep.db, &labels);
                 let greedy = mean_edge_loss(&views.views);
                 // ablation: cap patterns to single nodes — every edge is lost
                 let mut single_cfg = gvex_config(u);

@@ -22,9 +22,9 @@ use std::time::Duration;
 struct Fig9 {
     ab_runtime: Vec<(String, String, f64, bool)>, // (dataset, method, secs, timeout)
     c_runtime_all: Vec<(String, String, f64, bool)>,
-    d_scaling: Vec<(usize, f64, f64)>,  // (#graphs, AG secs, SG secs)
+    d_scaling: Vec<(usize, f64, f64)>, // (#graphs, AG secs, SG secs)
     e_parallel: Vec<(String, usize, f64)>, // (dataset, threads, secs)
-    f_stream_batches: Vec<(f64, f64)>,  // (fraction, secs)
+    f_stream_batches: Vec<(f64, f64)>, // (fraction, secs)
 }
 
 fn main() {
@@ -41,12 +41,13 @@ fn main() {
     let cells = fidelity_grid(&grid_sets, &uls, Scale::Bench, Duration::from_secs(120));
     println!("\nFigure 9(a,b) — runtime (s) on MUT / ENZ (u_l = 10)\n");
     println!("{:<14} {:>8} {:>8}", "method", "MUT", "ENZ");
-    for method in ["ApproxGVEX", "StreamGVEX", "GNNExplainer", "SubgraphX", "GStarX", "GCFExplainer"] {
+    for method in
+        ["ApproxGVEX", "StreamGVEX", "GNNExplainer", "SubgraphX", "GStarX", "GCFExplainer"]
+    {
         let mut line = format!("{method:<14}");
         for ds in ["MUT", "ENZ"] {
-            if let Some(c) = cells
-                .iter()
-                .find(|c| c.dataset == ds && c.method == method && c.u_l == 10)
+            if let Some(c) =
+                cells.iter().find(|c| c.dataset == ds && c.method == method && c.u_l == 10)
             {
                 line.push_str(&format!(" {:>8.2}", c.seconds));
                 out.ab_runtime.push((ds.into(), method.into(), c.seconds, c.timed_out));
@@ -79,8 +80,12 @@ fn main() {
                 cell.seconds,
                 if cell.timed_out { "  TIMEOUT" } else { "" }
             );
-            out.c_runtime_all
-                .push((kind.short_name().into(), cell.method, cell.seconds, cell.timed_out));
+            out.c_runtime_all.push((
+                kind.short_name().into(),
+                cell.method,
+                cell.seconds,
+                cell.timed_out,
+            ));
         }
     }
 
@@ -113,12 +118,9 @@ fn main() {
         feature_dim: 16,
     }
     .generate(42);
-    let big_syn = gvex_datasets::synthetic::SyntheticParams {
-        num_graphs: 16,
-        base_nodes: 1200,
-        motifs: 8,
-    }
-    .generate(42);
+    let big_syn =
+        gvex_datasets::synthetic::SyntheticParams { num_graphs: 16, base_nodes: 1200, motifs: 8 }
+            .generate(42);
     for (kind, db) in [(DatasetKind::Products, big_pro), (DatasetKind::Synthetic, big_syn)] {
         let prep = prepare_from_with_epochs(kind, db, 30);
         let labels: Vec<usize> = (0..prep.db.num_classes()).collect();

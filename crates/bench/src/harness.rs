@@ -97,12 +97,7 @@ pub struct GridCell {
 }
 
 /// Evaluates one explainer over the test split at one budget.
-pub fn eval_method(
-    prep: &Prepared,
-    ex: &dyn Explainer,
-    u_l: usize,
-    budget: Duration,
-) -> GridCell {
+pub fn eval_method(prep: &Prepared, ex: &dyn Explainer, u_l: usize, budget: Duration) -> GridCell {
     let start = Instant::now();
     let mut pairs: Vec<(&gvex_graph::Graph, NodeExplanation)> = Vec::new();
     let mut timed_out = false;
@@ -197,10 +192,7 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// `"N-O, N-O"` style edge list (or a bare node-type list when edgeless).
 pub fn format_pattern(p: &gvex_graph::Graph, reg: &gvex_graph::TypeRegistry) -> String {
     if p.num_edges() == 0 {
-        return (0..p.num_nodes())
-            .map(|v| reg.name(p.node_type(v)))
-            .collect::<Vec<_>>()
-            .join(", ");
+        return (0..p.num_nodes()).map(|v| reg.name(p.node_type(v))).collect::<Vec<_>>().join(", ");
     }
     p.edges()
         .map(|(u, v, _)| format!("{}-{}", reg.name(p.node_type(u)), reg.name(p.node_type(v))))

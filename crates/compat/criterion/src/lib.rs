@@ -1,0 +1,184 @@
+//! Offline stand-in for the parts of `criterion` GVEX's benches use.
+//!
+//! Measures wall-clock time per iteration (median of a short adaptive run)
+//! and prints a one-line text report per benchmark. No statistical analysis,
+//! no HTML reports, no saved baselines — just enough to run the bench
+//! targets and eyeball relative numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Hard cap on measured iterations.
+const MAX_ITERS: u64 = 200;
+
+/// Top-level driver handed to `criterion_group!` target functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample count (accepted for API compatibility; the stand-in
+    /// sizes runs adaptively).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_one(&format!("{}/{}", self.name, id.0), &mut wrapped);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self(param.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Display, param: impl Display) -> Self {
+        Self(format!("{function}/{param}"))
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median seconds per iteration, filled by [`Bencher::iter`].
+    median_secs: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median duration over an adaptive number of
+    /// iterations (one warm-up iteration, then up to [`MAX_ITERS`] or
+    /// [`MEASURE_BUDGET`], whichever comes first).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        std::hint::black_box(f());
+        let mut samples = Vec::new();
+        let started = Instant::now();
+        while samples.is_empty()
+            || (samples.len() < MAX_ITERS as usize && started.elapsed() < MEASURE_BUDGET)
+        {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+        self.median_secs = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher { median_secs: None };
+    f(&mut b);
+    match b.median_secs {
+        Some(secs) => println!("bench: {name:<50} {}", format_secs(secs)),
+        None => println!("bench: {name:<50} (no iter() call)"),
+    }
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Declares a group-runner function invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

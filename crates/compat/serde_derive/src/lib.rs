@@ -1,0 +1,268 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` without
+//! `syn`/`quote` (neither is available offline) by walking the raw
+//! [`proc_macro::TokenStream`] directly. Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! - named-field structs (no generics), with `#[serde(default)]` and
+//!   `#[serde(skip)]` field attributes;
+//! - unit-variant enums, serialized as the variant name string.
+//!
+//! Generated code targets the value-tree traits of the in-tree `serde`
+//! facade (`Serialize::to_value` / `Deserialize::from_value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent field deserializes via `Default::default()`.
+    default: bool,
+    /// `#[serde(skip)]`: never serialized, always defaulted on deserialize.
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Returns the serde flags carried by one `#[...]` attribute group, if any.
+fn serde_flags(group: &proc_macro::Group) -> (bool, bool) {
+    let mut trees = group.stream().into_iter();
+    match trees.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return (false, false),
+    }
+    let Some(TokenTree::Group(inner)) = trees.next() else {
+        return (false, false);
+    };
+    let mut default = false;
+    let mut skip = false;
+    for t in inner.stream() {
+        if let TokenTree::Ident(id) = t {
+            match id.to_string().as_str() {
+                "default" => default = true,
+                "skip" => skip = true,
+                _ => {}
+            }
+        }
+    }
+    (default, skip)
+}
+
+/// Consumes a leading run of `#[...]` attributes, accumulating serde flags.
+fn eat_attrs(trees: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> (bool, bool) {
+    let mut default = false;
+    let mut skip = false;
+    loop {
+        match trees.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                if let Some(TokenTree::Group(g)) = trees.next() {
+                    let (d, s) = serde_flags(&g);
+                    default |= d;
+                    skip |= s;
+                }
+            }
+            _ => return (default, skip),
+        }
+    }
+}
+
+fn parse_fields(body: proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut trees = body.stream().into_iter().peekable();
+    loop {
+        let (default, skip) = eat_attrs(&mut trees);
+        // visibility: `pub` optionally followed by `(crate)` etc.
+        if matches!(trees.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            trees.next();
+            if matches!(trees.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                trees.next();
+            }
+        }
+        let Some(TokenTree::Ident(name)) = trees.next() else {
+            break;
+        };
+        fields.push(Field { name: name.to_string(), default, skip });
+        // skip `:` then the type, up to a comma at angle-bracket depth 0
+        let mut angle_depth = 0i32;
+        for t in trees.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: proc_macro::Group) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut trees = body.stream().into_iter().peekable();
+    loop {
+        eat_attrs(&mut trees);
+        match trees.next() {
+            Some(TokenTree::Ident(name)) => variants.push(name.to_string()),
+            _ => break,
+        }
+        // unit variants only: next token, if any, must be the separating comma
+        match trees.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!(
+                "serde_derive stand-in supports only unit enum variants; found `{other}` after a variant"
+            ),
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut trees = input.into_iter().peekable();
+    loop {
+        eat_attrs(&mut trees);
+        match trees.next() {
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw != "struct" && kw != "enum" {
+                    continue; // `pub`, etc.
+                }
+                let Some(TokenTree::Ident(name)) = trees.next() else {
+                    panic!("expected a name after `{kw}`");
+                };
+                let name = name.to_string();
+                let body = loop {
+                    match trees.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+                            "serde_derive stand-in does not support generics (type `{name}`)"
+                        ),
+                        Some(_) => {}
+                        None => {
+                            panic!("serde_derive stand-in requires a braced body (type `{name}`)")
+                        }
+                    }
+                };
+                return if kw == "struct" {
+                    Shape::Struct { name, fields: parse_fields(body) }
+                } else {
+                    Shape::Enum { name, variants: parse_variants(body) }
+                };
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive stand-in: no struct or enum found in input"),
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\",\n")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive stand-in generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let bindings: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("let f_{n} = Default::default();\n", n = f.name)
+                    } else if f.default {
+                        format!(
+                            "let f_{n} = match v.get_field(\"{n}\") {{\n\
+                                 Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                                 None => Default::default(),\n\
+                             }};\n",
+                            n = f.name
+                        )
+                    } else {
+                        format!(
+                            "let f_{n} = ::serde::Deserialize::from_value(\n\
+                                 v.get_field(\"{n}\").ok_or_else(|| ::serde::Error::missing_field(\"{n}\"))?,\n\
+                             )?;\n",
+                            n = f.name
+                        )
+                    }
+                })
+                .collect();
+            let build: String =
+                fields.iter().map(|f| format!("{n}: f_{n},\n", n = f.name)).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                             return Err(::serde::Error::wrong_type(\"object\", v));\n\
+                         }}\n\
+                         {bindings}\
+                         Ok({name} {{ {build} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("\"{v}\" => Ok({name}::{v}),\n")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"\n\
+                                 ))),\n\
+                             }},\n\
+                             other => Err(::serde::Error::wrong_type(\"string\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive stand-in generated invalid Deserialize impl")
+}

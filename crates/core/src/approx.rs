@@ -61,15 +61,19 @@ impl ApproxGvex {
         if n == 0 {
             return None;
         }
-        let label = model.predict(g);
+        // One forward pass serves the label, the Jacobian gates, and the
+        // embeddings below — explain_graph used to run up to three.
+        let trace = model.forward(g);
+        let label = trace.label();
         let bound = self.cfg.bound(label);
         let upper = bound.upper.min(n);
 
         // Line 2: EVerify precomputation — Jacobian + embeddings.
         let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ graph_index as u64);
-        let analysis = InfluenceAnalysis::new(
+        let analysis = InfluenceAnalysis::with_trace(
             model,
             g,
+            &trace,
             self.cfg.theta,
             self.cfg.r,
             self.cfg.gamma,
@@ -115,8 +119,7 @@ impl ApproxGvex {
                 let frontier: Vec<NodeId> = (0..n)
                     .filter(|&v| !in_selected[v] && is_adjacent_to(g, v, &in_selected))
                     .collect();
-                let frontier_only =
-                    attempt == 0 && !selected.is_empty() && !frontier.is_empty();
+                let frontier_only = attempt == 0 && !selected.is_empty() && !frontier.is_empty();
                 let pool: Vec<NodeId> = if frontier_only {
                     frontier
                 } else {
@@ -140,8 +143,7 @@ impl ApproxGvex {
                     let mut counterfactual = false;
                     if consistent && full_checks < FULL_TRIALS {
                         full_checks += 1;
-                        counterfactual =
-                            model.predict(&g.remove_nodes(&selected).graph) != label;
+                        counterfactual = model.predict(&g.remove_nodes(&selected).graph) != label;
                     }
                     selected.pop();
                     if consistent && counterfactual {
@@ -223,7 +225,7 @@ impl ApproxGvex {
 
         selected.sort_unstable();
         let sub = g.induced_subgraph(&selected);
-        let verdict = crate::verify::everify(model, g, &selected);
+        let verdict = crate::verify::everify_with_label(model, g, label, &selected);
         Some(ExplanationSubgraph {
             graph_index,
             nodes: selected,
@@ -243,10 +245,8 @@ impl ApproxGvex {
         label: usize,
         group: &[usize],
     ) -> ExplanationView {
-        let subgraphs: Vec<ExplanationSubgraph> = group
-            .iter()
-            .filter_map(|&gi| self.explain_graph(model, db.graph(gi), gi))
-            .collect();
+        let subgraphs: Vec<ExplanationSubgraph> =
+            group.iter().filter_map(|&gi| self.explain_graph(model, db.graph(gi), gi)).collect();
         summarize(label, subgraphs, &self.cfg)
     }
 
@@ -258,7 +258,7 @@ impl ApproxGvex {
         db: &GraphDatabase,
         labels_of_interest: &[usize],
     ) -> ExplanationViewSet {
-        let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
+        let assigned = crate::parallel::predict_all(model, db);
         let groups = db.label_groups(&assigned);
         let views = labels_of_interest
             .iter()
@@ -289,10 +289,7 @@ pub(crate) fn summarize(
 }
 
 fn is_adjacent_to(g: &Graph, v: NodeId, selected: &[bool]) -> bool {
-    g.neighbors(v)
-        .iter()
-        .chain(g.in_neighbors(v))
-        .any(|&(u, _)| selected[u])
+    g.neighbors(v).iter().chain(g.in_neighbors(v)).any(|&(u, _)| selected[u])
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ pub fn explain_database_sharded(
     shards: usize,
 ) -> ExplanationViewSet {
     let shards = shards.max(1);
-    let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
+    let assigned = crate::parallel::predict_all(model, db);
     let groups = db.label_groups(&assigned);
 
     // shard boundaries over graph indices
@@ -74,10 +74,8 @@ pub fn explain_database_sharded(
                     // the worker
                     let refs: Vec<&Graph> = subgraphs.iter().map(|s| &s.subgraph).collect();
                     let ps = crate::psum::psum(&refs, &cfg.mining, cfg.matching);
-                    let _ = tx.send((
-                        shard_id,
-                        ShardResult { label, subgraphs, patterns: ps.patterns },
-                    ));
+                    let _ = tx
+                        .send((shard_id, ShardResult { label, subgraphs, patterns: ps.patterns }));
                 }
             });
         }

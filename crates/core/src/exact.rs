@@ -190,10 +190,7 @@ mod tests {
             let a = instance(12, seed);
             let (_, opt) = exact_selection(&a, 0, 4);
             let (_, greedy) = greedy_selection(&a, 4);
-            assert!(
-                greedy >= 0.5 * opt - 1e-9,
-                "seed {seed}: greedy {greedy} < ½·opt ({opt})"
-            );
+            assert!(greedy >= 0.5 * opt - 1e-9, "seed {seed}: greedy {greedy} < ½·opt ({opt})");
         }
     }
 
@@ -204,10 +201,7 @@ mod tests {
             let order: Vec<usize> = (0..12).collect();
             let (_, opt) = exact_selection(&a, 0, 4);
             let (_, stream) = streaming_selection(&a, &order, 4);
-            assert!(
-                stream >= 0.25 * opt - 1e-9,
-                "seed {seed}: stream {stream} < ¼·opt ({opt})"
-            );
+            assert!(stream >= 0.25 * opt - 1e-9, "seed {seed}: stream {stream} < ¼·opt ({opt})");
         }
     }
 
@@ -220,7 +214,13 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let a = InfluenceAnalysis::from_parts(&Matrix::zeros(0, 0), &Matrix::zeros(0, 3), 0.1, 0.3, 0.5);
+        let a = InfluenceAnalysis::from_parts(
+            &Matrix::zeros(0, 0),
+            &Matrix::zeros(0, 3),
+            0.1,
+            0.3,
+            0.5,
+        );
         let (sel, score) = exact_selection(&a, 0, 3);
         assert!(sel.is_empty());
         assert_eq!(score, 0.0);

@@ -17,7 +17,7 @@ use crate::approx::ApproxGvex;
 use crate::config::Configuration;
 use crate::psum::coverage_stats;
 use crate::view::ExplanationView;
-use gvex_gnn::GcnModel;
+use gvex_gnn::{GcnModel, TraceCache};
 use gvex_graph::Graph;
 use gvex_iso::coverage::{covered, covered_by_set};
 use gvex_iso::vf2::are_isomorphic;
@@ -27,12 +27,16 @@ use gvex_mining::pgen;
 #[derive(Clone, Debug)]
 pub struct ViewMaintainer {
     cfg: Configuration,
+    /// Memoized forward passes: repeated maintenance rounds touch the same
+    /// graphs, and each label-check used to rebuild the propagation
+    /// operator from scratch. (Cloning a maintainer starts a fresh cache.)
+    cache: TraceCache,
 }
 
 impl ViewMaintainer {
     /// Creates a maintainer with the generation configuration.
     pub fn new(cfg: Configuration) -> Self {
-        Self { cfg }
+        Self { cfg, cache: TraceCache::new() }
     }
 
     /// Adds a newly classified graph to the view. Returns how many *new*
@@ -47,7 +51,7 @@ impl ViewMaintainer {
         g: &Graph,
         graph_index: usize,
     ) -> Option<usize> {
-        if model.predict(g) != view.label {
+        if self.cache.predict(model, g) != view.label {
             return None;
         }
         let ag = ApproxGvex::new(self.cfg.clone());
@@ -102,11 +106,8 @@ impl ViewMaintainer {
         // drop patterns with no remaining coverage contribution
         let graphs: Vec<&Graph> = view.subgraphs.iter().map(|s| &s.subgraph).collect();
         let matching = self.cfg.matching;
-        view.patterns.retain(|p| {
-            graphs
-                .iter()
-                .any(|sg| !covered(p, sg, matching).nodes.is_empty())
-        });
+        view.patterns
+            .retain(|p| graphs.iter().any(|sg| !covered(p, sg, matching).nodes.is_empty()));
         self.refresh_edge_loss(view);
         true
     }

@@ -86,8 +86,7 @@ pub fn explain_node(
     };
     let counterfactual_with = |sel: &[NodeId]| -> bool {
         // remove the explanation's *context*; the target must survive
-        let removed: Vec<NodeId> =
-            sel.iter().copied().filter(|&v| v != local_target).collect();
+        let removed: Vec<NodeId> = sel.iter().copied().filter(|&v| v != local_target).collect();
         if removed.is_empty() {
             return false;
         }
@@ -107,10 +106,8 @@ pub fn explain_node(
     let mut is_counterfactual = false;
 
     while selected.len() < upper {
-        let mut cands: Vec<(f64, NodeId)> = (0..n)
-            .filter(|&v| !in_selected[v])
-            .map(|v| (analysis.gain(&state, v), v))
-            .collect();
+        let mut cands: Vec<(f64, NodeId)> =
+            (0..n).filter(|&v| !in_selected[v]).map(|v| (analysis.gain(&state, v), v)).collect();
         cands.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
         let mut chosen = None;

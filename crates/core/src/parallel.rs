@@ -13,6 +13,13 @@ use gvex_gnn::GcnModel;
 use gvex_graph::GraphDatabase;
 use rayon::prelude::*;
 
+/// Classifier-assigned labels for every graph of `db`, predicted in
+/// parallel. Predictions are independent per graph and collected in index
+/// order, so the result is identical for any worker count.
+pub fn predict_all(model: &GcnModel, db: &GraphDatabase) -> Vec<usize> {
+    db.graphs().par_iter().map(|g| model.predict(g)).collect()
+}
+
 /// Generates explanation views for all labels of interest, explaining
 /// graphs in parallel on `threads` workers (0 = rayon's default).
 pub fn explain_database(
@@ -27,20 +34,25 @@ pub fn explain_database(
         .build()
         .expect("failed to build rayon pool");
     pool.install(|| {
-        let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
+        let assigned = predict_all(model, db);
         let groups = db.label_groups(&assigned);
         let ag = ApproxGvex::new(cfg.clone());
-        let views: Vec<ExplanationView> = labels_of_interest
-            .iter()
+        // per-label prep (the per-graph explain step) fans out across
+        // workers; summarization is a cross-graph step and stays sequential
+        // per label, matching the paper's decomposition
+        let prepped: Vec<(usize, Vec<ExplanationSubgraph>)> = labels_of_interest
+            .par_iter()
             .map(|&l| {
                 let subs: Vec<ExplanationSubgraph> = groups
                     .group(l)
                     .par_iter()
                     .filter_map(|&gi| ag.explain_graph(model, db.graph(gi), gi))
                     .collect();
-                summarize(l, subs, cfg)
+                (l, subs)
             })
             .collect();
+        let views: Vec<ExplanationView> =
+            prepped.into_iter().map(|(l, subs)| summarize(l, subs, cfg)).collect();
         ExplanationViewSet { views }
     })
 }

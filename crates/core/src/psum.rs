@@ -47,11 +47,7 @@ fn candidate_coverage(
         nodes.extend(cov.nodes.into_iter().map(|v| (si, v)));
         edges.extend(cov.edges.into_iter().map(|(u, v)| (si, u, v)));
     }
-    let weight = if total_edges == 0 {
-        0.0
-    } else {
-        1.0 - edges.len() as f64 / total_edges as f64
-    };
+    let weight = if total_edges == 0 { 0.0 } else { 1.0 - edges.len() as f64 / total_edges as f64 };
     CandidateCoverage { pattern: cand.pattern, nodes, edges, weight }
 }
 
@@ -120,11 +116,8 @@ pub fn psum(subgraphs: &[&Graph], mining: &MiningConfig, matching: MatchOptions)
         }
     }
 
-    let edge_loss = if total_edges == 0 {
-        0.0
-    } else {
-        1.0 - covered_edges.len() as f64 / total_edges as f64
-    };
+    let edge_loss =
+        if total_edges == 0 { 0.0 } else { 1.0 - covered_edges.len() as f64 / total_edges as f64 };
     let full = covered_nodes.len() == total_nodes;
     let mut patterns: Vec<Graph> = Vec::with_capacity(picked.len());
     let mut by_index: Vec<CandidateCoverage> = candidates.into_iter().collect();
@@ -151,8 +144,10 @@ pub fn coverage_stats(
     let total_edges: usize = subgraphs.iter().map(|g| g.num_edges()).sum();
     let mut uncovered = Vec::new();
     let mut covered_edges = 0usize;
-    for (si, sg) in subgraphs.iter().enumerate() {
-        let cov = gvex_iso::coverage::covered_by_set(patterns, sg, matching);
+    // match enumeration fans out across the subgraphs; the stats below fold
+    // the per-graph coverages back in subgraph order
+    let coverages = gvex_iso::coverage::covered_by_set_many(patterns, subgraphs, matching);
+    for (si, (sg, cov)) in subgraphs.iter().zip(&coverages).enumerate() {
         for v in 0..sg.num_nodes() {
             if !cov.nodes.contains(&v) {
                 uncovered.push((si, v));
@@ -160,11 +155,8 @@ pub fn coverage_stats(
         }
         covered_edges += cov.edges.len();
     }
-    let edge_loss = if total_edges == 0 {
-        0.0
-    } else {
-        1.0 - covered_edges as f64 / total_edges as f64
-    };
+    let edge_loss =
+        if total_edges == 0 { 0.0 } else { 1.0 - covered_edges as f64 / total_edges as f64 };
     (uncovered, edge_loss)
 }
 
@@ -301,7 +293,8 @@ mod tests {
         let res = psum(&[&a, &b], &default_mining(), MatchOptions::default());
         assert!(res.full_node_coverage);
         for sg in [&a, &b] {
-            let cov = gvex_iso::coverage::covered_by_set(&res.patterns, sg, MatchOptions::default());
+            let cov =
+                gvex_iso::coverage::covered_by_set(&res.patterns, sg, MatchOptions::default());
             assert!(cov.covers_all_nodes(sg));
         }
     }

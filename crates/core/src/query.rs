@@ -14,10 +14,10 @@
 //!   from the others' (the `P₁₂` example of §1).
 
 use crate::view::ExplanationViewSet;
+use gvex_graph::{Graph, NodeId};
 use gvex_iso::coverage::covered;
 use gvex_iso::vf2::{are_isomorphic, matches};
 use gvex_iso::MatchOptions;
-use gvex_graph::{Graph, NodeId};
 use std::collections::{HashMap, HashSet};
 
 /// A pattern occurrence inside one explanation subgraph.
@@ -99,10 +99,8 @@ impl ViewIndex {
 
     /// "Which database graphs does pattern `pid` explain?" (per label)
     pub fn graphs_matching(&self, pid: usize) -> Vec<(usize, usize)> {
-        let mut out: Vec<(usize, usize)> = self.occurrences[pid]
-            .iter()
-            .map(|o| (o.label, o.graph_index))
-            .collect();
+        let mut out: Vec<(usize, usize)> =
+            self.occurrences[pid].iter().map(|o| (o.label, o.graph_index)).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -112,9 +110,7 @@ impl ViewIndex {
     /// (e.g. "which patterns include an N–O bond?").
     pub fn patterns_containing(&self, query: &Graph) -> Vec<usize> {
         let opts = MatchOptions { induced: false, ..self.matching };
-        (0..self.patterns.len())
-            .filter(|&pid| matches(query, &self.patterns[pid], opts))
-            .collect()
+        (0..self.patterns.len()).filter(|&pid| matches(query, &self.patterns[pid], opts)).collect()
     }
 
     /// Discriminative patterns of `label`: in its vocabulary and in no other
@@ -183,7 +179,10 @@ mod tests {
         let v0 = ExplanationView {
             label: 0,
             patterns: vec![g(&[0, 1], &[(0, 1)]), g(&[0], &[])],
-            subgraphs: vec![sub(0, g(&[0, 1], &[(0, 1)])), sub(1, g(&[0, 1, 0], &[(0, 1), (1, 2)]))],
+            subgraphs: vec![
+                sub(0, g(&[0, 1], &[(0, 1)])),
+                sub(1, g(&[0, 1, 0], &[(0, 1), (1, 2)])),
+            ],
             edge_loss: 0.0,
             explainability: 1.0,
         };

@@ -60,9 +60,11 @@ impl<'m> GraphStream<'m> {
     /// Prepares streaming over `g` (no Jacobian precomputation happens
     /// here — that is the point of the streaming variant).
     pub fn new(model: &'m GcnModel, g: &'m Graph, graph_index: usize, cfg: Configuration) -> Self {
-        let label = model.predict(g);
+        // one forward pass serves the label and the stream's embeddings/adj
+        let trace = model.forward(g);
+        let label = trace.label();
         let bound = cfg.bound(label);
-        let inf = StreamingInfluence::new(model, g, cfg.theta, cfg.r, cfg.gamma);
+        let inf = StreamingInfluence::with_trace(model, g, &trace, cfg.theta, cfg.r, cfg.gamma);
         Self {
             model,
             g,
@@ -133,8 +135,7 @@ impl<'m> GraphStream<'m> {
     fn vp_extend(&self, v: NodeId) -> bool {
         let mut trial = self.selected.clone();
         trial.push(v);
-        let consistent =
-            self.model.predict(&self.g.induced_subgraph(&trial).graph) == self.label;
+        let consistent = self.model.predict(&self.g.induced_subgraph(&trial).graph) == self.label;
         if !consistent {
             return !self.is_consistent;
         }
@@ -169,9 +170,8 @@ impl<'m> GraphStream<'m> {
         // when `v` takes its place. Probability hill-climbing is the
         // single-pass analogue of ApproxGVEX's tier-3 cold start.
         if !self.is_consistent {
-            let cur_p = self
-                .model
-                .predict_proba(&self.g.induced_subgraph(&self.selected).graph)[self.label];
+            let cur_p = self.model.predict_proba(&self.g.induced_subgraph(&self.selected).graph)
+                [self.label];
             let mut best: Option<(f32, usize)> = None;
             for idx in 0..self.selected.len() {
                 let mut trial = self.selected.clone();
@@ -351,7 +351,8 @@ impl<'m> GraphStream<'m> {
         }
         self.selected.sort_unstable();
         let sub = self.g.induced_subgraph(&self.selected);
-        let verdict = crate::verify::everify(self.model, self.g, &self.selected);
+        let verdict =
+            crate::verify::everify_with_label(self.model, self.g, self.label, &self.selected);
         let score = self.inf.score_of(&self.selected);
         let n = self.g.num_nodes();
         Some((
@@ -458,7 +459,7 @@ impl StreamGvex {
         db: &GraphDatabase,
         labels_of_interest: &[usize],
     ) -> ExplanationViewSet {
-        let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
+        let assigned = crate::parallel::predict_all(model, db);
         let groups = db.label_groups(&assigned);
         let views = labels_of_interest
             .iter()
@@ -581,7 +582,7 @@ mod tests {
         let model = trained_model(&db);
         let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 4);
         let sg = StreamGvex::new(cfg.clone());
-        let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
+        let assigned = crate::parallel::predict_all(&model, &db);
         let groups = db.label_groups(&assigned);
         let view = sg.explain_label_group(&model, &db, 1, groups.group(1));
         for s in &view.subgraphs {

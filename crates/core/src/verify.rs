@@ -3,7 +3,7 @@
 
 use crate::config::Configuration;
 use crate::view::ExplanationView;
-use gvex_gnn::GcnModel;
+use gvex_gnn::{GcnModel, TraceCache};
 use gvex_graph::{Graph, GraphDatabase, NodeId};
 use gvex_iso::coverage::covered_by_set;
 
@@ -26,7 +26,15 @@ impl EVerdict {
 /// `EVerify`: runs GNN inference on the node-induced subgraph and its
 /// complement, checking constraint **C2** (§4, "Verifiers").
 pub fn everify(model: &GcnModel, g: &Graph, nodes: &[NodeId]) -> EVerdict {
-    let label = model.predict(g);
+    everify_with_label(model, g, model.predict(g), nodes)
+}
+
+/// [`everify`] with the full graph's label already known. The explain and
+/// streaming loops call `EVerify` once per candidate selection over the
+/// *same* graph; holding a forward trace (or a [`TraceCache`]) lets them
+/// skip the repeated full-graph inference and pay only for the subgraph
+/// and complement passes.
+pub fn everify_with_label(model: &GcnModel, g: &Graph, label: usize, nodes: &[NodeId]) -> EVerdict {
     let sub = g.induced_subgraph(nodes);
     let rest = g.remove_nodes(nodes);
     EVerdict {
@@ -72,6 +80,20 @@ pub fn verify_view(
     view: &ExplanationView,
     cfg: &Configuration,
 ) -> VerificationReport {
+    verify_view_with(&TraceCache::new(), model, db, view, cfg)
+}
+
+/// [`verify_view`] against a caller-owned [`TraceCache`]. Each member
+/// graph's full forward pass is memoized, so verifying several views (or
+/// re-verifying after maintenance) stops rebuilding propagation operators
+/// for graphs it has already seen.
+pub fn verify_view_with(
+    cache: &TraceCache,
+    model: &GcnModel,
+    db: &GraphDatabase,
+    view: &ExplanationView,
+    cfg: &Configuration,
+) -> VerificationReport {
     let bound = cfg.bound(view.label);
     let mut is_graph_view = true;
     let mut is_explanation_view = true;
@@ -82,7 +104,8 @@ pub fn verify_view(
         if !pmatch(&view.patterns, &s.subgraph, cfg) {
             is_graph_view = false;
         }
-        let verdict = everify(model, db.graph(s.graph_index), &s.nodes);
+        let g = db.graph(s.graph_index);
+        let verdict = everify_with_label(model, g, cache.predict(model, g), &s.nodes);
         if !verdict.is_explanation() {
             is_explanation_view = false;
             failing.push(i);

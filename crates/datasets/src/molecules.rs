@@ -100,7 +100,13 @@ fn carbon_skeleton(b: &mut GraphBuilder, chain_len: usize, rng: &mut impl Rng) -
     // hydrogens / halogens on random carbons
     for &c in &carbons {
         if rng.gen_bool(0.5) {
-            let t = if rng.gen_bool(0.9) { H } else if rng.gen_bool(0.5) { CL } else { F };
+            let t = if rng.gen_bool(0.9) {
+                H
+            } else if rng.gen_bool(0.5) {
+                CL
+            } else {
+                F
+            };
             let x = atom(b, t);
             b.add_edge(c, x, 0);
         }
@@ -284,10 +290,7 @@ mod tests {
             if db.truth()[gi] == 1 {
                 assert!(has_tox, "mutagen {gi} lacks a toxicophore");
             } else {
-                assert!(
-                    !matches(&no2, g, opts),
-                    "nonmutagen {gi} contains NO2"
-                );
+                assert!(!matches(&no2, g, opts), "nonmutagen {gi} contains NO2");
             }
         }
     }

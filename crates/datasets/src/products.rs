@@ -54,7 +54,8 @@ impl ProductsParams {
         let community = |v: usize| v / cs;
         let mut base = Graph::builder(false);
         for v in 0..n {
-            let feats = noisy_one_hot(self.feature_dim, community(v) % self.feature_dim, &mut rng, 0.1);
+            let feats =
+                noisy_one_hot(self.feature_dim, community(v) % self.feature_dim, &mut rng, 0.1);
             base.add_node(community(v) as u32, &feats);
         }
         for v in 0..n {
@@ -75,9 +76,7 @@ impl ProductsParams {
         }
         let base = base.build();
 
-        let mut db = GraphDatabase::new(
-            (0..c).map(|i| format!("category-{i}")).collect(),
-        );
+        let mut db = GraphDatabase::new((0..c).map(|i| format!("category-{i}")).collect());
         for i in 0..c {
             db.node_types.intern(&format!("community-{i}"));
         }
@@ -115,12 +114,8 @@ mod tests {
             for v in 0..g.num_nodes() {
                 counts[g.node_type(v) as usize] += 1;
             }
-            let dominant = counts
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, c)| *c)
-                .map(|(i, _)| i)
-                .unwrap();
+            let dominant =
+                counts.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(i, _)| i).unwrap();
             if dominant == db.truth()[gi] {
                 agree += 1;
             }

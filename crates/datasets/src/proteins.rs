@@ -208,10 +208,7 @@ mod tests {
         for (gi, g) in db.graphs().iter().enumerate() {
             let class = db.truth()[gi];
             let motif = class_motif(class);
-            assert!(
-                matches(&motif, g, opts),
-                "graph {gi} of class {class} lacks its motif"
-            );
+            assert!(matches(&motif, g, opts), "graph {gi} of class {class} lacks its motif");
         }
     }
 

@@ -38,19 +38,14 @@ impl RedditParams {
     /// class 1 = question-answer (bicliques).
     pub fn generate(&self, seed: u64) -> GraphDatabase {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut db =
-            GraphDatabase::new(vec!["online-discussion".into(), "question-answer".into()]);
+        let mut db = GraphDatabase::new(vec!["online-discussion".into(), "question-answer".into()]);
         db.node_types.intern("user");
         db.edge_types.intern("reply");
 
         for i in 0..self.num_graphs {
             let qa = i % 2 == 1;
             let n = self.users + rng.gen_range(0..self.users / 2 + 1);
-            let g = if qa {
-                biclique_thread(n, &mut rng)
-            } else {
-                star_thread(n, &mut rng)
-            };
+            let g = if qa { biclique_thread(n, &mut rng) } else { star_thread(n, &mut rng) };
             db.push(crate::util::attach_degree_features(&g), usize::from(qa));
         }
         db

@@ -198,8 +198,7 @@ pub fn write_tu_dataset(db: &GraphDatabase, dir: &Path, name: &str) -> io::Resul
         for v in 0..g.num_nodes() {
             indicator.push_str(&format!("{}\n", gi + 1));
             node_labels.push_str(&format!("{}\n", g.node_type(v)));
-            let feats: Vec<String> =
-                g.features().row(v).iter().map(|x| format!("{x}")).collect();
+            let feats: Vec<String> = g.features().row(v).iter().map(|x| format!("{x}")).collect();
             node_attributes.push_str(&feats.join(", "));
             node_attributes.push('\n');
         }

@@ -1,0 +1,226 @@
+//! Memoized forward passes: a small, bounded cache of [`ForwardTrace`]s.
+//!
+//! Verification, maintenance, and streaming repeatedly run inference on the
+//! *same* graphs — the full graph behind every candidate selection in
+//! `EVerify`, the view's member graphs on every maintenance round. Each
+//! [`GcnModel::forward`] rebuilds the propagation operator (`NormAdj`) and
+//! every layer activation from scratch; this cache keys the finished trace
+//! (which owns both) by a content fingerprint of the graph, so those call
+//! sites pay for one forward pass per distinct graph.
+//!
+//! A cache is tied to the weights of the model it was first used with:
+//! callers create one per `(model, task)` and must not share it across
+//! models (the key is the *graph* fingerprint only — hashing the weight
+//! matrices on every lookup would cost as much as a small forward pass).
+
+use crate::model::{ForwardTrace, GcnModel};
+use gvex_graph::Graph;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on the number of cached traces. Sized for the explain
+/// pipeline's working set (a label group of graphs plus their verification
+/// probes), not for whole datasets.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64;
+
+/// Bounded, thread-safe memo of forward passes keyed by graph content.
+///
+/// Lookups and inserts take a [`Mutex`]; the forward pass itself runs
+/// outside the lock, so concurrent misses compute in parallel (at worst
+/// duplicating a forward, never blocking on one).
+#[derive(Debug)]
+pub struct TraceCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, Arc<ForwardTrace>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TraceCache {
+    /// A cache bounded to [`DEFAULT_TRACE_CAPACITY`] traces.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A cache bounded to `capacity` traces (at least 1). Eviction is FIFO.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), inner: Mutex::new(Inner::default()) }
+    }
+
+    /// The forward trace of `g` under `model`, computed on first use.
+    pub fn trace(&self, model: &GcnModel, g: &Graph) -> Arc<ForwardTrace> {
+        let key = fingerprint(g);
+        {
+            let mut inner = self.inner.lock().expect("trace cache poisoned");
+            if let Some(t) = inner.map.get(&key) {
+                let t = Arc::clone(t);
+                inner.hits += 1;
+                return t;
+            }
+            inner.misses += 1;
+        }
+        // compute outside the lock: a concurrent miss on the same graph
+        // duplicates work instead of serializing every other lookup
+        let trace = Arc::new(model.forward(g));
+        let mut inner = self.inner.lock().expect("trace cache poisoned");
+        if !inner.map.contains_key(&key) {
+            while inner.map.len() >= self.capacity {
+                match inner.order.pop_front() {
+                    Some(old) => {
+                        inner.map.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            inner.map.insert(key, Arc::clone(&trace));
+            inner.order.push_back(key);
+        }
+        trace
+    }
+
+    /// Cached prediction: the argmax label of the memoized trace.
+    pub fn predict(&self, model: &GcnModel, g: &Graph) -> usize {
+        self.trace(model, g).label()
+    }
+
+    /// `(hits, misses)` counters — observability for tests and benches.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("trace cache poisoned");
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace cache poisoned").map.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for TraceCache {
+    /// Clones the bound but starts empty: a cloned owner (e.g. a maintainer
+    /// handed to another thread) re-warms against its own workload.
+    fn clone(&self) -> Self {
+        Self::with_capacity(self.capacity)
+    }
+}
+
+/// Content fingerprint of a graph: directedness, node types, feature bits,
+/// and typed edges. Collisions would silently alias two graphs, but at 64
+/// bits the chance is negligible for the database sizes GVEX targets.
+fn fingerprint(g: &Graph) -> u64 {
+    let mut h = DefaultHasher::new();
+    g.is_directed().hash(&mut h);
+    g.num_nodes().hash(&mut h);
+    g.node_types().hash(&mut h);
+    for &x in g.features().as_slice() {
+        x.to_bits().hash(&mut h);
+    }
+    for (u, v, t) in g.edges() {
+        (u, v, t).hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GcnConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path(n: usize, flip: bool) -> Graph {
+        let mut b = Graph::builder(false);
+        for i in 0..n {
+            let x = if flip { 1.0 - (i % 2) as f32 } else { (i % 2) as f32 };
+            b.add_node(0, &[x, 1.0]);
+        }
+        for i in 1..n {
+            b.add_edge(i - 1, i, 0);
+        }
+        b.build()
+    }
+
+    fn model() -> GcnModel {
+        GcnModel::new(
+            GcnConfig { input_dim: 2, hidden: 4, layers: 2, num_classes: 2 },
+            &mut ChaCha8Rng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn repeated_lookup_hits_and_matches_uncached() {
+        let m = model();
+        let g = path(6, false);
+        let cache = TraceCache::new();
+        let a = cache.trace(&m, &g);
+        let b = cache.trace(&m, &g);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(a.logits, b.logits);
+        assert_eq!(a.label(), m.predict(&g));
+        assert_eq!(cache.predict(&m, &g), m.predict(&g));
+    }
+
+    #[test]
+    fn distinct_graphs_get_distinct_entries() {
+        let m = model();
+        let cache = TraceCache::new();
+        cache.trace(&m, &path(6, false));
+        cache.trace(&m, &path(6, true)); // same shape, different features
+        cache.trace(&m, &path(7, false));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), (0, 3));
+    }
+
+    #[test]
+    fn capacity_bounds_entries_fifo() {
+        let m = model();
+        let cache = TraceCache::with_capacity(2);
+        let g3 = path(3, false);
+        cache.trace(&m, &g3);
+        cache.trace(&m, &path(4, false));
+        cache.trace(&m, &path(5, false)); // evicts path(3)
+        assert_eq!(cache.len(), 2);
+        cache.trace(&m, &g3); // must recompute
+        assert_eq!(cache.stats(), (0, 4));
+    }
+
+    #[test]
+    fn isomorphic_but_differently_built_graphs_share_no_entry() {
+        // fingerprint is content-based, not structural: a relabeled graph
+        // is a different key, which is the conservative (correct) choice
+        let m = model();
+        let cache = TraceCache::new();
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[1.0, 0.0]);
+        b.add_node(0, &[0.0, 1.0]);
+        b.add_edge(0, 1, 0);
+        let g1 = b.build();
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[0.0, 1.0]);
+        b.add_node(0, &[1.0, 0.0]);
+        b.add_edge(0, 1, 0);
+        let g2 = b.build();
+        cache.trace(&m, &g1);
+        cache.trace(&m, &g2);
+        assert_eq!(cache.len(), 2);
+    }
+}

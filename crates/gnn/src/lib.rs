@@ -22,13 +22,15 @@
 //! reads last-layer embeddings — exactly the "output of the last layer" the
 //! paper's model-agnostic claim rests on.
 
+pub mod cache;
 pub mod masked;
 pub mod model;
 pub mod node_classify;
 pub mod propagation;
 pub mod trainer;
 
+pub use cache::TraceCache;
 pub use model::{ForwardTrace, GcnConfig, GcnModel, Readout};
-pub use propagation::Aggregation;
 pub use node_classify::{node_accuracy, train_node_classifier, NodeTrainOptions};
+pub use propagation::Aggregation;
 pub use trainer::{train, train_model, Split, TrainReport};

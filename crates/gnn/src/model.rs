@@ -180,11 +180,9 @@ impl GcnModel {
     /// about edge features (e.g. aromatic vs. single bonds).
     pub fn edge_gate_scales(&self) -> Vec<f32> {
         match &self.edge_gates {
-            Some(gates) => gates
-                .row(0)
-                .iter()
-                .map(|&g| 2.0 * gvex_linalg::ops::sigmoid(g))
-                .collect(),
+            Some(gates) => {
+                gates.row(0).iter().map(|&g| 2.0 * gvex_linalg::ops::sigmoid(g)).collect()
+            }
             None => Vec::new(),
         }
     }
@@ -311,7 +309,11 @@ impl GcnModel {
     /// every nonzero entry of the normalized adjacency, laid out parallel to
     /// `trace.adj`'s sparse rows. This is what the GNNExplainer baseline
     /// chains through its edge mask.
-    pub fn backward_with_adj_grad(&self, trace: &ForwardTrace, target: usize) -> (Gradients, Vec<Vec<f32>>) {
+    pub fn backward_with_adj_grad(
+        &self,
+        trace: &ForwardTrace,
+        target: usize,
+    ) -> (Gradients, Vec<Vec<f32>>) {
         let (g, adj) = self.backward_impl(trace, target, true);
         (g, adj.expect("requested adjacency gradients"))
     }
@@ -452,16 +454,12 @@ impl GcnModel {
             }
         }
 
-        let mut adj_grad: Option<Vec<Vec<f32>>> = want_adj_grad.then(|| {
-            (0..trace.adj.len()).map(|u| vec![0.0; trace.adj.row(u).len()]).collect()
-        });
+        let mut adj_grad: Option<Vec<Vec<f32>>> = want_adj_grad
+            .then(|| (0..trace.adj.len()).map(|u| vec![0.0; trace.adj.row(u).len()]).collect());
 
         let (conv_grads, input) = self.conv_backward(trace, g_h, adj_grad.as_mut());
 
-        (
-            Gradients { conv: conv_grads, fc_w: fc_w_grad, fc_b: fc_b_grad, input, loss },
-            adj_grad,
-        )
+        (Gradients { conv: conv_grads, fc_w: fc_w_grad, fc_b: fc_b_grad, input, loss }, adj_grad)
     }
 
     /// Mutable views of every parameter matrix paired with the matching

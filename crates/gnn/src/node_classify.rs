@@ -21,10 +21,10 @@ impl GcnModel {
     /// classification forward pass.
     pub fn node_logits(&self, g: &Graph) -> Matrix {
         let trace = self.forward(g);
-        trace.embeddings().matmul(self.fc_weight()).add(&broadcast_bias(
-            self.fc_bias(),
-            trace.embeddings().rows(),
-        ))
+        trace
+            .embeddings()
+            .matmul(self.fc_weight())
+            .add(&broadcast_bias(self.fc_bias(), trace.embeddings().rows()))
     }
 
     /// Predicted class of node `v` in `g`.
@@ -77,11 +77,8 @@ pub fn train_node_classifier(
     assert_eq!(labels.len(), g.num_nodes(), "one label per node");
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
     let mut model = GcnModel::new(cfg, &mut rng);
-    let mut adams: Vec<Adam> = model
-        .param_shapes()
-        .into_iter()
-        .map(|(r, c)| Adam::with_lr(r, c, opts.lr))
-        .collect();
+    let mut adams: Vec<Adam> =
+        model.param_shapes().into_iter().map(|(r, c)| Adam::with_lr(r, c, opts.lr)).collect();
     let adj = NormAdj::with_aggregation(g, model.aggregation());
     let mut order = train_nodes.to_vec();
 
@@ -123,10 +120,7 @@ pub fn node_accuracy(model: &GcnModel, g: &Graph, labels: &[usize], nodes: &[Nod
         return 0.0;
     }
     let logits = model.node_logits(g);
-    let correct = nodes
-        .iter()
-        .filter(|&&v| ops::argmax(logits.row(v)) == labels[v])
-        .count();
+    let correct = nodes.iter().filter(|&&v| ops::argmax(logits.row(v)) == labels[v]).count();
     correct as f32 / nodes.len() as f32
 }
 

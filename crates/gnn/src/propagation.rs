@@ -7,7 +7,9 @@
 //! symmetrized for propagation, matching PyG's default `GCNConv` treatment.
 
 use gvex_graph::Graph;
+use gvex_linalg::kernels::accumulate_row_sum;
 use gvex_linalg::Matrix;
+use rayon::prelude::*;
 
 /// Neighborhood aggregation scheme — the message-passing variant the model
 /// uses (§2.1 notes GNN variants share the same feature-learning paradigm;
@@ -23,6 +25,20 @@ pub enum Aggregation {
     Sum,
 }
 
+/// How entry weights are assigned while rows are built. The policy is
+/// resolved before any row exists, so every aggregation scheme constructs
+/// its operator directly instead of patching the GCN-normalized one.
+enum WeightPolicy<'w> {
+    /// `w(u, v) · deg^{-1/2}(u) · deg^{-1/2}(v)`; self loops stay unmasked
+    /// at `deg^{-1}(u)` (Kipf & Welling normalization, optionally masked).
+    SymNorm(&'w dyn Fn(usize, usize) -> f32),
+    /// Every entry of row `u` — self loop included — weighs `1/(deg(u)+1)`
+    /// (GraphSAGE-style mean).
+    MeanRow,
+    /// Every entry weighs 1 (GIN-style `Â = A + I`).
+    UnitSum,
+}
+
 /// `Ã` stored as per-row `(col, weight)` lists, sorted by column.
 #[derive(Clone, Debug, PartialEq)]
 pub struct NormAdj {
@@ -32,33 +48,15 @@ pub struct NormAdj {
 impl NormAdj {
     /// Builds `D̂^{-1/2} (A + Aᵀ + I) D̂^{-1/2}` for `g`.
     pub fn new(g: &Graph) -> Self {
-        Self::with_edge_weights(g, |_, _| 1.0)
+        Self::build(g, WeightPolicy::SymNorm(&|_, _| 1.0))
     }
 
     /// Builds the propagation operator for the chosen aggregation scheme.
     pub fn with_aggregation(g: &Graph, aggregation: Aggregation) -> Self {
         match aggregation {
             Aggregation::GcnNorm => Self::new(g),
-            Aggregation::Mean => {
-                let mut adj = Self::new(g);
-                // re-weight rows: every entry 1/(deg+1)
-                for u in 0..adj.rows.len() {
-                    let inv = 1.0 / adj.rows[u].len() as f32;
-                    for e in &mut adj.rows[u] {
-                        e.1 = inv;
-                    }
-                }
-                adj
-            }
-            Aggregation::Sum => {
-                let mut adj = Self::new(g);
-                for row in &mut adj.rows {
-                    for e in row.iter_mut() {
-                        e.1 = 1.0;
-                    }
-                }
-                adj
-            }
+            Aggregation::Mean => Self::build(g, WeightPolicy::MeanRow),
+            Aggregation::Sum => Self::build(g, WeightPolicy::UnitSum),
         }
     }
 
@@ -87,8 +85,14 @@ impl NormAdj {
     /// `w(u, v) ∈ [0, 1]` applied to the *unnormalized* entry, while the
     /// degree normalization stays that of the unmasked graph. This is the
     /// soft-mask semantics the GNNExplainer baseline differentiates through.
-    #[allow(clippy::needless_range_loop)] // index parallels a second structure; enumerate would obscure it
     pub fn with_edge_weights(g: &Graph, w: impl Fn(usize, usize) -> f32) -> Self {
+        Self::build(g, WeightPolicy::SymNorm(&w))
+    }
+
+    /// Single construction path: symmetrizes the neighbor sets, then fills
+    /// each row with the entry weights the policy dictates.
+    #[allow(clippy::needless_range_loop)] // index parallels a second structure; enumerate would obscure it
+    fn build(g: &Graph, policy: WeightPolicy<'_>) -> Self {
         let n = g.num_nodes();
         // symmetrized neighbor sets (direction ignored for propagation)
         let mut nbrs: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -104,23 +108,35 @@ impl NormAdj {
             l.sort_unstable();
             l.dedup();
         }
-        let deg_inv_sqrt: Vec<f32> = (0..n)
-            .map(|u| 1.0 / ((nbrs[u].len() + 1) as f32).sqrt())
-            .collect();
+        // entry(u, v) covers self loops as v == u
+        let entry: Box<dyn Fn(usize, usize) -> f32> = match policy {
+            WeightPolicy::SymNorm(w) => {
+                let deg_inv_sqrt: Vec<f32> =
+                    (0..n).map(|u| 1.0 / ((nbrs[u].len() + 1) as f32).sqrt()).collect();
+                Box::new(move |u, v| {
+                    let mask = if u == v { 1.0 } else { w(u, v).clamp(0.0, 1.0) };
+                    mask * deg_inv_sqrt[u] * deg_inv_sqrt[v]
+                })
+            }
+            WeightPolicy::MeanRow => {
+                let deg: Vec<usize> = nbrs.iter().map(Vec::len).collect();
+                Box::new(move |u, _| 1.0 / (deg[u] + 1) as f32)
+            }
+            WeightPolicy::UnitSum => Box::new(|_, _| 1.0),
+        };
         let mut rows = Vec::with_capacity(n);
         for u in 0..n {
             let mut row = Vec::with_capacity(nbrs[u].len() + 1);
             let mut pushed_self = false;
             for &v in &nbrs[u] {
                 if !pushed_self && v > u {
-                    row.push((u, deg_inv_sqrt[u] * deg_inv_sqrt[u]));
+                    row.push((u, entry(u, u)));
                     pushed_self = true;
                 }
-                let weight = w(u, v).clamp(0.0, 1.0);
-                row.push((v, weight * deg_inv_sqrt[u] * deg_inv_sqrt[v]));
+                row.push((v, entry(u, v)));
             }
             if !pushed_self {
-                row.push((u, deg_inv_sqrt[u] * deg_inv_sqrt[u]));
+                row.push((u, entry(u, u)));
             }
             rows.push(row);
         }
@@ -155,6 +171,61 @@ impl NormAdj {
             }
         }
         out
+    }
+
+    /// Dense product `(I_B ⊗ Ã) · X`: applies `Ã` independently to each of
+    /// the `X.rows() / len()` stacked `len()`-row blocks of `X`. This is the
+    /// workhorse of the batched Jacobian, which propagates every
+    /// forward-mode seed in one call. Blocks fan out across rayon workers;
+    /// each output row has exactly one writer with a fixed accumulation
+    /// order, so results are bitwise independent of the thread count. The
+    /// inner kernel accumulates neighbour contributions in registers with
+    /// `mul_add`, so entries can differ from [`Self::matmul`] by FMA
+    /// rounding (≪ 1e-6 relative).
+    pub fn matmul_blocks(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_blocks_into(x, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_blocks`] writing into a caller-owned output matrix
+    /// (reshaped with its allocation reused — see [`Matrix::reset_zeroed`]).
+    ///
+    /// Each block first takes a liveness census of its input rows: rows that
+    /// are entirely zero — the overwhelming majority while a forward-mode
+    /// Jacobian seed is still inside its `l`-hop neighbourhood — are dropped
+    /// from every neighbour list before the kernel runs, and output rows
+    /// with no live neighbour are skipped outright. Skipped contributions
+    /// are exact zeros, so this changes results by at most the sign of a
+    /// zero, and the per-block censuses keep the output bitwise independent
+    /// of the rayon thread count.
+    pub fn matmul_blocks_into(&self, x: &Matrix, out: &mut Matrix) {
+        let n = self.rows.len();
+        assert!(n > 0, "empty operator");
+        assert_eq!(x.rows() % n, 0, "NormAdj/block shape mismatch");
+        let cols = x.cols();
+        out.reset_zeroed(x.rows(), cols);
+        let block_len = n * cols;
+        if block_len == 0 {
+            return;
+        }
+        let src = x.as_slice();
+        out.as_mut_slice().par_chunks_mut(block_len).enumerate().for_each(|(b, chunk)| {
+            let x_block = &src[b * block_len..(b + 1) * block_len];
+            let live_in: Vec<bool> = (0..n)
+                .map(|v| x_block[v * cols..(v + 1) * cols].iter().any(|&e| e != 0.0))
+                .collect();
+            let mut filtered: Vec<(usize, f32)> = Vec::new();
+            for (u, row) in self.rows.iter().enumerate() {
+                filtered.clear();
+                filtered.extend(row.iter().filter(|&&(v, _)| live_in[v]));
+                if filtered.is_empty() {
+                    continue; // output row stays zero
+                }
+                let out_row = &mut chunk[u * cols..(u + 1) * cols];
+                accumulate_row_sum(out_row, x_block, &filtered, cols);
+            }
+        });
     }
 
     /// Dense product `Ãᵀ · X`. `Ã` is symmetric whenever the edge-weight
@@ -249,6 +320,25 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 assert!((sparse[(i, j)] - dense[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_blocks_applies_operator_per_block() {
+        let g = edge_pair();
+        let adj = NormAdj::new(&g);
+        let top = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let bot = Matrix::from_rows(&[&[5.0, -6.0], &[0.5, 8.0]]);
+        let stacked = Matrix::from_rows(&[top.row(0), top.row(1), bot.row(0), bot.row(1)]);
+        let got = adj.matmul_blocks(&stacked);
+        let want = [adj.matmul(&top), adj.matmul(&bot)];
+        for (block, want) in want.iter().enumerate() {
+            for i in 0..2 {
+                for j in 0..2 {
+                    // FMA rounding in the chunked kernel vs. plain mul+add
+                    assert!((got[(block * 2 + i, j)] - want[(i, j)]).abs() < 1e-6);
+                }
             }
         }
     }

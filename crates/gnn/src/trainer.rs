@@ -3,10 +3,11 @@
 use crate::model::{GcnConfig, GcnModel};
 use crate::propagation::NormAdj;
 use gvex_graph::GraphDatabase;
-use gvex_linalg::Adam;
+use gvex_linalg::{Adam, Matrix};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Train/validation/test partition of graph indices.
@@ -77,7 +78,12 @@ impl Default for TrainOptions {
 
 /// Trains a GCN classifier on `db` with ground-truth labels, returning the
 /// weights that scored best on the validation split.
-pub fn train(db: &GraphDatabase, cfg: GcnConfig, split: &Split, opts: TrainOptions) -> (GcnModel, TrainReport) {
+pub fn train(
+    db: &GraphDatabase,
+    cfg: GcnConfig,
+    split: &Split,
+    opts: TrainOptions,
+) -> (GcnModel, TrainReport) {
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
     let model = GcnModel::new(cfg, &mut rng);
     // the shuffle rng continues from the init rng, keeping results
@@ -107,25 +113,18 @@ fn train_with_rng(
     let mut model = model;
 
     // One Adam state per parameter matrix, matched by order.
-    let mut adams: Vec<Adam> = model
-        .param_shapes()
-        .into_iter()
-        .map(|(r, c)| Adam::with_lr(r, c, opts.lr))
-        .collect();
+    let mut adams: Vec<Adam> =
+        model.param_shapes().into_iter().map(|(r, c)| Adam::with_lr(r, c, opts.lr)).collect();
 
     // Without edge gates the propagation operator is structure-only:
     // compute once per graph. With gates it changes every step and is
     // rebuilt per graph below.
     let gated = model.has_edge_gates();
-    let mut gate_adam =
-        gated.then(|| Adam::with_lr(1, model.edge_gate_scales().len(), opts.lr));
+    let mut gate_adam = gated.then(|| Adam::with_lr(1, model.edge_gate_scales().len(), opts.lr));
     let adj: Vec<NormAdj> = if gated {
         Vec::new()
     } else {
-        db.graphs()
-            .iter()
-            .map(|g| NormAdj::with_aggregation(g, model.aggregation()))
-            .collect()
+        db.graphs().iter().map(|g| NormAdj::with_aggregation(g, model.aggregation())).collect()
     };
 
     let mut order = split.train.clone();
@@ -154,7 +153,9 @@ fn train_with_rng(
             loss_sum += grads.loss;
             let grad_list: Vec<gvex_linalg::Matrix> =
                 GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
-            for ((param, opt), grad) in model.params_mut().into_iter().zip(&mut adams).zip(&grad_list) {
+            for ((param, opt), grad) in
+                model.params_mut().into_iter().zip(&mut adams).zip(&grad_list)
+            {
                 opt.step(param, grad);
             }
             if let (Some(gg), Some(opt)) = (gate_grads, gate_adam.as_mut()) {
@@ -185,21 +186,130 @@ fn train_with_rng(
 
     let (best_val_accuracy, best_model) = best;
     let test_accuracy = accuracy(&best_model, db, &split.test);
-    (
-        best_model,
-        TrainReport { epoch_loss, best_val_accuracy, test_accuracy, epochs: ran },
-    )
+    (best_model, TrainReport { epoch_loss, best_val_accuracy, test_accuracy, epochs: ran })
+}
+
+/// Data-parallel variant of [`train`]: every epoch computes per-graph
+/// gradients for the whole training split in parallel, reduces them in
+/// split order, and applies **one** Adam step on the mean gradient. This
+/// trades [`train`]'s per-graph (SGD-style) steps for a full-batch step per
+/// epoch — a different but equally valid optimization schedule — in
+/// exchange for an embarrassingly parallel epoch body. The gradient
+/// reduction folds in a fixed order, so losses and weights are bitwise
+/// identical for any rayon thread count.
+pub fn train_parallel(
+    db: &GraphDatabase,
+    cfg: GcnConfig,
+    split: &Split,
+    opts: TrainOptions,
+) -> (GcnModel, TrainReport) {
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut model = GcnModel::new(cfg, &mut rng);
+
+    let mut adams: Vec<Adam> =
+        model.param_shapes().into_iter().map(|(r, c)| Adam::with_lr(r, c, opts.lr)).collect();
+    let gated = model.has_edge_gates();
+    let mut gate_adam = gated.then(|| Adam::with_lr(1, model.edge_gate_scales().len(), opts.lr));
+    let adj: Vec<NormAdj> = if gated {
+        Vec::new()
+    } else {
+        db.graphs().iter().map(|g| NormAdj::with_aggregation(g, model.aggregation())).collect()
+    };
+
+    // the shuffle is irrelevant to a full-batch mean but is kept so the RNG
+    // stream (and thus weight init across epochs-of-interest) matches
+    // `train`'s consumption pattern
+    let mut order = split.train.clone();
+    let mut best = (0.0_f32, model.clone());
+    let mut since_best = 0usize;
+    let mut epoch_loss = Vec::with_capacity(opts.epochs);
+    let mut ran = 0;
+
+    for _epoch in 0..opts.epochs {
+        ran += 1;
+        order.shuffle(&mut rng);
+        // fan the per-graph forward/backward passes across workers
+        let results: Vec<(f32, Vec<Matrix>, Option<Matrix>)> = order
+            .par_iter()
+            .filter_map(|&gi| {
+                let g = db.graph(gi);
+                if g.num_nodes() == 0 {
+                    return None;
+                }
+                let truth = db.truth()[gi];
+                Some(if gated {
+                    let trace = model.forward(g); // rebuilds the gated operator
+                    let (grads, gate_grads) = model.backward_edge_gates(&trace, g, truth);
+                    let list: Vec<Matrix> =
+                        GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
+                    (grads.loss, list, Some(gate_grads))
+                } else {
+                    let trace = model.forward_with_adj(g, adj[gi].clone());
+                    let grads = model.backward(&trace, truth);
+                    let list: Vec<Matrix> =
+                        GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
+                    (grads.loss, list, None)
+                })
+            })
+            .collect();
+
+        let mut loss_sum = 0.0;
+        if let Some((first, rest)) = results.split_first() {
+            // deterministic reduction: fold in split order
+            let mut grad_sum = first.1.clone();
+            let mut gate_sum = first.2.clone();
+            loss_sum += first.0;
+            for (loss, grads, gate_grads) in rest {
+                loss_sum += loss;
+                for (s, g) in grad_sum.iter_mut().zip(grads) {
+                    s.add_scaled(g, 1.0);
+                }
+                if let (Some(gs), Some(gg)) = (gate_sum.as_mut(), gate_grads.as_ref()) {
+                    gs.add_scaled(gg, 1.0);
+                }
+            }
+            let inv = 1.0 / results.len() as f32;
+            for ((param, opt), grad) in
+                model.params_mut().into_iter().zip(&mut adams).zip(&grad_sum)
+            {
+                opt.step(param, &grad.scale(inv));
+            }
+            if let (Some(gs), Some(opt)) = (gate_sum, gate_adam.as_mut()) {
+                if let Some(gates) = model.edge_gates_mut() {
+                    opt.step(gates, &gs.scale(inv));
+                }
+            }
+        }
+        epoch_loss.push(loss_sum / split.train.len().max(1) as f32);
+
+        let val_acc = accuracy(&model, db, &split.val);
+        if val_acc > best.0 {
+            best = (val_acc, model.clone());
+            since_best = 0;
+        } else {
+            if val_acc == best.0 {
+                best.1 = model.clone();
+            }
+            since_best += 1;
+            if opts.patience > 0 && since_best >= opts.patience {
+                break;
+            }
+        }
+    }
+
+    let (best_val_accuracy, best_model) = best;
+    let test_accuracy = accuracy(&best_model, db, &split.test);
+    (best_model, TrainReport { epoch_loss, best_val_accuracy, test_accuracy, epochs: ran })
 }
 
 /// Fraction of `indices` whose prediction matches the ground truth.
+/// Predictions are independent per graph and fan out across rayon workers.
 pub fn accuracy(model: &GcnModel, db: &GraphDatabase, indices: &[usize]) -> f32 {
     if indices.is_empty() {
         return 0.0;
     }
-    let correct = indices
-        .iter()
-        .filter(|&&gi| model.predict(db.graph(gi)) == db.truth()[gi])
-        .count();
+    let correct =
+        indices.par_iter().filter(|&&gi| model.predict(db.graph(gi)) == db.truth()[gi]).count();
     correct as f32 / indices.len() as f32
 }
 
@@ -268,6 +378,28 @@ mod tests {
         let last = *report.epoch_loss.last().unwrap();
         assert!(last < first, "loss did not decrease: {first} -> {last}");
         let _ = model;
+    }
+
+    #[test]
+    fn parallel_training_learns_and_is_thread_count_invariant() {
+        let db = toy_db(10);
+        let split = Split::paper(&db, 7);
+        let cfg = GcnConfig { input_dim: 2, hidden: 8, layers: 2, num_classes: 2 };
+        let opts = TrainOptions { epochs: 150, lr: 0.05, seed: 7, patience: 0 };
+        let narrow = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let (m1, r1) = narrow.install(|| train_parallel(&db, cfg, &split, opts));
+        let wide = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let (m4, r4) = wide.install(|| train_parallel(&db, cfg, &split, opts));
+        assert_eq!(r1.epoch_loss, r4.epoch_loss, "loss trajectory depends on thread count");
+        assert_eq!(r1.test_accuracy, r4.test_accuracy);
+        for gi in 0..db.len() {
+            assert_eq!(m1.predict(db.graph(gi)), m4.predict(db.graph(gi)));
+        }
+        assert!(
+            r1.test_accuracy >= 0.99,
+            "full-batch training failed to separate easy classes: {}",
+            r1.test_accuracy
+        );
     }
 
     #[test]

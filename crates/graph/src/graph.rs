@@ -114,10 +114,7 @@ impl Graph {
 
     /// Returns the type of the edge `u → v` if present.
     pub fn edge_type(&self, u: NodeId, v: NodeId) -> Option<EdgeTypeId> {
-        self.out_adj[u]
-            .binary_search_by_key(&v, |&(n, _)| n)
-            .ok()
-            .map(|i| self.out_adj[u][i].1)
+        self.out_adj[u].binary_search_by_key(&v, |&(n, _)| n).ok().map(|i| self.out_adj[u][i].1)
     }
 
     /// True if the edge `u → v` exists (`u — v` for undirected graphs).
@@ -130,13 +127,15 @@ impl Graph {
     /// graphs, yields each edge with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeTypeId)> + '_ {
         self.out_adj.iter().enumerate().flat_map(move |(u, nbrs)| {
-            nbrs.iter().filter_map(move |&(v, t)| {
-                if self.directed || u < v {
-                    Some((u, v, t))
-                } else {
-                    None
-                }
-            })
+            nbrs.iter().filter_map(
+                move |&(v, t)| {
+                    if self.directed || u < v {
+                        Some((u, v, t))
+                    } else {
+                        None
+                    }
+                },
+            )
         })
     }
 
@@ -194,8 +193,7 @@ impl Graph {
             assert!(v < self.num_nodes(), "node {v} out of range");
             keep_mask[v] = false;
         }
-        let keep: Vec<NodeId> =
-            (0..self.num_nodes()).filter(|&v| keep_mask[v]).collect();
+        let keep: Vec<NodeId> = (0..self.num_nodes()).filter(|&v| keep_mask[v]).collect();
         self.induced_subgraph(&keep)
     }
 
@@ -351,7 +349,10 @@ impl GraphBuilder {
     /// Adds an edge `u → v` (`u — v` when undirected) with type `t`.
     /// Self-loops and duplicate edges are ignored at [`Self::build`] time.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, t: EdgeTypeId) {
-        assert!(u < self.node_types.len() && v < self.node_types.len(), "edge endpoint out of range");
+        assert!(
+            u < self.node_types.len() && v < self.node_types.len(),
+            "edge endpoint out of range"
+        );
         self.edges.push((u, v, t));
     }
 
@@ -390,7 +391,14 @@ impl GraphBuilder {
         if !self.directed {
             num_edges /= 2;
         }
-        Graph { directed: self.directed, node_types: self.node_types, features: fm, out_adj, in_adj, num_edges }
+        Graph {
+            directed: self.directed,
+            node_types: self.node_types,
+            features: fm,
+            out_adj,
+            in_adj,
+            num_edges,
+        }
     }
 }
 

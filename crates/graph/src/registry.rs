@@ -39,10 +39,7 @@ impl TypeRegistry {
     /// The name for `id`, or `"?<id>"` if unknown (never panics — display
     /// paths shouldn't crash experiments).
     pub fn name(&self, id: u32) -> String {
-        self.names
-            .get(id as usize)
-            .cloned()
-            .unwrap_or_else(|| format!("?{id}"))
+        self.names.get(id as usize).cloned().unwrap_or_else(|| format!("?{id}"))
     }
 
     /// Number of interned types.

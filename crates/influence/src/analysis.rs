@@ -2,9 +2,9 @@
 //! the incremental (streaming) variant.
 
 use crate::bitset::BitSet;
-use crate::jacobian::{influence_matrix, InfluenceMode};
+use crate::jacobian::{influence_matrix_with_trace, InfluenceMode};
 use gvex_gnn::propagation::NormAdj;
-use gvex_gnn::GcnModel;
+use gvex_gnn::{ForwardTrace, GcnModel};
 use gvex_graph::{Graph, NodeId};
 use gvex_linalg::ops::euclidean;
 use gvex_linalg::Matrix;
@@ -92,8 +92,25 @@ impl InfluenceAnalysis {
         mode: InfluenceMode,
         rng: &mut impl Rng,
     ) -> Self {
-        let i2 = influence_matrix(model, g, mode, rng);
-        let trace = model.forward(g);
+        Self::with_trace(model, g, &model.forward(g), theta, r, gamma, mode, rng)
+    }
+
+    /// Like [`InfluenceAnalysis::new`] but reusing an existing forward
+    /// trace of `g`: the embeddings and (in the realized-Jacobian modes)
+    /// the propagation operator and ReLU gates come from `trace`, so a
+    /// caller that already ran inference pays for no further forward pass.
+    #[allow(clippy::too_many_arguments)] // mirrors `new`, which mirrors §3.2's configuration
+    pub fn with_trace(
+        model: &GcnModel,
+        g: &Graph,
+        trace: &ForwardTrace,
+        theta: f32,
+        r: f32,
+        gamma: f32,
+        mode: InfluenceMode,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let i2 = influence_matrix_with_trace(model, g, trace, mode, rng);
         Self::from_parts(&i2, trace.embeddings(), theta, r, gamma)
     }
 
@@ -211,7 +228,20 @@ impl StreamingInfluence {
     /// Prepares the stream processor: one forward pass for embeddings plus
     /// the normalized adjacency. No Jacobian work happens here.
     pub fn new(model: &GcnModel, g: &Graph, theta: f32, r: f32, gamma: f32) -> Self {
-        let trace = model.forward(g);
+        Self::with_trace(model, g, &model.forward(g), theta, r, gamma)
+    }
+
+    /// Like [`StreamingInfluence::new`] but reusing an existing forward
+    /// trace of `g` (its adjacency and embeddings) instead of running
+    /// another forward pass.
+    pub fn with_trace(
+        model: &GcnModel,
+        g: &Graph,
+        trace: &ForwardTrace,
+        theta: f32,
+        r: f32,
+        gamma: f32,
+    ) -> Self {
         let n = g.num_nodes();
         // deterministic pair sample estimating the max pairwise distance
         // (exact O(n^2) scanning would defeat the streaming cost model)
@@ -472,10 +502,7 @@ mod tests {
         for set in [vec![0], vec![2, 5], vec![0, 3, 6]] {
             let batch = a.score_of(&set);
             let stream = s.score_of(&set);
-            assert!(
-                (batch - stream).abs() < 1e-9,
-                "set {set:?}: batch {batch} vs stream {stream}"
-            );
+            assert!((batch - stream).abs() < 1e-9, "set {set:?}: batch {batch} vs stream {stream}");
         }
     }
 

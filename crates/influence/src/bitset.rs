@@ -87,21 +87,13 @@ impl BitSet {
     /// `|self ∪ other|` without allocating.
     pub fn union_count(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a | b).count_ones() as usize).sum()
     }
 
     /// `|other \ self|`: how many new elements `other` would contribute.
     pub fn new_elements(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (b & !a).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (b & !a).count_ones() as usize).sum()
     }
 
     /// Iterates set elements in ascending order.

@@ -36,4 +36,7 @@ pub mod jacobian;
 
 pub use analysis::{InfluenceAnalysis, StreamingInfluence};
 pub use bitset::BitSet;
-pub use jacobian::{influence_matrix, InfluenceMode};
+pub use jacobian::{
+    influence_matrix, influence_matrix_with_trace, realized, realized_reference,
+    realized_with_trace, InfluenceMode,
+};

@@ -10,6 +10,7 @@
 
 use crate::vf2::{for_each_embedding, MatchOptions};
 use gvex_graph::{Graph, NodeId};
+use rayon::prelude::*;
 use std::collections::HashSet;
 use std::ops::ControlFlow;
 
@@ -89,6 +90,17 @@ pub fn covered_by_set(patterns: &[Graph], target: &Graph, opts: MatchOptions) ->
     cov
 }
 
+/// Coverage of each of `targets` by the pattern set. Match enumeration is
+/// independent per target graph, so the targets fan out across rayon
+/// workers; results come back in target order regardless of thread count.
+pub fn covered_by_set_many(
+    patterns: &[Graph],
+    targets: &[&Graph],
+    opts: MatchOptions,
+) -> Vec<Coverage> {
+    targets.par_iter().map(|t| covered_by_set(patterns, t, opts)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +147,18 @@ mod tests {
         assert_eq!(cov.edge_fraction(&target), 0.0);
         let partial = covered_by_set(&[pat_a], &target, MatchOptions::default());
         assert!(!partial.covers_all_nodes(&target));
+    }
+
+    #[test]
+    fn covered_by_set_many_matches_one_by_one() {
+        let pats = [g(&[0], &[]), g(&[0, 1], &[(0, 1)])];
+        let targets =
+            [g(&[0, 1], &[(0, 1)]), g(&[1, 1], &[(0, 1)]), g(&[0, 0, 1], &[(0, 1), (1, 2)])];
+        let refs: Vec<&Graph> = targets.iter().collect();
+        let many = covered_by_set_many(&pats, &refs, MatchOptions::default());
+        for (t, got) in targets.iter().zip(&many) {
+            assert_eq!(*got, covered_by_set(&pats, t, MatchOptions::default()));
+        }
     }
 
     #[test]

@@ -24,5 +24,5 @@
 pub mod coverage;
 pub mod vf2;
 
-pub use coverage::{covered, covered_by_set, Coverage};
+pub use coverage::{covered, covered_by_set, covered_by_set_many, Coverage};
 pub use vf2::{are_isomorphic, enumerate, find_one, for_each_embedding, matches, MatchOptions};

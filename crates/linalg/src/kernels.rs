@@ -1,0 +1,81 @@
+//! Shared register-accumulating row kernels.
+//!
+//! Several hot paths — the blocked sparse product of GCN propagation, the
+//! support-tracked batched Jacobian — reduce to the same primitive: a
+//! weighted sum of a few rows gathered from a row-major buffer. Writing the
+//! output once per chunk (with the partial sums held in registers across the
+//! whole term list) instead of once per term is what keeps these loops
+//! compute-bound, so the primitive lives here and is reused everywhere.
+
+/// Overwrites `out_row` (length `cols`) with `Σ (r, s) ∈ terms: s · src_row(r)`,
+/// where `src_row(r) = src[r·cols .. (r+1)·cols]`.
+///
+/// The sum is accumulated per chunk in a register block with `f32::mul_add`
+/// and the terms are visited in slice order, so results are deterministic
+/// and differ from a plain mul-then-add loop only by FMA rounding. An empty
+/// `terms` list writes zeros.
+#[inline]
+pub fn accumulate_row_sum(out_row: &mut [f32], src: &[f32], terms: &[(usize, f32)], cols: usize) {
+    let mut c = 0;
+    c = chunk_pass::<32>(out_row, src, terms, cols, c);
+    c = chunk_pass::<8>(out_row, src, terms, cols, c);
+    for i in c..cols {
+        let mut acc = 0.0f32;
+        for &(r, s) in terms {
+            acc = src[r * cols + i].mul_add(s, acc);
+        }
+        out_row[i] = acc;
+    }
+}
+
+/// One pass of [`accumulate_row_sum`] at chunk width `W`: processes every
+/// full `W`-wide chunk from column `c`, returning the first unprocessed
+/// column. The `W` accumulators stay in registers across the whole term
+/// loop, so each output chunk is stored exactly once.
+#[inline]
+fn chunk_pass<const W: usize>(
+    out_row: &mut [f32],
+    src: &[f32],
+    terms: &[(usize, f32)],
+    cols: usize,
+    mut c: usize,
+) -> usize {
+    while c + W <= cols {
+        let mut acc = [0.0f32; W];
+        for &(r, s) in terms {
+            let chunk = &src[r * cols + c..r * cols + c + W];
+            for i in 0..W {
+                acc[i] = chunk[i].mul_add(s, acc[i]);
+            }
+        }
+        out_row[c..c + W].copy_from_slice(&acc);
+        c += W;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_row_sum_all_widths() {
+        // cols = 45 exercises the 32-chunk, the 8-chunk, and the scalar tail
+        let cols = 45;
+        let src: Vec<f32> = (0..3 * cols).map(|i| (i as f32 * 0.37).sin()).collect();
+        let terms = [(2usize, 0.5f32), (0, -1.25), (1, 2.0)];
+        let mut out = vec![7.0f32; cols];
+        accumulate_row_sum(&mut out, &src, &terms, cols);
+        for i in 0..cols {
+            let want: f32 = terms.iter().map(|&(r, s)| src[r * cols + i] * s).sum();
+            assert!((out[i] - want).abs() < 1e-5, "col {i}: {} vs {want}", out[i]);
+        }
+    }
+
+    #[test]
+    fn empty_terms_write_zeros() {
+        let mut out = vec![3.0f32; 20];
+        accumulate_row_sum(&mut out, &[], &[], 20);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

@@ -6,6 +6,8 @@
 //!
 //! * [`Matrix`] — a row-major dense `f32` matrix with the handful of BLAS-like
 //!   operations a message-passing GNN needs (matmul, transpose, row ops),
+//! * [`kernels`] — shared register-accumulating row kernels for the sparse
+//!   propagation and batched-Jacobian hot paths,
 //! * [`ops`] — element-wise activations, row-wise softmax, and the
 //!   cross-entropy loss with its gradient,
 //! * [`init`] — Xavier/Glorot and uniform initializers,
@@ -17,6 +19,7 @@
 
 pub mod adam;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 

@@ -6,9 +6,43 @@
 //! the blocked multiply below — fast enough to train the paper's classifier
 //! on CPU in seconds.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Rows of the packed RHS tile (LHS inner-dimension block).
+const TILE_K: usize = 64;
+/// Columns of the packed RHS tile and of the register micro-kernel. The
+/// `TILE_K × NR` pack (8 KiB) sits in L1 while whole row blocks stream
+/// against it.
+const NR: usize = 32;
+/// Output rows per micro-kernel step: an `MR × NR` f32 accumulator block
+/// stays resident in SIMD registers across an entire k-tile.
+const MR: usize = 4;
+/// Minimum multiply-accumulate count before the row-parallel path pays for
+/// its thread fan-out (~2M ≈ a 128³ product).
+const PAR_MACS_THRESHOLD: usize = 1 << 21;
+/// A live (nonzero) LHS row averaging fewer than one nonzero entry in
+/// `ELEM_SKIP_DEN` takes the exact per-element zero-skip path (one-hot
+/// feature matrices), where skipping beats vectorizing.
+const ELEM_SKIP_DEN: usize = 8;
+/// When at least one LHS row in `ROW_SKIP_DEN` is entirely zero, dead rows
+/// are dropped up front and only live rows run through the micro-kernel
+/// (forward-mode Jacobian seed blocks, gated activations).
+const ROW_SKIP_DEN: usize = 8;
+
+/// How [`Matrix::matmul`] treats the left operand, decided per call by a
+/// one-pass sparsity census.
+#[derive(Clone, Copy)]
+enum LhsMode<'a> {
+    /// Every row through the register micro-kernel.
+    Dense,
+    /// Only rows flagged live are computed; dead rows stay zero.
+    RowSkip(&'a [bool]),
+    /// Per-element zero skip with exact (non-FMA) arithmetic.
+    ElemSkip,
+}
 
 /// Row-major dense `f32` matrix.
 ///
@@ -117,6 +151,28 @@ impl Matrix {
         self.row_mut(r).copy_from_slice(src);
     }
 
+    /// Reshapes `self` to `rows × cols` with every entry zero, reusing the
+    /// existing allocation whenever its capacity suffices. This is what lets
+    /// hot loops ping-pong a few scratch matrices instead of paying for a
+    /// fresh zeroed allocation (and its page faults) per iteration.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes `self` to `rows × cols` **without clearing**: entries carry
+    /// arbitrary stale values and every one must be written before it is
+    /// read. The support-tracked batched Jacobian uses this to skip the
+    /// full-matrix memset on scratch whose dead regions are provably never
+    /// touched.
+    pub fn reset_reused(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// ```
@@ -126,10 +182,87 @@ impl Matrix {
     /// assert_eq!(a.matmul(&b), Matrix::from_rows(&[&[11.0]]));
     /// ```
     ///
-    /// Uses the classic i-k-j loop order so the inner loop streams through
-    /// contiguous rows of both the output and `rhs` — the single most
-    /// important cache optimization for row-major matmul.
+    /// The tiled kernel blocks the inner dimension (`TILE_K`) and the output
+    /// columns (`NR`), packing each RHS tile into a contiguous scratch buffer
+    /// that is reused across every output row. Full-width row blocks go
+    /// through an `MR × NR` register micro-kernel whose inner step is a
+    /// fused multiply-add (`f32::mul_add`), so results can differ from
+    /// [`Self::matmul_reference`] by the usual FMA rounding (≪ 1e-5
+    /// relative; the differential property tests pin this). Accumulation
+    /// order over `k` is the same ascending order as the reference kernel.
+    /// Above [`PAR_MACS_THRESHOLD`] multiply-accumulates the row blocks fan
+    /// out across rayon workers; each output row is still computed by exactly
+    /// one worker in the same `k` order, keeping results bitwise independent
+    /// of the thread count. The per-element zero skip of the reference kernel
+    /// is kept only where it still wins: a one-pass census classifies the
+    /// LHS, entirely-zero rows are skipped outright (forward-mode Jacobian
+    /// seed blocks are mostly dead rows), and only when the live rows are
+    /// themselves ultra-sparse (fewer than one nonzero in
+    /// [`ELEM_SKIP_DEN`] entries — one-hot feature matrices) does the exact
+    /// per-element zero-skip loop replace the micro-kernel.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul`] writing into a caller-owned output matrix, which is
+    /// reshaped (allocation reused where possible) and overwritten. Hot loops
+    /// that multiply in place every iteration — the batched Jacobian above
+    /// all — use this to avoid re-faulting fresh zero pages per product.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.reset_zeroed(self.rows, rhs.cols);
+        if self.rows == 0 || self.cols == 0 || rhs.cols == 0 {
+            return;
+        }
+        // Sparsity census: one pass over the LHS (the cost of reading it
+        // once, which the product pays many times over anyway).
+        let mut nnz = 0usize;
+        let mut row_live = vec![false; self.rows];
+        for (i, live) in row_live.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let row_nnz = row.iter().filter(|&&v| v != 0.0).count();
+            nnz += row_nnz;
+            *live = row_nnz != 0;
+        }
+        let live_rows = row_live.iter().filter(|&&l| l).count();
+        if live_rows == 0 {
+            return;
+        }
+        let mode = if nnz * ELEM_SKIP_DEN <= live_rows * self.cols {
+            LhsMode::ElemSkip
+        } else if (self.rows - live_rows) * ROW_SKIP_DEN >= self.rows {
+            LhsMode::RowSkip(&row_live)
+        } else {
+            LhsMode::Dense
+        };
+        let macs = self.rows * self.cols * rhs.cols;
+        let threads = rayon::current_num_threads();
+        if macs >= PAR_MACS_THRESHOLD && threads > 1 {
+            // Whole-row chunks: each worker owns a contiguous row block, so
+            // every output row has a single writer and a serial-identical
+            // accumulation order.
+            let rows_per_chunk = self.rows.div_ceil(threads).max(1);
+            out.data.par_chunks_mut(rows_per_chunk * rhs.cols).enumerate().for_each(
+                |(ci, chunk)| {
+                    matmul_span(self, rhs, ci * rows_per_chunk, chunk, mode);
+                },
+            );
+        } else {
+            matmul_span(self, rhs, 0, &mut out.data, mode);
+        }
+    }
+
+    /// The original naive i-k-j triple loop with a per-element zero skip.
+    ///
+    /// Retained as the ground truth for differential tests and as the
+    /// baseline the `BENCH_hotpaths` speedup numbers are measured against.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -285,6 +418,130 @@ impl Matrix {
     }
 }
 
+/// Computes output rows `row0 .. row0 + out.len() / rhs.cols` of
+/// `lhs * rhs` into `out` (a whole-row slice of the output buffer).
+///
+/// Walks column tiles then `k` tiles, packing each `kw × jw` RHS tile into
+/// `pack` once and streaming every computed row of the block against it.
+/// `k` tiles are visited in ascending order, so per-entry accumulation
+/// order equals the naive kernel's. Under [`LhsMode::RowSkip`] only the
+/// live rows are visited (in ascending order) — dead rows keep their
+/// zeros, exactly as the reference kernel's zero skip would leave them.
+fn matmul_span(lhs: &Matrix, rhs: &Matrix, row0: usize, out: &mut [f32], mode: LhsMode<'_>) {
+    let n = rhs.cols;
+    let span_rows = out.len() / n;
+    // Span-local indices of the rows to compute under row skipping; Dense
+    // and ElemSkip visit every row without materializing a list.
+    let live: Vec<usize> = match mode {
+        LhsMode::RowSkip(mask) => (0..span_rows).filter(|&i| mask[row0 + i]).collect(),
+        _ => Vec::new(),
+    };
+    let row_skip = matches!(mode, LhsMode::RowSkip(_));
+    let elem_skip = matches!(mode, LhsMode::ElemSkip);
+    let mut pack = [0.0f32; TILE_K * NR];
+    for j0 in (0..n).step_by(NR) {
+        let jw = NR.min(n - j0);
+        for k0 in (0..lhs.cols).step_by(TILE_K) {
+            let kw = TILE_K.min(lhs.cols - k0);
+            for kk in 0..kw {
+                let src = (k0 + kk) * n + j0;
+                pack[kk * jw..kk * jw + jw].copy_from_slice(&rhs.data[src..src + jw]);
+            }
+            // Register micro-kernel: MR output rows accumulate into an
+            // MR × NR block that is loaded and stored once per k-tile
+            // instead of once per k, removing the output-row memory
+            // traffic that bounds the naive kernel. `pos` counts micro-
+            // kernel-consumed rows (positions into `live` under row skip,
+            // plain row indices otherwise).
+            let mut pos = 0;
+            if !elem_skip && jw == NR {
+                if row_skip {
+                    while pos + MR <= live.len() {
+                        let rows: &[usize] = &live[pos..pos + MR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        for (acc_row, &ri) in acc.iter_mut().zip(rows) {
+                            let o = ri * n + j0;
+                            acc_row.copy_from_slice(&out[o..o + NR]);
+                        }
+                        for kk in 0..kw {
+                            let b_row: &[f32; NR] =
+                                pack[kk * NR..kk * NR + NR].try_into().expect("NR-wide tile row");
+                            for (acc_row, &ri) in acc.iter_mut().zip(rows) {
+                                let a = lhs.data[(row0 + ri) * lhs.cols + k0 + kk];
+                                for (o, &b) in acc_row.iter_mut().zip(b_row) {
+                                    *o = a.mul_add(b, *o);
+                                }
+                            }
+                        }
+                        for (acc_row, &ri) in acc.iter().zip(rows) {
+                            let o = ri * n + j0;
+                            out[o..o + NR].copy_from_slice(acc_row);
+                        }
+                        pos += MR;
+                    }
+                } else {
+                    while pos + MR <= span_rows {
+                        let mut acc = [[0.0f32; NR]; MR];
+                        for (r, acc_row) in acc.iter_mut().enumerate() {
+                            let o = (pos + r) * n + j0;
+                            acc_row.copy_from_slice(&out[o..o + NR]);
+                        }
+                        for kk in 0..kw {
+                            let b_row: &[f32; NR] =
+                                pack[kk * NR..kk * NR + NR].try_into().expect("NR-wide tile row");
+                            for (r, acc_row) in acc.iter_mut().enumerate() {
+                                let a = lhs.data[(row0 + pos + r) * lhs.cols + k0 + kk];
+                                for (o, &b) in acc_row.iter_mut().zip(b_row) {
+                                    *o = a.mul_add(b, *o);
+                                }
+                            }
+                        }
+                        for (r, acc_row) in acc.iter().enumerate() {
+                            let o = (pos + r) * n + j0;
+                            out[o..o + NR].copy_from_slice(acc_row);
+                        }
+                        pos += MR;
+                    }
+                }
+            }
+            // Remainder rows, ragged right edge, and the element-skip path
+            // all take the straightforward row-at-a-time loop.
+            let scalar_row = |ri: usize, out: &mut [f32], pack: &[f32]| {
+                let a_base = (row0 + ri) * lhs.cols + k0;
+                let a_row = &lhs.data[a_base..a_base + kw];
+                let out_row = &mut out[ri * n + j0..ri * n + j0 + jw];
+                if elem_skip {
+                    for (kk, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &pack[kk * jw..kk * jw + jw];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                } else {
+                    for (kk, &a) in a_row.iter().enumerate() {
+                        let b_row = &pack[kk * jw..kk * jw + jw];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            };
+            if row_skip {
+                for &ri in &live[pos..] {
+                    scalar_row(ri, out, &pack);
+                }
+            } else {
+                for ri in pos..span_rows {
+                    scalar_row(ri, out, &pack);
+                }
+            }
+        }
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
@@ -419,6 +676,125 @@ mod tests {
         let b = Matrix::from_rows(&[&[2.0, 4.0]]);
         a.add_scaled(&b, 0.5);
         assert_eq!(a, Matrix::from_rows(&[&[2.0, 3.0]]));
+    }
+
+    /// Deterministic pseudo-random matrix for kernel tests.
+    fn lcg_matrix(rows: usize, cols: usize, seed: u64, zero_every: usize) -> Matrix {
+        let mut state = seed | 1;
+        let data = (0..rows * cols)
+            .map(|idx| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if zero_every > 0 && idx % zero_every == 0 {
+                    0.0
+                } else {
+                    ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Max absolute element difference between two same-shaped matrices.
+    fn max_diff(a: &Matrix, b: &Matrix) -> f32 {
+        assert_eq!(a.shape(), b.shape());
+        a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max)
+    }
+
+    #[test]
+    fn tiled_matmul_matches_reference_on_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (65, 64, 63), (70, 130, 67), (128, 1, 9)] {
+            let a = lcg_matrix(m, k, 7, 3);
+            let b = lcg_matrix(k, n, 13, 0);
+            let tiled = a.matmul(&b);
+            let naive = a.matmul_reference(&b);
+            // entries are O(1) sums of ≤130 products of values in [-0.5, 0.5],
+            // so 1e-5 absolute comfortably covers FMA rounding differences
+            assert!(
+                max_diff(&tiled, &naive) < 1e-5,
+                "tiled kernel diverged from reference at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial_bitwise() {
+        // large enough to cross PAR_MACS_THRESHOLD
+        let a = lcg_matrix(160, 160, 21, 0);
+        let b = lcg_matrix(160, 160, 43, 0);
+        let wide = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let par = wide.install(|| a.matmul(&b));
+        let narrow = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let ser = narrow.install(|| a.matmul(&b));
+        // identical code path per row regardless of worker count
+        assert_eq!(par, ser);
+        assert!(max_diff(&par, &a.matmul_reference(&b)) < 1e-5);
+    }
+
+    #[test]
+    fn one_hot_lhs_takes_exact_elem_skip_path() {
+        // one nonzero per row (density 1/40 < 1/8) trips the element-skip
+        // heuristic; that path keeps the reference's exact zero-skip
+        // arithmetic, so the products agree bitwise
+        let mut a = Matrix::zeros(33, 40);
+        for i in 0..33 {
+            a[(i, (i * 7) % 40)] = (i as f32 + 1.0) * 0.25;
+        }
+        let b = lcg_matrix(40, 29, 11, 0);
+        assert_eq!(a.matmul(&b), a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn row_sparse_lhs_skips_dead_rows() {
+        // 3/4 of rows all-zero with dense live rows: the row-skip mode runs
+        // live rows through the FMA micro-kernel and leaves dead rows zero
+        let dense = lcg_matrix(64, 40, 5, 0);
+        let mut a = Matrix::zeros(64, 40);
+        for i in (0..64).step_by(4) {
+            for j in 0..40 {
+                a[(i, j)] = dense[(i, j)];
+            }
+        }
+        let b = lcg_matrix(40, 64, 11, 0);
+        let got = a.matmul(&b);
+        assert!(max_diff(&got, &a.matmul_reference(&b)) < 1e-5);
+        for i in 0..64 {
+            if i % 4 != 0 {
+                assert!(got.row(i).iter().all(|&v| v == 0.0), "dead row {i} must stay zero");
+            }
+        }
+    }
+
+    #[test]
+    fn half_zero_dense_rows_stay_on_fast_path() {
+        // 1/2 zeros scattered inside otherwise-live rows used to force the
+        // scalar skip loop; the census now keeps such matrices on the
+        // micro-kernel (within FMA rounding of the reference)
+        let a = lcg_matrix(33, 40, 5, 2);
+        let b = lcg_matrix(40, 29, 11, 0);
+        assert!(max_diff(&a.matmul(&b), &a.matmul_reference(&b)) < 1e-5);
+    }
+
+    #[test]
+    fn reset_zeroed_reuses_and_clears() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let cap = m.data.capacity();
+        m.reset_zeroed(1, 3);
+        assert_eq!(m.shape(), (1, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.data.capacity(), cap, "shrinking reshape must keep the allocation");
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_across_reuse() {
+        // reuse one output buffer across differently shaped products; each
+        // call must fully overwrite whatever the previous one left behind
+        let mut out = Matrix::zeros(0, 0);
+        for &(m, k, n) in &[(5, 7, 6), (3, 2, 4), (8, 8, 8)] {
+            let a = lcg_matrix(m, k, 9, 3);
+            let b = lcg_matrix(k, n, 17, 0);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, a.matmul(&b));
+        }
     }
 
     #[test]

@@ -191,7 +191,9 @@ mod tests {
     #[test]
     fn distances() {
         assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
-        assert!((normalized_euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0 / 2.0_f32.sqrt()).abs() < 1e-6);
+        assert!(
+            (normalized_euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0 / 2.0_f32.sqrt()).abs() < 1e-6
+        );
         assert_eq!(normalized_euclidean(&[], &[]), 0.0);
     }
 

@@ -100,18 +100,12 @@ pub fn mean_edge_loss(views: &[ExplanationView]) -> f64 {
 /// real toxicophores"); with *planted*-motif synthetic data the same check
 /// becomes a quantitative metric: did the explainer keep the substructure
 /// that actually causes the label?
-pub fn motif_recovery_rate(
-    pairs: &[(&Graph, NodeExplanation)],
-    motif: &Graph,
-) -> f64 {
+pub fn motif_recovery_rate(pairs: &[(&Graph, NodeExplanation)], motif: &Graph) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
     let opts = gvex_iso::MatchOptions { induced: false, max_embeddings: 1000 };
-    let hits = pairs
-        .iter()
-        .filter(|(g, e)| gvex_iso::matches(motif, &e.subgraph(g), opts))
-        .count();
+    let hits = pairs.iter().filter(|(g, e)| gvex_iso::matches(motif, &e.subgraph(g), opts)).count();
     hits as f64 / pairs.len() as f64
 }
 
@@ -190,10 +184,8 @@ mod tests {
     fn evaluate_averages() {
         let g = graph();
         let m = model();
-        let pairs = vec![
-            (&g, NodeExplanation::new(vec![0, 1])),
-            (&g, NodeExplanation::new(vec![4, 5])),
-        ];
+        let pairs =
+            vec![(&g, NodeExplanation::new(vec![0, 1])), (&g, NodeExplanation::new(vec![4, 5]))];
         let q = evaluate(&m, &pairs);
         assert_eq!(q.count, 2);
         let a = sparsity(&g, &pairs[0].1);

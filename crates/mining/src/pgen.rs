@@ -224,9 +224,7 @@ mod tests {
                 && c.pattern.node_type(1) == 0)
         }));
         // the single type-1 node pattern must appear
-        assert!(fresh
-            .iter()
-            .any(|c| c.pattern.num_nodes() == 1 && c.pattern.node_type(0) == 1));
+        assert!(fresh.iter().any(|c| c.pattern.num_nodes() == 1 && c.pattern.node_type(0) == 1));
     }
 
     #[test]

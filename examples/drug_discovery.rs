@@ -22,24 +22,15 @@ fn main() {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let (model, report) = train(
-        &db,
-        cfg,
-        &split,
-        TrainOptions { epochs: 150, lr: 0.01, seed: 7, patience: 0 },
-    );
+    let (model, report) =
+        train(&db, cfg, &split, TrainOptions { epochs: 150, lr: 0.01, seed: 7, patience: 0 });
     println!("classifier test accuracy: {:.3}", report.test_accuracy);
 
     let gvex = ApproxGvex::new(Configuration::paper_mut(10));
 
     // A medical analyst asks "why are these two compounds mutagens?"
-    let mutagens: Vec<usize> = split
-        .test
-        .iter()
-        .copied()
-        .filter(|&gi| model.predict(db.graph(gi)) == 1)
-        .take(2)
-        .collect();
+    let mutagens: Vec<usize> =
+        split.test.iter().copied().filter(|&gi| model.predict(db.graph(gi)) == 1).take(2).collect();
 
     for &gi in &mutagens {
         let g = db.graph(gi);
@@ -48,10 +39,7 @@ fn main() {
             "\ncompound #{gi}: {} atoms; explanation keeps {} atoms: {:?}",
             g.num_nodes(),
             sub.len(),
-            sub.nodes
-                .iter()
-                .map(|&v| db.node_types.name(g.node_type(v)))
-                .collect::<Vec<_>>()
+            sub.nodes.iter().map(|&v| db.node_types.name(g.node_type(v))).collect::<Vec<_>>()
         );
         // The paper's two defining properties of an explanation subgraph:
         let verdict = everify(&model, g, &sub.nodes);
@@ -63,12 +51,8 @@ fn main() {
     let view = {
         let assigned: Vec<usize> = db.graphs().iter().map(|g| model.predict(g)).collect();
         let groups = db.label_groups(&assigned);
-        let test_mutagens: Vec<usize> = split
-            .test
-            .iter()
-            .copied()
-            .filter(|gi| groups.group(1).contains(gi))
-            .collect();
+        let test_mutagens: Vec<usize> =
+            split.test.iter().copied().filter(|gi| groups.group(1).contains(gi)).collect();
         gvex.explain_label_group(&model, &db, 1, &test_mutagens)
     };
 

@@ -138,8 +138,7 @@ fn trained_model(flags: &HashMap<String, String>, db: &GraphDatabase) -> (GcnMod
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let (model, report) =
-        train(db, cfg, &split, TrainOptions { epochs, lr, seed, patience: 0 });
+    let (model, report) = train(db, cfg, &split, TrainOptions { epochs, lr, seed, patience: 0 });
     eprintln!(
         "trained: val accuracy {:.3}, test accuracy {:.3} ({} epochs)",
         report.best_val_accuracy, report.test_accuracy, report.epochs

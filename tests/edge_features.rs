@@ -33,7 +33,8 @@ fn edge_type_db(n_per_class: usize) -> GraphDatabase {
 }
 
 fn train_variant(db: &GraphDatabase, gated: bool) -> (GcnModel, f32) {
-    let split = Split { train: (0..db.len()).collect(), val: (0..db.len()).collect(), test: vec![] };
+    let split =
+        Split { train: (0..db.len()).collect(), val: (0..db.len()).collect(), test: vec![] };
     let cfg = GcnConfig { input_dim: 2, hidden: 8, layers: 2, num_classes: 2 };
     let base = GcnModel::new(cfg, &mut ChaCha8Rng::seed_from_u64(3));
     let base = if gated { base.with_edge_gates(2) } else { base };
@@ -49,10 +50,7 @@ fn plain_gcn_cannot_separate_edge_type_classes() {
     let db = edge_type_db(8);
     let (_, acc) = train_variant(&db, false);
     // the two classes are *identical* to an edge-type-blind model
-    assert!(
-        acc <= 0.6,
-        "a plain GCN should be at chance on edge-type-only labels, got {acc}"
-    );
+    assert!(acc <= 0.6, "a plain GCN should be at chance on edge-type-only labels, got {acc}");
 }
 
 #[test]

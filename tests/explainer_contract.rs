@@ -49,7 +49,11 @@ fn budget_and_validity() {
                     "{} exceeded budget {budget} on graph {gi}",
                     ex.name()
                 );
-                assert!(e.nodes.iter().all(|&v| v < g.num_nodes()), "{} produced invalid ids", ex.name());
+                assert!(
+                    e.nodes.iter().all(|&v| v < g.num_nodes()),
+                    "{} produced invalid ids",
+                    ex.name()
+                );
                 // sorted + deduped per NodeExplanation contract
                 let mut sorted = e.nodes.clone();
                 sorted.sort_unstable();

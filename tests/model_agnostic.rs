@@ -6,7 +6,9 @@
 
 use gvex::core::{ApproxGvex, Configuration, StreamGvex};
 use gvex::datasets::{DatasetKind, Scale};
-use gvex::gnn::{train_model, trainer::TrainOptions, Aggregation, GcnConfig, GcnModel, Readout, Split};
+use gvex::gnn::{
+    train_model, trainer::TrainOptions, Aggregation, GcnConfig, GcnModel, Readout, Split,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -23,9 +25,9 @@ fn gvex_explains_every_message_passing_variant() {
     let opts = TrainOptions { epochs: 100, lr: 0.01, seed: 13, patience: 0 };
 
     for (aggregation, readout) in [
-        (Aggregation::GcnNorm, Readout::Max),  // the paper's classifier
-        (Aggregation::Mean, Readout::Mean),    // GraphSAGE-flavored
-        (Aggregation::Sum, Readout::Sum),      // GIN-flavored
+        (Aggregation::GcnNorm, Readout::Max), // the paper's classifier
+        (Aggregation::Mean, Readout::Mean),   // GraphSAGE-flavored
+        (Aggregation::Sum, Readout::Sum),     // GIN-flavored
     ] {
         let base = GcnModel::new(cfg, &mut ChaCha8Rng::seed_from_u64(13))
             .with_aggregation(aggregation)

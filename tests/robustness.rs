@@ -2,12 +2,12 @@
 //! sensibly (defined output or clean rejection, never a panic) on inputs a
 //! downstream user will eventually feed it.
 
+use gvex::core::NodeExplanation;
 use gvex::core::{ApproxGvex, Configuration, Explainer, StreamGvex};
 use gvex::gnn::{GcnConfig, GcnModel};
 use gvex::graph::{Graph, GraphDatabase};
 use gvex::influence::{InfluenceAnalysis, InfluenceMode};
 use gvex::metrics::{fidelity_minus, fidelity_plus, sparsity};
-use gvex::core::NodeExplanation;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -112,7 +112,8 @@ fn metrics_on_degenerate_explanations() {
 fn empty_database_explain_yields_empty_views() {
     let db = GraphDatabase::new(vec!["a".into(), "b".into()]);
     let m = model(2, 2);
-    let set = ApproxGvex::new(Configuration::uniform(0.1, 0.25, 0.5, 0, 5)).explain(&m, &db, &[0, 1]);
+    let set =
+        ApproxGvex::new(Configuration::uniform(0.1, 0.25, 0.5, 0, 5)).explain(&m, &db, &[0, 1]);
     assert_eq!(set.views.len(), 2);
     assert!(set.views.iter().all(|v| v.subgraphs.is_empty()));
     assert_eq!(set.total_explainability(), 0.0);

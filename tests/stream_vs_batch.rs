@@ -34,10 +34,9 @@ fn stream_explainability_within_factor_of_batch() {
     let mut explained = 0;
     for &gi in &split.test {
         let g = db.graph(gi);
-        if let (Some(b), Some((s, _))) = (
-            ag.explain_graph(&model, g, gi),
-            sg.explain_graph_stream(&model, g, gi, None),
-        ) {
+        if let (Some(b), Some((s, _))) =
+            (ag.explain_graph(&model, g, gi), sg.explain_graph_stream(&model, g, gi, None))
+        {
             batch_total += b.explainability;
             stream_total += s.explainability;
             explained += 1;
@@ -62,10 +61,7 @@ fn anytime_score_is_monotone_over_the_stream() {
     for v in 0..g.num_nodes() {
         stream.arrive(v);
         let score = stream.current_score();
-        assert!(
-            score >= last - 1e-9,
-            "anytime score regressed at node {v}: {last} -> {score}"
-        );
+        assert!(score >= last - 1e-9, "anytime score regressed at node {v}: {last} -> {score}");
         last = score;
     }
 }
