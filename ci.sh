@@ -28,4 +28,32 @@ if [[ "${1:-}" != "--fast" ]]; then
     cargo run -q --release -p gvex-bench --bin hotpaths
 fi
 
+echo "==> obs smoke (GVEX_OBS=1 explain run, validates OBS_report.json)"
+obs_report="$(mktemp -t gvex_obs_report.XXXXXX.json)"
+trap 'rm -f "$obs_report"' EXIT
+GVEX_OBS=1 GVEX_OBS_JSON="$obs_report" \
+    cargo run -q --release -- explain --dataset MUT --scale small --upper 4 >/dev/null
+python3 - "$obs_report" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+
+if report["open_spans"] != 0:
+    sys.exit(f"obs smoke: {report['open_spans']} span(s) left open at exit")
+
+paths = {span["path"] for span in report["spans"]}
+for required in ("explain_db", "explain_db/predict", "explain_db/summarize"):
+    if required not in paths:
+        sys.exit(f"obs smoke: mandatory span {required!r} missing from {sorted(paths)}")
+
+counters = report["counters"]
+if not any(name.startswith("gnn.trace_cache.") for name in counters):
+    sys.exit("obs smoke: no gnn.trace_cache.* counters recorded")
+if not any(name.startswith("linalg.matmul.dispatch.") for name in counters):
+    sys.exit("obs smoke: no linalg.matmul.dispatch.* counters recorded")
+
+print(f"obs smoke: {len(paths)} span paths, {len(counters)} counters — OK")
+PY
+
 echo "==> CI green"

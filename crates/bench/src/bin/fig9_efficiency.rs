@@ -31,6 +31,12 @@ fn main() {
     let mut out = Fig9::default();
     let uls = [5usize, 10, 15, 20];
 
+    // Each figure section gets its own top-level span so a GVEX_OBS=1 run
+    // reports a per-section phase breakdown alongside the printed timings.
+    // The previous guard must drop *before* the next `enter`, otherwise the
+    // sections would nest instead of forming siblings.
+    let section = gvex_obs::span::enter("fig9.ab_grid");
+
     // (a, b): runtimes from the shared grid at u_l = 10
     let grid_sets = [
         DatasetKind::Mutagenicity,
@@ -55,6 +61,9 @@ fn main() {
         }
         println!("{line}");
     }
+
+    drop(section);
+    let section = gvex_obs::span::enter("fig9.c_all_datasets");
 
     // (c): all seven datasets; budget marks the paper's ">24h" dropouts
     println!("\nFigure 9(c) — runtime (s) across datasets (u_l = 10)\n");
@@ -89,6 +98,9 @@ fn main() {
         }
     }
 
+    drop(section);
+    let section = gvex_obs::span::enter("fig9.d_scaling");
+
     // (d): scaling in #graphs on PCQ-like data
     println!("\nFigure 9(d) — scaling with #graphs (PCQ)\n");
     println!("{:>8} {:>10} {:>10}", "#graphs", "AG (s)", "SG (s)");
@@ -104,6 +116,9 @@ fn main() {
         println!("{n:>8} {ag_secs:>10.2} {sg_secs:>10.2}");
         out.d_scaling.push((n, ag_secs, sg_secs));
     }
+
+    drop(section);
+    let section = gvex_obs::span::enter("fig9.e_parallel");
 
     // (e): parallel speedup on PRO and SYN at a scale where per-graph
     // influence analysis dominates (the paper's big-graph setting; the
@@ -133,6 +148,9 @@ fn main() {
         }
     }
 
+    drop(section);
+    let section = gvex_obs::span::enter("fig9.f_stream");
+
     // (f): StreamGVEX vs processed stream fraction on MUT
     println!("\nFigure 9(f) — StreamGVEX runtime vs batch fraction (MUT)\n");
     println!("{:>8} {:>10}", "%stream", "secs");
@@ -151,7 +169,10 @@ fn main() {
         out.f_stream_batches.push((frac, secs));
     }
 
+    drop(section);
     write_json("fig9_efficiency.json", &out);
+    // with GVEX_OBS=1: per-section span tree to stderr + OBS_report.json
+    gvex_obs::report::emit();
 }
 
 /// Wraps an externally generated database in a [`Prepared`] by training the

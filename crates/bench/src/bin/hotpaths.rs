@@ -12,12 +12,21 @@
 //!    hidden-64 GCN: [`gvex_influence::realized`] (batched seed blocks with
 //!    hop-support tracking) vs [`gvex_influence::realized_reference`] (one
 //!    propagation per seed) — seeds/s and speedup (target ≥ 2×).
-//! 3. End-to-end `explain_database` wall time on a small motif database,
+//! 3. Disabled-observability overhead: the same matmul raced with and
+//!    without a `gvex_obs` span/counter around each call while observation
+//!    is off (target: ratio ≈ 1.0, i.e. statistically zero), plus the
+//!    direct per-op cost of a full disabled macro set.
+//! 4. End-to-end `explain_database` wall time on a small motif database,
 //!    at 1 and 4 threads (identical output by construction; on a
 //!    single-core container the thread counts mostly measure overhead).
+//!    A final run repeats the 4-thread explain with observation *enabled*,
+//!    checks the output is bitwise identical, verifies the views through a
+//!    shared `TraceCache`, and emits the obs run report (`OBS_report.json`)
+//!    as the phase breakdown for this benchmark.
 
+use gvex_core::verify::verify_view_with;
 use gvex_core::{explain_database, Configuration};
-use gvex_gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split};
+use gvex_gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split, TraceCache};
 use gvex_graph::{Graph, GraphDatabase};
 use gvex_linalg::Matrix;
 use rand::{Rng, SeedableRng};
@@ -52,17 +61,37 @@ struct JacobianBench {
 }
 
 #[derive(Serialize)]
+struct ObsOverheadBench {
+    /// Matmul dimension used for the raced pair.
+    size: usize,
+    /// Min-of-N seconds for the bare kernel call.
+    baseline_secs: f64,
+    /// Min-of-N seconds with a disabled span + counter around each call.
+    instrumented_secs: f64,
+    /// `instrumented / baseline`; ≈ 1.0 means statistically zero overhead.
+    overhead_ratio: f64,
+    /// Direct amortized cost of one disabled span! + counter! + histogram!
+    /// set, in nanoseconds.
+    disabled_macro_set_ns: f64,
+}
+
+#[derive(Serialize)]
 struct ExplainBench {
     graphs: usize,
     labels: usize,
     secs_1_thread: f64,
     secs_4_threads: f64,
+    /// 4-thread run repeated with observation enabled.
+    obs_secs_4_threads: f64,
+    /// Whether the obs-enabled run produced bitwise-identical views.
+    obs_identical: bool,
 }
 
 #[derive(Serialize)]
 struct Report {
     matmul_256: MatmulBench,
     realized_jacobian_128: JacobianBench,
+    obs_overhead: ObsOverheadBench,
     explain_database: ExplainBench,
 }
 
@@ -173,6 +202,51 @@ fn bench_jacobian() -> JacobianBench {
     }
 }
 
+/// Races the matmul hot loop bare vs. wrapped in a *disabled* span +
+/// counter — the exact macro set the instrumented kernels execute when
+/// `GVEX_OBS` is off. The kernel itself carries its own internal obs calls
+/// in both closures, so the race isolates the marginal cost of one more
+/// disabled macro layer.
+fn bench_obs_overhead() -> ObsOverheadBench {
+    // Force the runtime toggle off regardless of the environment: this
+    // bench exists to prove the *disabled* path costs nothing.
+    gvex_obs::set_enabled(false);
+    const N: usize = 128;
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let a = random_matrix(N, N, &mut rng);
+    let b = random_matrix(N, N, &mut rng);
+    black_box(a.matmul(&b));
+    let (baseline_secs, instrumented_secs) = race(
+        15,
+        || {
+            black_box(a.matmul(black_box(&b)));
+        },
+        || {
+            gvex_obs::span!("obs_overhead.matmul");
+            gvex_obs::counter!("obs_overhead.calls");
+            black_box(a.matmul(black_box(&b)));
+        },
+    );
+
+    // Direct per-op cost of a full disabled macro set, amortized.
+    const REPS: u64 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..REPS {
+        gvex_obs::span!("obs_overhead.op");
+        gvex_obs::counter!("obs_overhead.ops");
+        gvex_obs::histogram!("obs_overhead.hist", black_box(i));
+    }
+    let disabled_macro_set_ns = t.elapsed().as_nanos() as f64 / REPS as f64;
+
+    ObsOverheadBench {
+        size: N,
+        baseline_secs,
+        instrumented_secs,
+        overhead_ratio: instrumented_secs / baseline_secs,
+        disabled_macro_set_ns,
+    }
+}
+
 fn motif_graph(chain: usize) -> Graph {
     let mut b = Graph::builder(false);
     for _ in 0..chain {
@@ -217,14 +291,35 @@ fn bench_explain() -> ExplainBench {
     black_box(explain_database(&model, &db, &labels, &cfg, 1));
     let secs_1 = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    black_box(explain_database(&model, &db, &labels, &cfg, 4));
+    let baseline = explain_database(&model, &db, &labels, &cfg, 4);
     let secs_4 = t.elapsed().as_secs_f64();
+
+    // Repeat with observation enabled: the output must stay bitwise
+    // identical, and the collected spans/counters become this benchmark's
+    // phase breakdown (emitted to stderr + OBS_report.json).
+    gvex_obs::set_enabled(true);
+    let t = Instant::now();
+    let observed = explain_database(&model, &db, &labels, &cfg, 4);
+    let obs_secs_4 = t.elapsed().as_secs_f64();
+    // Verify the views through one shared trace cache, twice: the second
+    // pass re-sees every member graph, so the report carries a non-trivial
+    // trace-cache hit rate alongside the PMatch/VF2 counters.
+    let cache = TraceCache::new();
+    for view in observed.views.iter().chain(observed.views.iter()) {
+        black_box(verify_view_with(&cache, &model, &db, view, &cfg));
+    }
+    gvex_obs::report::emit();
+    gvex_obs::set_enabled(false);
+    let obs_identical = serde_json::to_string(&baseline).expect("views serialize")
+        == serde_json::to_string(&observed).expect("views serialize");
 
     ExplainBench {
         graphs: db.len(),
         labels: labels.len(),
         secs_1_thread: secs_1,
         secs_4_threads: secs_4,
+        obs_secs_4_threads: obs_secs_4,
+        obs_identical,
     }
 }
 
@@ -249,15 +344,31 @@ fn main() {
         if jac.speedup >= 2.0 { "(>= 2x target met)" } else { "(BELOW 2x target)" }
     );
 
+    eprintln!("[hotpaths] disabled-observability overhead ...");
+    let obs = bench_obs_overhead();
+    eprintln!(
+        "[hotpaths]   ratio {:.4} (baseline {:.4}s vs instrumented {:.4}s), \
+         disabled macro set {:.2} ns/op",
+        obs.overhead_ratio, obs.baseline_secs, obs.instrumented_secs, obs.disabled_macro_set_ns
+    );
+
     eprintln!("[hotpaths] explain_database end-to-end ...");
     let explain = bench_explain();
     eprintln!(
-        "[hotpaths]   {} graphs: {:.2}s @1 thread, {:.2}s @4 threads",
-        explain.graphs, explain.secs_1_thread, explain.secs_4_threads
+        "[hotpaths]   {} graphs: {:.2}s @1 thread, {:.2}s @4 threads, {:.2}s @4 threads+obs ({})",
+        explain.graphs,
+        explain.secs_1_thread,
+        explain.secs_4_threads,
+        explain.obs_secs_4_threads,
+        if explain.obs_identical { "output identical" } else { "OUTPUT DIVERGED" }
     );
 
-    let report =
-        Report { matmul_256: matmul, realized_jacobian_128: jac, explain_database: explain };
+    let report = Report {
+        matmul_256: matmul,
+        realized_jacobian_128: jac,
+        obs_overhead: obs,
+        explain_database: explain,
+    };
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json");
     let text = serde_json::to_string_pretty(&report).expect("serializable report");
     std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));

@@ -44,6 +44,7 @@ fn train_options(kind: DatasetKind) -> (TrainOptions, usize) {
 
 /// Generates `kind` at `scale` and trains the classifier.
 pub fn prepare(kind: DatasetKind, scale: Scale, seed: u64) -> Prepared {
+    gvex_obs::span!("bench.prepare");
     let db = kind.generate(scale, seed);
     let split = Split::paper(&db, seed);
     let (opts, hidden) = train_options(kind);
@@ -98,6 +99,7 @@ pub struct GridCell {
 
 /// Evaluates one explainer over the test split at one budget.
 pub fn eval_method(prep: &Prepared, ex: &dyn Explainer, u_l: usize, budget: Duration) -> GridCell {
+    gvex_obs::span!("bench.eval_method");
     let start = Instant::now();
     let mut pairs: Vec<(&gvex_graph::Graph, NodeExplanation)> = Vec::new();
     let mut timed_out = false;

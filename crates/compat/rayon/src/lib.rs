@@ -24,18 +24,13 @@ thread_local! {
 }
 
 /// The number of worker threads parallel calls on this thread will use.
+/// `GVEX_THREADS` parsing (and the malformed-value fallback) lives in
+/// [`gvex_obs::env::threads`] so every crate agrees on its meaning.
 pub fn current_num_threads() -> usize {
     if let Some(n) = POOL_THREADS.with(|c| c.get()) {
         return n.max(1);
     }
-    if let Ok(raw) = std::env::var("GVEX_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    gvex_obs::env::threads()
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder` (only `num_threads`).
@@ -116,8 +111,12 @@ where
         let rb = b();
         (ra, rb)
     } else {
+        let base_path = gvex_obs::span::current_path();
         std::thread::scope(|s| {
-            let hb = s.spawn(b);
+            let hb = s.spawn(move || {
+                let _adopted = gvex_obs::span::adopt(&base_path);
+                b()
+            });
             let ra = a();
             (ra, hb.join().expect("rayon stand-in: joined task panicked"))
         })
@@ -141,14 +140,28 @@ where
     let mut results: Vec<Option<R>> = Vec::with_capacity(len);
     results.resize_with(len, || None);
     let mut items = items;
+    // Workers adopt the launching thread's span path so spans opened inside
+    // parallel closures nest under the phase that launched them; per-worker
+    // item counts expose chunking imbalance. All of it is inert unless
+    // observation is on — the fan-out itself is unchanged either way.
+    let base_path = gvex_obs::span::current_path();
+    gvex_obs::counter!("rayon.parallel_calls");
     std::thread::scope(|s| {
         let f = &f;
+        let base_path = &base_path;
         let mut out_chunks: Vec<&mut [Option<R>]> = results.chunks_mut(chunk).collect();
+        let mut worker = out_chunks.len();
         // hand out chunks back-to-front so `drain` pops matching tails
         while let Some(out) = out_chunks.pop() {
+            worker -= 1;
             let tail_start = items.len() - out.len();
             let part: Vec<T> = items.drain(tail_start..).collect();
+            if gvex_obs::enabled() {
+                gvex_obs::counter!(&format!("rayon.worker.{worker}.items"), part.len() as u64);
+                gvex_obs::histogram!("rayon.chunk_items", part.len() as u64);
+            }
             s.spawn(move || {
+                let _adopted = gvex_obs::span::adopt(base_path);
                 for (slot, item) in out.iter_mut().zip(part) {
                     *slot = Some(f(item));
                 }

@@ -57,6 +57,7 @@ impl ApproxGvex {
         g: &Graph,
         graph_index: usize,
     ) -> Option<ExplanationSubgraph> {
+        gvex_obs::span!("explain_graph");
         let n = g.num_nodes();
         if n == 0 {
             return None;
@@ -245,8 +246,10 @@ impl ApproxGvex {
         label: usize,
         group: &[usize],
     ) -> ExplanationView {
-        let subgraphs: Vec<ExplanationSubgraph> =
-            group.iter().filter_map(|&gi| self.explain_graph(model, db.graph(gi), gi)).collect();
+        let subgraphs: Vec<ExplanationSubgraph> = {
+            gvex_obs::span!("explain");
+            group.iter().filter_map(|&gi| self.explain_graph(model, db.graph(gi), gi)).collect()
+        };
         summarize(label, subgraphs, &self.cfg)
     }
 
@@ -258,6 +261,7 @@ impl ApproxGvex {
         db: &GraphDatabase,
         labels_of_interest: &[usize],
     ) -> ExplanationViewSet {
+        gvex_obs::span!("explain_db");
         let assigned = crate::parallel::predict_all(model, db);
         let groups = db.label_groups(&assigned);
         let views = labels_of_interest
@@ -276,6 +280,7 @@ pub(crate) fn summarize(
     subgraphs: Vec<ExplanationSubgraph>,
     cfg: &Configuration,
 ) -> ExplanationView {
+    gvex_obs::span!("summarize");
     let graphs: Vec<&Graph> = subgraphs.iter().map(|s| &s.subgraph).collect();
     let ps = psum(&graphs, &cfg.mining, cfg.matching);
     let explainability = subgraphs.iter().map(|s| s.explainability).sum();

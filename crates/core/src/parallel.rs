@@ -17,6 +17,7 @@ use rayon::prelude::*;
 /// parallel. Predictions are independent per graph and collected in index
 /// order, so the result is identical for any worker count.
 pub fn predict_all(model: &GcnModel, db: &GraphDatabase) -> Vec<usize> {
+    gvex_obs::span!("predict");
     db.graphs().par_iter().map(|g| model.predict(g)).collect()
 }
 
@@ -34,23 +35,27 @@ pub fn explain_database(
         .build()
         .expect("failed to build rayon pool");
     pool.install(|| {
+        gvex_obs::span!("explain_db");
         let assigned = predict_all(model, db);
         let groups = db.label_groups(&assigned);
         let ag = ApproxGvex::new(cfg.clone());
         // per-label prep (the per-graph explain step) fans out across
         // workers; summarization is a cross-graph step and stays sequential
         // per label, matching the paper's decomposition
-        let prepped: Vec<(usize, Vec<ExplanationSubgraph>)> = labels_of_interest
-            .par_iter()
-            .map(|&l| {
-                let subs: Vec<ExplanationSubgraph> = groups
-                    .group(l)
-                    .par_iter()
-                    .filter_map(|&gi| ag.explain_graph(model, db.graph(gi), gi))
-                    .collect();
-                (l, subs)
-            })
-            .collect();
+        let prepped: Vec<(usize, Vec<ExplanationSubgraph>)> = {
+            gvex_obs::span!("explain");
+            labels_of_interest
+                .par_iter()
+                .map(|&l| {
+                    let subs: Vec<ExplanationSubgraph> = groups
+                        .group(l)
+                        .par_iter()
+                        .filter_map(|&gi| ag.explain_graph(model, db.graph(gi), gi))
+                        .collect();
+                    (l, subs)
+                })
+                .collect()
+        };
         let views: Vec<ExplanationView> =
             prepped.into_iter().map(|(l, subs)| summarize(l, subs, cfg)).collect();
         ExplanationViewSet { views }

@@ -53,6 +53,7 @@ fn candidate_coverage(
 
 /// Runs `Psum` over the explanation subgraphs of one view.
 pub fn psum(subgraphs: &[&Graph], mining: &MiningConfig, matching: MatchOptions) -> PsumResult {
+    gvex_obs::span!("psum");
     let total_nodes: usize = subgraphs.iter().map(|g| g.num_nodes()).sum();
     let total_edges: usize = subgraphs.iter().map(|g| g.num_edges()).sum();
     if total_nodes == 0 {

@@ -390,6 +390,7 @@ impl StreamGvex {
         graph_index: usize,
         order: Option<&[NodeId]>,
     ) -> Option<(ExplanationSubgraph, Vec<Graph>)> {
+        gvex_obs::span!("stream.explain_graph");
         if g.num_nodes() == 0 {
             return None;
         }
@@ -459,6 +460,7 @@ impl StreamGvex {
         db: &GraphDatabase,
         labels_of_interest: &[usize],
     ) -> ExplanationViewSet {
+        gvex_obs::span!("explain_db");
         let assigned = crate::parallel::predict_all(model, db);
         let groups = db.label_groups(&assigned);
         let views = labels_of_interest

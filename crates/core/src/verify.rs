@@ -94,6 +94,7 @@ pub fn verify_view_with(
     view: &ExplanationView,
     cfg: &Configuration,
 ) -> VerificationReport {
+    gvex_obs::span!("verify_view");
     let bound = cfg.bound(view.label);
     let mut is_graph_view = true;
     let mut is_explanation_view = true;

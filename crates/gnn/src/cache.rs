@@ -64,10 +64,16 @@ impl TraceCache {
             if let Some(t) = inner.map.get(&key) {
                 let t = Arc::clone(t);
                 inner.hits += 1;
+                gvex_obs::counter!("gnn.trace_cache.hits");
+                gvex_obs::counter!("gnn.trace_cache.misses", 0);
                 return t;
             }
             inner.misses += 1;
         }
+        // both counters registered on either path, so the report's
+        // hit-rate is computable even when one side stays at zero
+        gvex_obs::counter!("gnn.trace_cache.misses");
+        gvex_obs::counter!("gnn.trace_cache.hits", 0);
         // compute outside the lock: a concurrent miss on the same graph
         // duplicates work instead of serializing every other lookup
         let trace = Arc::new(model.forward(g));
@@ -93,9 +99,22 @@ impl TraceCache {
     }
 
     /// `(hits, misses)` counters — observability for tests and benches.
+    /// The same numbers stream into the metrics registry as
+    /// `gnn.trace_cache.hits` / `gnn.trace_cache.misses`.
     pub fn stats(&self) -> (u64, u64) {
         let inner = self.inner.lock().expect("trace cache poisoned");
         (inner.hits, inner.misses)
+    }
+
+    /// Drops every cached trace and zeroes the hit/miss counters, so a
+    /// long-lived process can reuse one cache across runs without stale
+    /// traces or unbounded growth between them.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("trace cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+        inner.hits = 0;
+        inner.misses = 0;
     }
 
     /// Number of traces currently held.
@@ -201,6 +220,23 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.trace(&m, &g3); // must recompute
         assert_eq!(cache.stats(), (0, 4));
+    }
+
+    #[test]
+    fn clear_empties_entries_and_counters() {
+        let m = model();
+        let g = path(6, false);
+        let cache = TraceCache::new();
+        cache.trace(&m, &g);
+        cache.trace(&m, &g);
+        assert_eq!(cache.stats(), (1, 1));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+        // a cleared cache re-warms: next lookup is a miss, not a hit
+        cache.trace(&m, &g);
+        assert_eq!(cache.stats(), (0, 1));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

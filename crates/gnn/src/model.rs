@@ -259,6 +259,7 @@ impl GcnModel {
 
     /// Forward pass from explicit features (the masked path perturbs `X`).
     pub fn forward_from_features(&self, x: Matrix, adj: NormAdj) -> ForwardTrace {
+        gvex_obs::span!("gnn.forward");
         // The empty graph may carry a 0-dim feature matrix; normalize its
         // shape so the layer algebra stays well-typed.
         let x = if x.rows() == 0 { Matrix::zeros(0, self.cfg.input_dim) } else { x };

@@ -134,6 +134,8 @@ fn train_with_rng(
     let mut ran = 0;
 
     for _epoch in 0..opts.epochs {
+        gvex_obs::span!("gnn.train.epoch");
+        gvex_obs::counter!("gnn.train.epochs");
         ran += 1;
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0;
@@ -226,6 +228,8 @@ pub fn train_parallel(
     let mut ran = 0;
 
     for _epoch in 0..opts.epochs {
+        gvex_obs::span!("gnn.train.epoch");
+        gvex_obs::counter!("gnn.train.epochs");
         ran += 1;
         order.shuffle(&mut rng);
         // fan the per-graph forward/backward passes across workers

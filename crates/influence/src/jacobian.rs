@@ -181,6 +181,7 @@ fn hop_supports(adj: &NormAdj, k: usize) -> Vec<Vec<Vec<usize>>> {
 
 /// [`realized`] reusing a precomputed forward trace of `g`.
 pub fn realized_with_trace(model: &GcnModel, g: &Graph, trace: &ForwardTrace) -> Matrix {
+    gvex_obs::span!("influence.realized");
     let n = g.num_nodes();
     let d = model.config().input_dim;
     if n == 0 || d == 0 {
@@ -224,6 +225,9 @@ pub fn realized_with_trace(model: &GcnModel, g: &Graph, trace: &ForwardTrace) ->
     let mut z = Matrix::zeros(0, 0);
     while first_seed < total_seeds {
         let batch = SEED_BATCH.min(total_seeds - first_seed);
+        gvex_obs::counter!("influence.jacobian.seed_batches");
+        gvex_obs::counter!("influence.jacobian.seeds", batch as u64);
+        gvex_obs::histogram!("influence.jacobian.batch_seeds", batch as u64);
         let seed_node = |b: usize| (first_seed + b) / d;
         // seed s = u·d + dim starts as the block e_u e_dimᵀ; only the seed
         // row needs defined contents at layer 0.

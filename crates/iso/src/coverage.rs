@@ -80,6 +80,7 @@ pub fn covered(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Coverage 
 /// Coverage of `target` by a *set* of patterns (union of per-pattern
 /// coverage), as required by the graph-view definition (§2.1).
 pub fn covered_by_set(patterns: &[Graph], target: &Graph, opts: MatchOptions) -> Coverage {
+    gvex_obs::span!("iso.pmatch");
     let mut cov = Coverage::default();
     for p in patterns {
         cov.union_with(&covered(p, target, opts));

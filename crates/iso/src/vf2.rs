@@ -159,6 +159,7 @@ impl<'a, F: FnMut(&[NodeId]) -> ControlFlow<()>> Vf2<'a, F> {
         cands.dedup();
         for t in cands {
             if self.used[t] || !self.feasible(p, t) {
+                gvex_obs::counter!("iso.vf2.candidate_prunes");
                 continue;
             }
             self.map[p] = t;

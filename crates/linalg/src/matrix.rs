@@ -241,9 +241,16 @@ impl Matrix {
         } else {
             LhsMode::Dense
         };
+        gvex_obs::span!("linalg.matmul");
+        gvex_obs::counter!(match mode {
+            LhsMode::ElemSkip => "linalg.matmul.dispatch.elem_skip",
+            LhsMode::RowSkip(_) => "linalg.matmul.dispatch.row_skip",
+            LhsMode::Dense => "linalg.matmul.dispatch.dense",
+        });
         let macs = self.rows * self.cols * rhs.cols;
         let threads = rayon::current_num_threads();
         if macs >= PAR_MACS_THRESHOLD && threads > 1 {
+            gvex_obs::counter!("linalg.matmul.dispatch.parallel");
             // Whole-row chunks: each worker owns a contiguous row block, so
             // every output row has a single writer and a serial-identical
             // accumulation order.

@@ -107,6 +107,7 @@ impl CandidateStore {
 /// `cfg.max_pattern_nodes`, takes its induced typed subgraph as a pattern,
 /// deduplicates up to isomorphism, counts support, and ranks by MDL gain.
 pub fn pgen(subgraphs: &[&Graph], cfg: &MiningConfig) -> Vec<PatternCandidate> {
+    gvex_obs::span!("mining.pgen");
     let mut store = CandidateStore::default();
     let mut total = 0usize;
     // Hard enumeration budget: distinct candidates are capped by
@@ -123,7 +124,10 @@ pub fn pgen(subgraphs: &[&Graph], cfg: &MiningConfig) -> Vec<PatternCandidate> {
             }
         });
     }
-    store.finish(cfg)
+    gvex_obs::counter!("mining.pgen.occurrences", total as u64);
+    let candidates = store.finish(cfg);
+    gvex_obs::counter!("mining.pgen.candidates", candidates.len() as u64);
+    candidates
 }
 
 /// Streaming pattern generation (`IncPGen`, §5): mines only patterns whose
@@ -135,6 +139,7 @@ pub fn inc_pgen(
     existing: &[Graph],
     cfg: &MiningConfig,
 ) -> Vec<PatternCandidate> {
+    gvex_obs::span!("mining.inc_pgen");
     let mut store = CandidateStore::default();
     connected_subsets(subgraph, cfg.max_pattern_nodes, |nodes| {
         if nodes.contains(&anchor) {

@@ -1,0 +1,121 @@
+//! `gvex-obs`: zero-overhead tracing, metrics, and run reports.
+//!
+//! The explain pipeline is instrumented with three primitives:
+//!
+//! - [`span!`] — an RAII guard recording nested wall-clock under a
+//!   slash-joined path (`explain_db/predict/gnn.forward`), aggregated
+//!   thread-safely by full path;
+//! - [`counter!`] — a named monotonic counter;
+//! - [`histogram!`] — a named fixed-bucket (power-of-two bounds) histogram.
+//!
+//! Observation never alters computation: guards only read the clock and
+//! update side tables, so the bitwise thread-count determinism guarantee of
+//! the pipeline is preserved (pinned by `tests/determinism.rs`).
+//!
+//! Two switches gate the machinery:
+//!
+//! 1. the `enabled` **cargo feature** (forwarded as `obs` by every gvex
+//!    crate) — without it the macros expand to inlined no-ops with zero
+//!    runtime cost;
+//! 2. the `GVEX_OBS` **environment variable** (or [`set_enabled`] in
+//!    process) — with the feature compiled in but the toggle off, each
+//!    primitive costs one relaxed atomic load.
+//!
+//! At the end of a run, [`report::emit`] renders the span tree to stderr and
+//! writes machine-readable `OBS_report.json` (path override: `GVEX_OBS_JSON`).
+
+pub mod env;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+#[cfg(feature = "enabled")]
+mod state {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// 0 = uninitialised (consult `GVEX_OBS`), 1 = off, 2 = on.
+    static STATE: AtomicU8 = AtomicU8::new(0);
+
+    #[inline]
+    pub fn enabled() -> bool {
+        match STATE.load(Ordering::Relaxed) {
+            1 => false,
+            2 => true,
+            _ => {
+                let on = crate::env::flag("GVEX_OBS");
+                STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+                on
+            }
+        }
+    }
+
+    pub fn set_enabled(on: bool) {
+        STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    }
+}
+
+/// Whether observation is active right now (feature compiled in **and**
+/// runtime toggle on). The first call reads `GVEX_OBS`; afterwards it is a
+/// single relaxed atomic load.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn enabled() -> bool {
+    state::enabled()
+}
+
+/// Always `false` when the `enabled` feature is compiled out.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Overrides the `GVEX_OBS` toggle in process — used by tests and benches
+/// that must observe one run and not another without re-execing.
+#[cfg(feature = "enabled")]
+pub fn set_enabled(on: bool) {
+    state::set_enabled(on);
+}
+
+/// No-op when the `enabled` feature is compiled out.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn set_enabled(_on: bool) {}
+
+/// Clears all recorded spans, counters, and histograms (the enable state is
+/// untouched). Benches call this between measured and instrumented runs.
+pub fn reset() {
+    span::reset();
+    metrics::reset();
+}
+
+/// Opens a wall-clock span until the end of the enclosing scope:
+/// `gvex_obs::span!("mining.pgen");`. Nested spans extend the thread's
+/// slash-joined path. Expands to a no-op without the `enabled` feature.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _gvex_obs_span_guard = $crate::span::enter($name);
+    };
+}
+
+/// Increments a named counter: `counter!("gnn.trace_cache.hits")` adds 1,
+/// `counter!("mining.pgen.occurrences", n)` adds `n`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::metrics::counter_add($name, 1)
+    };
+    ($name:expr, $n:expr) => {
+        $crate::metrics::counter_add($name, $n)
+    };
+}
+
+/// Records a value into a named fixed-bucket histogram:
+/// `histogram!("rayon.chunk_items", len)`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {
+        $crate::metrics::histogram_record($name, $value)
+    };
+}

@@ -1,0 +1,207 @@
+//! End-of-run report: span tree to stderr, `OBS_report.json` to disk.
+//!
+//! JSON is emitted by hand — `gvex-obs` sits below every other crate
+//! (including the serde stand-ins) and must stay dependency-free. The
+//! schema is documented in DESIGN.md §8; `schema_version` bumps on any
+//! incompatible change.
+
+use crate::metrics::HistogramSnapshot;
+use crate::span::SpanRecord;
+use std::path::PathBuf;
+
+/// Schema version stamped into `OBS_report.json`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default report file name, relative to the working directory; override
+/// with `GVEX_OBS_JSON=/path/to/file.json`.
+pub const DEFAULT_JSON_PATH: &str = "OBS_report.json";
+
+/// Renders the report to stderr and writes the JSON file, returning its
+/// path. Does nothing (returns `None`) unless observation is enabled, so
+/// every binary can call it unconditionally at exit.
+pub fn emit() -> Option<PathBuf> {
+    if !crate::enabled() {
+        return None;
+    }
+    eprint!("{}", render_text());
+    let path = PathBuf::from(
+        crate::env::string("GVEX_OBS_JSON").unwrap_or_else(|| DEFAULT_JSON_PATH.into()),
+    );
+    match std::fs::write(&path, render_json()) {
+        Ok(()) => {
+            eprintln!("[gvex-obs] wrote {}", path.display());
+            Some(path)
+        }
+        Err(err) => {
+            eprintln!("[gvex-obs] failed to write {}: {err}", path.display());
+            None
+        }
+    }
+}
+
+/// The human-readable report: an indented span tree (count, total, mean per
+/// path) followed by counters and histograms.
+pub fn render_text() -> String {
+    let mut out = String::new();
+    out.push_str("[gvex-obs] ──────────────────────── run report ────────────────────────\n");
+    let spans = crate::span::snapshot();
+    if spans.is_empty() {
+        out.push_str("[gvex-obs] no spans recorded\n");
+    } else {
+        out.push_str("[gvex-obs] spans (count · total · mean):\n");
+        for s in &spans {
+            let depth = s.path.matches('/').count();
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+            let label = format!("{}{}", "  ".repeat(depth), name);
+            let total = s.total_ns as f64 / 1e6;
+            let mean = total / s.count.max(1) as f64;
+            out.push_str(&format!(
+                "[gvex-obs]   {label:<40} {:>7} · {total:>10.2}ms · {mean:>9.3}ms\n",
+                s.count
+            ));
+        }
+    }
+    let counters = crate::metrics::counters();
+    if !counters.is_empty() {
+        out.push_str("[gvex-obs] counters:\n");
+        for (name, value) in &counters {
+            out.push_str(&format!("[gvex-obs]   {name} = {value}\n"));
+        }
+    }
+    let histograms = crate::metrics::histograms();
+    if !histograms.is_empty() {
+        out.push_str("[gvex-obs] histograms (count · mean · overflow):\n");
+        for (name, h) in &histograms {
+            out.push_str(&format!(
+                "[gvex-obs]   {name}: {} · {:.1} · {}\n",
+                h.count,
+                h.mean(),
+                h.overflow
+            ));
+        }
+    }
+    let open = crate::span::open_spans();
+    if open != 0 {
+        out.push_str(&format!("[gvex-obs] WARNING: {open} span(s) still open\n"));
+    }
+    out
+}
+
+/// The machine-readable report as a JSON document (see DESIGN.md §8 for the
+/// schema).
+pub fn render_json() -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", crate::env::threads()));
+    out.push_str(&format!("  \"open_spans\": {},\n", crate::span::open_spans()));
+    out.push_str("  \"spans\": [\n");
+    let spans = crate::span::snapshot();
+    for (i, s) in spans.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"count\": {}, \"total_ms\": {}, \"min_ms\": {}, \"max_ms\": {}}}{}\n",
+            escape(&s.path),
+            s.count,
+            fmt_ms(s.total_ns),
+            fmt_ms(s.min_ns),
+            fmt_ms(s.max_ns),
+            comma(i, spans.len()),
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"counters\": {\n");
+    let counters = crate::metrics::counters();
+    for (i, (name, value)) in counters.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {value}{}\n", escape(name), comma(i, counters.len())));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"histograms\": {\n");
+    let histograms = crate::metrics::histograms();
+    for (i, (name, h)) in histograms.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"bounds\": {}, \"counts\": {}, \"overflow\": {}, \"count\": {}, \"sum\": {}}}{}\n",
+            escape(name),
+            u64_array(&crate::metrics::HISTOGRAM_BOUNDS),
+            u64_array(&h.counts),
+            h.overflow,
+            h.count,
+            h.sum,
+            comma(i, histograms.len()),
+        ));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// `,` between elements, nothing after the last.
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Nanoseconds as fractional milliseconds with fixed precision (a plain JSON
+/// number).
+fn fmt_ms(ns: u128) -> String {
+    format!("{:.6}", ns as f64 / 1e6)
+}
+
+fn u64_array(values: &[u64]) -> String {
+    let inner: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+/// Escapes a string for a JSON literal. Metric names are ASCII identifiers
+/// in practice; this keeps the output valid even if one is not.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Re-exported for report consumers that want to pretty-print histograms
+/// themselves.
+pub fn histograms() -> Vec<(String, HistogramSnapshot)> {
+    crate::metrics::histograms()
+}
+
+/// Re-exported for report consumers that want the raw span table.
+pub fn spans() -> Vec<SpanRecord> {
+    crate::span::snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("plain.name"), "plain.name");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_renders_even_when_empty() {
+        // With the feature off (or nothing recorded) the document must
+        // still be well-formed.
+        let json = render_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

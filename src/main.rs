@@ -14,8 +14,10 @@
 //! `--tu-dir <dir> --tu-name <DS>` may replace `--dataset` everywhere to run
 //! on a real TUDataset download instead of a synthetic stand-in.
 
+use gvex::core::verify::verify_view_with;
 use gvex::core::{index_views, ApproxGvex, Configuration, ExplanationViewSet, StreamGvex};
 use gvex::datasets::{dataset_stats, read_tu_dataset, write_tu_dataset, DatasetKind, Scale};
+use gvex::gnn::TraceCache;
 use gvex::gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split};
 use gvex::graph::GraphDatabase;
 use std::collections::HashMap;
@@ -169,10 +171,28 @@ fn cmd_explain(flags: &HashMap<String, String>) {
     let cfg = Configuration::paper_mut(upper);
 
     let views = if flags.contains_key("stream") {
-        StreamGvex::new(cfg).explain(&model, &db, &labels)
+        StreamGvex::new(cfg.clone()).explain(&model, &db, &labels)
     } else {
-        ApproxGvex::new(cfg).explain(&model, &db, &labels)
+        ApproxGvex::new(cfg.clone()).explain(&model, &db, &labels)
     };
+
+    // Verify every view against C1–C3 through a shared trace cache: the
+    // member graphs repeat across views, so their full forward passes are
+    // memoized (and the cache's hit/miss counters land in the obs report).
+    let cache = TraceCache::new();
+    for view in &views.views {
+        let report = verify_view_with(&cache, &model, &db, view, &cfg);
+        println!(
+            "label {}: verification C1={} C2={} C3={} -> {}",
+            view.label,
+            report.is_graph_view,
+            report.is_explanation_view,
+            report.properly_covers,
+            if report.is_valid() { "valid" } else { "INVALID" }
+        );
+    }
+    let (hits, misses) = cache.stats();
+    eprintln!("[gvex] verification trace cache: {hits} hits, {misses} misses");
 
     for view in &views.views {
         println!(
@@ -256,5 +276,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&flags),
         _ => usage(),
     }
+    // With GVEX_OBS=1: span tree to stderr, OBS_report.json to disk.
+    gvex::obs::report::emit();
     ExitCode::SUCCESS
 }

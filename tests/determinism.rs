@@ -65,6 +65,45 @@ fn explain_database_identical_across_thread_counts() {
     assert_eq!(serial_json, parallel_json, "explanation views depend on thread count");
 }
 
+/// Observation must never perturb the computation it measures: with spans,
+/// counters, and histograms recording, the explanation views stay bitwise
+/// identical to the unobserved baseline at both thread counts.
+#[test]
+fn explain_database_identical_with_observation_enabled() {
+    let db = toy_database();
+    let split =
+        Split { train: (0..db.len()).collect(), val: (0..db.len()).collect(), test: vec![] };
+    let gcfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
+    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 1, patience: 0 };
+    let (model, _) = train(&db, gcfg, &split, opts);
+    let labels = vec![0usize, 1];
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 4);
+
+    let baseline = serde_json::to_string(&explain_database(&model, &db, &labels, &cfg, 1))
+        .expect("serializable views");
+
+    // Only ever *enable* — the toggle is process-global and other tests in
+    // this binary run concurrently with observation assumed off-or-on.
+    gvex::obs::set_enabled(true);
+    let observed_1 = serde_json::to_string(&explain_database(&model, &db, &labels, &cfg, 1))
+        .expect("serializable views");
+    let observed_4 = serde_json::to_string(&explain_database(&model, &db, &labels, &cfg, 4))
+        .expect("serializable views");
+
+    assert_eq!(baseline, observed_1, "observation perturbed the serial pipeline");
+    assert_eq!(baseline, observed_4, "observation perturbed the parallel pipeline");
+    if gvex::obs::enabled() {
+        // With the `obs` feature compiled in, the run must also have
+        // recorded the pipeline. (No open-span assertion here: sibling
+        // tests run concurrently and may legitimately hold spans open.)
+        let spans = gvex::obs::span::snapshot();
+        assert!(
+            spans.iter().any(|s| s.path.starts_with("explain_db")),
+            "no explain_db span recorded: {spans:?}"
+        );
+    }
+}
+
 #[test]
 fn realized_jacobian_identical_across_thread_counts() {
     let g = motif_graph(6);

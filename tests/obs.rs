@@ -1,0 +1,133 @@
+//! Integration tests for the `gvex-obs` observability layer through the
+//! facade crate: histogram edge cases, counters hammered from the rayon
+//! pool, the machine-readable report schema, and env-var fallback.
+//!
+//! The obs registries and the enable toggle are process-global and tests
+//! run concurrently, so every test uses unique metric / variable names and
+//! only ever *enables* observation.
+
+use gvex::obs;
+use rayon::prelude::*;
+
+/// Skips the body when the `obs` feature is compiled out (e.g.
+/// `--no-default-features`): the no-op shims legitimately record nothing.
+fn obs_on() -> bool {
+    obs::set_enabled(true);
+    obs::enabled()
+}
+
+#[test]
+fn histogram_bucketing_edges() {
+    if !obs_on() {
+        return;
+    }
+    // Zero, an exact bound, one past the last bound, and u64::MAX.
+    obs::metrics::histogram_record("obs_it.hist_edges", 0);
+    obs::metrics::histogram_record("obs_it.hist_edges", 4);
+    obs::metrics::histogram_record("obs_it.hist_edges", 262_144);
+    obs::metrics::histogram_record("obs_it.hist_edges", 262_145);
+    obs::metrics::histogram_record("obs_it.hist_edges", u64::MAX);
+    let (_, h) = obs::metrics::histograms()
+        .into_iter()
+        .find(|(name, _)| name == "obs_it.hist_edges")
+        .expect("histogram registered");
+    assert_eq!(h.counts[0], 1, "zero has its own bucket");
+    assert_eq!(h.counts[obs::metrics::bucket_index(4).unwrap()], 1, "bounds are upper-inclusive");
+    let last = obs::metrics::HISTOGRAM_BOUNDS.len() - 1;
+    assert_eq!(h.counts[last], 1, "the last bound is still in-range");
+    assert_eq!(h.overflow, 2, "everything past the last bound overflows");
+    assert_eq!(h.count, 5);
+    assert_eq!(h.sum, u64::MAX, "sum saturates instead of wrapping");
+}
+
+#[test]
+fn concurrent_counter_increments_from_rayon_pool() {
+    if !obs_on() {
+        return;
+    }
+    const WORKERS: usize = 4;
+    const PER_ITEM: u64 = 250;
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(WORKERS).build().unwrap();
+    let items: Vec<usize> = (0..64).collect();
+    pool.install(|| {
+        items.par_iter().for_each(|_| {
+            for _ in 0..PER_ITEM {
+                obs::metrics::counter_add("obs_it.concurrent", 1);
+            }
+            obs::metrics::histogram_record("obs_it.concurrent_hist", PER_ITEM);
+        });
+    });
+    let total = obs::metrics::counters()
+        .into_iter()
+        .find(|(name, _)| name == "obs_it.concurrent")
+        .map(|(_, v)| v)
+        .expect("counter registered");
+    assert_eq!(total, items.len() as u64 * PER_ITEM, "increments lost under contention");
+    let (_, h) = obs::metrics::histograms()
+        .into_iter()
+        .find(|(name, _)| name == "obs_it.concurrent_hist")
+        .expect("histogram registered");
+    assert_eq!(h.count, items.len() as u64);
+}
+
+#[test]
+fn report_json_parses_and_carries_schema() {
+    if !obs_on() {
+        return;
+    }
+    // Seed at least one span, counter, and histogram so every section of
+    // the document is non-trivial.
+    {
+        let _s = obs::span::enter("obs_it.report_span");
+    }
+    obs::metrics::counter_add("obs_it.report_counter", 7);
+    obs::metrics::histogram_record("obs_it.report_hist", 3);
+
+    let text = obs::report::render_json();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("report is valid JSON");
+    let field = |key: &str| doc.get_field(key).unwrap_or_else(|| panic!("missing field {key:?}"));
+    assert_eq!(field("schema_version").as_u64(), Some(obs::report::SCHEMA_VERSION));
+    assert!(field("threads").as_u64().unwrap() >= 1);
+    assert!(field("open_spans").as_i64().is_some());
+    let serde_json::Value::Array(spans) = field("spans") else { panic!("spans is not an array") };
+    assert!(
+        spans.iter().any(|s| {
+            s.get_field("path") == Some(&serde_json::Value::Str("obs_it.report_span".into()))
+        }),
+        "seeded span missing from {spans:?}"
+    );
+    assert_eq!(
+        field("counters").get_field("obs_it.report_counter").and_then(|v| v.as_u64()),
+        Some(7)
+    );
+    let hist = field("histograms").get_field("obs_it.report_hist").expect("histogram in report");
+    assert_eq!(hist.get_field("count").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(hist.get_field("sum").and_then(|v| v.as_u64()), Some(3));
+    let arr_len = |v: &serde_json::Value| match v {
+        serde_json::Value::Array(items) => items.len(),
+        other => panic!("expected array, got {other:?}"),
+    };
+    assert_eq!(
+        arr_len(hist.get_field("bounds").unwrap()),
+        arr_len(hist.get_field("counts").unwrap()),
+        "bounds and counts must stay aligned"
+    );
+}
+
+#[test]
+fn env_threads_survives_garbage() {
+    // `threads()` reads the real GVEX_THREADS; in this test binary nothing
+    // else depends on it (pools are built with explicit num_threads).
+    std::env::set_var("GVEX_THREADS", "not-a-number");
+    assert!(obs::env::threads() >= 1, "garbage must fall back, not abort");
+    std::env::set_var("GVEX_THREADS", "3");
+    assert_eq!(obs::env::threads(), 3);
+    std::env::remove_var("GVEX_THREADS");
+    assert!(obs::env::threads() >= 1);
+
+    assert_eq!(obs::env::parse_usize("GVEX_OBS_IT_UNSET_USIZE"), Ok(None));
+    std::env::set_var("GVEX_OBS_IT_BAD_USIZE", "twelve");
+    let err = obs::env::parse_usize("GVEX_OBS_IT_BAD_USIZE").unwrap_err();
+    assert_eq!(err.var, "GVEX_OBS_IT_BAD_USIZE");
+    assert!(err.to_string().contains("unsigned integer"));
+}
