@@ -24,8 +24,40 @@ echo "==> cargo test"
 cargo test -q --workspace --release
 
 if [[ "${1:-}" != "--fast" ]]; then
-    echo "==> bench smoke (writes BENCH_hotpaths.json)"
+    echo "==> bench smoke (writes BENCH_hotpaths.json + OBS_report.json)"
     cargo run -q --release -p gvex-bench --bin hotpaths
+    python3 - <<'PY'
+import json
+
+bench = json.load(open("BENCH_hotpaths.json"))
+
+vf2 = bench["vf2_match"]
+if vf2["speedup"] < 3.0:
+    raise SystemExit(f"bench gate: vf2 bitset speedup {vf2['speedup']:.2f}x below the 3x gate")
+
+small = bench["explain_database"]
+ratio_small = small["secs_4_threads"] / small["secs_1_thread"]
+if ratio_small > 1.1:
+    raise SystemExit(f"bench gate: small explain_database 4-thread/1-thread ratio {ratio_small:.3f} above 1.1")
+if not small["obs_identical"]:
+    raise SystemExit("bench gate: explain_database results differ across thread counts / obs")
+
+large = bench["explain_database_large"]
+ratio_large = large["secs_4_threads"] / large["secs_1_thread"]
+if ratio_large > 1.1:
+    raise SystemExit(f"bench gate: large explain_database 4-thread/1-thread ratio {ratio_large:.3f} above 1.1")
+if not large["identical"]:
+    raise SystemExit("bench gate: large explain_database results differ across thread counts")
+
+# The matching-engine counters are exercised by the bench's obs epilogue
+# (tiny CLI graphs never reach the bitset/truncation/reuse paths).
+counters = json.load(open("OBS_report.json"))["counters"]
+for required in ("iso.vf2.frontier_prunes", "iso.vf2.truncated", "mining.pgen.embedding_reuse_hits"):
+    if counters.get(required, 0) <= 0:
+        raise SystemExit(f"bench gate: counter {required!r} missing or zero in OBS_report.json")
+
+print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f} — OK")
+PY
 fi
 
 echo "==> obs smoke (GVEX_OBS=1 explain run, validates OBS_report.json)"

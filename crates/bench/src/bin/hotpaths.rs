@@ -16,23 +16,39 @@
 //!    without a `gvex_obs` span/counter around each call while observation
 //!    is off (target: ratio ≈ 1.0, i.e. statistically zero), plus the
 //!    direct per-op cost of a full disabled macro set.
-//! 4. End-to-end `explain_database` wall time on a small motif database,
-//!    at 1 and 4 threads (identical output by construction; on a
-//!    single-core container the thread counts mostly measure overhead).
-//!    A final run repeats the 4-thread explain with observation *enabled*,
-//!    checks the output is bitwise identical, verifies the views through a
-//!    shared `TraceCache`, and emits the obs run report (`OBS_report.json`)
-//!    as the phase breakdown for this benchmark.
+//! 4. VF2 subgraph matching: the bitset candidate-frontier engine (with a
+//!    prebuilt [`MatchIndex`]) vs the retained reference engine, racing a
+//!    6-node typed path pattern against a ~200-node target (target ≥ 3×).
+//!    Both engines must report the same embedding count.
+//! 5. End-to-end `explain_database` wall time on a small motif database,
+//!    at 1 and 4 threads (identical output by construction; the adaptive
+//!    fan-out gate must keep the 4-thread run from regressing on a
+//!    workload this small), then on a larger database whose workload
+//!    clears `GVEX_PAR_THRESHOLD` and fans out on multi-core hardware
+//!    (on a single-core container the gate's hardware clamp keeps both
+//!    sizes sequential, so the ratio stays ≈ 1.0 there too).
+//!    A final run repeats the small 4-thread explain with observation
+//!    *enabled*, checks the output is bitwise identical, exercises the
+//!    bitset matcher / truncation cap / embedding-reuse paths so their
+//!    counters are present, verifies the views through a shared
+//!    `TraceCache`, and emits the obs run report (`OBS_report.json`) as
+//!    the phase breakdown for this benchmark.
 
 use gvex_core::verify::verify_view_with;
 use gvex_core::{explain_database, Configuration};
 use gvex_gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split, TraceCache};
 use gvex_graph::{Graph, GraphDatabase};
+use gvex_iso::{
+    for_each_embedding, for_each_embedding_reference, for_each_embedding_with_index, MatchIndex,
+    MatchOptions,
+};
 use gvex_linalg::Matrix;
+use gvex_mining::MiningConfig;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::hint::black_box;
+use std::ops::ControlFlow;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -76,6 +92,18 @@ struct ObsOverheadBench {
 }
 
 #[derive(Serialize)]
+struct Vf2Bench {
+    target_nodes: usize,
+    target_edges: usize,
+    pattern_nodes: usize,
+    /// Embeddings enumerated per run (identical for both engines).
+    embeddings: usize,
+    reference_secs: f64,
+    bitset_secs: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
 struct ExplainBench {
     graphs: usize,
     labels: usize,
@@ -87,12 +115,26 @@ struct ExplainBench {
     obs_identical: bool,
 }
 
+/// `explain_database` on a workload big enough to clear the adaptive
+/// fan-out threshold (the small [`ExplainBench`] stays below it).
+#[derive(Serialize)]
+struct ExplainScaleBench {
+    graphs: usize,
+    avg_nodes: f64,
+    secs_1_thread: f64,
+    secs_4_threads: f64,
+    /// Whether the two thread counts produced bitwise-identical views.
+    identical: bool,
+}
+
 #[derive(Serialize)]
 struct Report {
     matmul_256: MatmulBench,
     realized_jacobian_128: JacobianBench,
     obs_overhead: ObsOverheadBench,
+    vf2_match: Vf2Bench,
     explain_database: ExplainBench,
+    explain_database_large: ExplainScaleBench,
 }
 
 /// Interleaved min-of-`rounds` timing of two closures: `a` and `b` alternate
@@ -247,6 +289,65 @@ fn bench_obs_overhead() -> ObsOverheadBench {
     }
 }
 
+/// A 6-node typed path whose type sequence follows the ring graph's
+/// `v % 3` labeling, so it embeds along the ring and its chords.
+fn path_pattern() -> Graph {
+    let mut b = Graph::builder(false);
+    for i in 0..6 {
+        b.add_node((i % 3) as u32, &[]);
+    }
+    for i in 1..6 {
+        b.add_edge(i - 1, i, 0);
+    }
+    b.build()
+}
+
+fn bench_vf2() -> Vf2Bench {
+    const N: usize = 192;
+    let target = ring_graph(N, 2);
+    let pattern = path_pattern();
+    // Monomorphism semantics with a high cap: the interesting cost is the
+    // feasibility checks per search node, not induced non-edge filtering.
+    let opts = MatchOptions { induced: false, max_embeddings: 1_000_000 };
+    let index = MatchIndex::build(&target);
+    let count_ref = || {
+        let mut n = 0usize;
+        for_each_embedding_reference(&pattern, &target, opts, |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        n
+    };
+    let count_bitset = || {
+        let mut n = 0usize;
+        for_each_embedding_with_index(&pattern, &target, &index, opts, |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        n
+    };
+    let (embeddings, bitset_count) = (count_ref(), count_bitset());
+    assert_eq!(embeddings, bitset_count, "engines disagree on the embedding set");
+    let (reference_secs, bitset_secs) = race(
+        9,
+        || {
+            black_box(count_ref());
+        },
+        || {
+            black_box(count_bitset());
+        },
+    );
+    Vf2Bench {
+        target_nodes: N,
+        target_edges: target.num_edges(),
+        pattern_nodes: pattern.num_nodes(),
+        embeddings,
+        reference_secs,
+        bitset_secs,
+        speedup: reference_secs / bitset_secs,
+    }
+}
+
 fn motif_graph(chain: usize) -> Graph {
     let mut b = Graph::builder(false);
     for _ in 0..chain {
@@ -273,7 +374,7 @@ fn plain_graph(chain: usize) -> Graph {
     b.build()
 }
 
-fn bench_explain() -> ExplainBench {
+fn bench_explain() -> (ExplainBench, ExplainScaleBench) {
     let mut db = GraphDatabase::new(vec!["plain".into(), "motif".into()]);
     for i in 0..10 {
         db.push(plain_graph(6 + i % 3), 0);
@@ -287,12 +388,19 @@ fn bench_explain() -> ExplainBench {
     let labels: Vec<usize> = vec![0, 1];
     let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 4);
 
-    let t = Instant::now();
-    black_box(explain_database(&model, &db, &labels, &cfg, 1));
-    let secs_1 = t.elapsed().as_secs_f64();
-    let t = Instant::now();
+    // Interleaved min-of-9 (same estimator as the kernel benches): the
+    // runs are short enough that slow drift would otherwise dominate the
+    // thread-count ratio the CI gates.
+    let (secs_1, secs_4) = race(
+        9,
+        || {
+            black_box(explain_database(&model, &db, &labels, &cfg, 1));
+        },
+        || {
+            black_box(explain_database(&model, &db, &labels, &cfg, 4));
+        },
+    );
     let baseline = explain_database(&model, &db, &labels, &cfg, 4);
-    let secs_4 = t.elapsed().as_secs_f64();
 
     // Repeat with observation enabled: the output must stay bitwise
     // identical, and the collected spans/counters become this benchmark's
@@ -308,19 +416,74 @@ fn bench_explain() -> ExplainBench {
     for view in observed.views.iter().chain(observed.views.iter()) {
         black_box(verify_view_with(&cache, &model, &db, view, &cfg));
     }
+    // Exercise the bitset matcher, the truncation cap, and Psum's
+    // embedding-reuse path while observation is on: the tiny database
+    // above matches through the reference engine only (targets < 32
+    // nodes), so without this the counters those paths record —
+    // `iso.vf2.frontier_prunes`, `iso.vf2.truncated`,
+    // `mining.pgen.embedding_reuse_hits` — would be absent from the
+    // emitted report.
+    let big_target = ring_graph(64, 2);
+    let mut capped = 0usize;
+    for_each_embedding(
+        &path_pattern(),
+        &big_target,
+        MatchOptions { induced: false, max_embeddings: 8 },
+        |_| {
+            capped += 1;
+            ControlFlow::Continue(())
+        },
+    );
+    black_box(capped);
+    let mined_from = [motif_graph(6), motif_graph(7)];
+    let refs: Vec<&Graph> = mined_from.iter().collect();
+    black_box(gvex_core::psum::psum(&refs, &MiningConfig::default(), MatchOptions::default()));
     gvex_obs::report::emit();
     gvex_obs::set_enabled(false);
     let obs_identical = serde_json::to_string(&baseline).expect("views serialize")
         == serde_json::to_string(&observed).expect("views serialize");
 
-    ExplainBench {
+    let small = ExplainBench {
         graphs: db.len(),
         labels: labels.len(),
         secs_1_thread: secs_1,
         secs_4_threads: secs_4,
         obs_secs_4_threads: obs_secs_4,
         obs_identical,
+    };
+
+    // Larger database: fewer but much bigger graphs, so the estimated
+    // explain cost clears `GVEX_PAR_THRESHOLD` and the fan-out spawns
+    // workers wherever the hardware has them (the same trained model
+    // explains both databases).
+    let mut large = GraphDatabase::new(vec!["plain".into(), "motif".into()]);
+    for _ in 0..4 {
+        large.push(plain_graph(42), 0);
+        large.push(motif_graph(40), 1);
     }
+    let (large_1, large_4) = race(
+        7,
+        || {
+            black_box(explain_database(&model, &large, &labels, &cfg, 1));
+        },
+        || {
+            black_box(explain_database(&model, &large, &labels, &cfg, 4));
+        },
+    );
+    let first = explain_database(&model, &large, &labels, &cfg, 1);
+    let second = explain_database(&model, &large, &labels, &cfg, 4);
+    let identical = serde_json::to_string(&first).expect("views serialize")
+        == serde_json::to_string(&second).expect("views serialize");
+    let avg_nodes = large.graphs().iter().map(|g| g.num_nodes() as f64).sum::<f64>()
+        / large.len().max(1) as f64;
+    let scale = ExplainScaleBench {
+        graphs: large.len(),
+        avg_nodes,
+        secs_1_thread: large_1,
+        secs_4_threads: large_4,
+        identical,
+    };
+    (small, scale)
 }
 
 fn main() {
@@ -352,8 +515,19 @@ fn main() {
         obs.overhead_ratio, obs.baseline_secs, obs.instrumented_secs, obs.disabled_macro_set_ns
     );
 
+    eprintln!("[hotpaths] vf2 subgraph matching, 192-node target ...");
+    let vf2 = bench_vf2();
+    eprintln!(
+        "[hotpaths]   {} embeddings: reference {:.4}s, bitset {:.4}s, speedup {:.2}x {}",
+        vf2.embeddings,
+        vf2.reference_secs,
+        vf2.bitset_secs,
+        vf2.speedup,
+        if vf2.speedup >= 3.0 { "(>= 3x target met)" } else { "(BELOW 3x target)" }
+    );
+
     eprintln!("[hotpaths] explain_database end-to-end ...");
-    let explain = bench_explain();
+    let (explain, explain_large) = bench_explain();
     eprintln!(
         "[hotpaths]   {} graphs: {:.2}s @1 thread, {:.2}s @4 threads, {:.2}s @4 threads+obs ({})",
         explain.graphs,
@@ -362,12 +536,22 @@ fn main() {
         explain.obs_secs_4_threads,
         if explain.obs_identical { "output identical" } else { "OUTPUT DIVERGED" }
     );
+    eprintln!(
+        "[hotpaths]   {} large graphs (avg {:.0} nodes): {:.2}s @1 thread, {:.2}s @4 threads ({})",
+        explain_large.graphs,
+        explain_large.avg_nodes,
+        explain_large.secs_1_thread,
+        explain_large.secs_4_threads,
+        if explain_large.identical { "output identical" } else { "OUTPUT DIVERGED" }
+    );
 
     let report = Report {
         matmul_256: matmul,
         realized_jacobian_128: jac,
         obs_overhead: obs,
+        vf2_match: vf2,
         explain_database: explain,
+        explain_database_large: explain_large,
     };
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json");
     let text = serde_json::to_string_pretty(&report).expect("serializable report");

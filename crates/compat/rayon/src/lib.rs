@@ -33,6 +33,25 @@ pub fn current_num_threads() -> usize {
     gvex_obs::env::threads()
 }
 
+/// True when a fan-out estimated at `estimated_ops` scalar operations
+/// should actually go parallel: more than one worker is requested, the
+/// machine has more than one hardware thread to run them on (a pool count
+/// forced above the available parallelism only adds spawn and timeslicing
+/// overhead — CPU-bound workers cannot beat sequential on one core), and
+/// the workload clears `GVEX_PAR_THRESHOLD`
+/// ([`gvex_obs::env::par_threshold`]). Gated call sites keep a sequential
+/// twin of their parallel loop and dispatch on this; both twins preserve
+/// input order, so the choice never changes results — only whether
+/// spawn/join overhead is paid.
+///
+/// Not part of real rayon's API; it lives here because the effective worker
+/// count (including [`ThreadPool::install`] overrides) does too.
+pub fn should_fan_out(estimated_ops: usize) -> bool {
+    current_num_threads() > 1
+        && gvex_obs::env::default_parallelism() > 1
+        && estimated_ops >= gvex_obs::env::par_threshold()
+}
+
 /// Builder mirroring `rayon::ThreadPoolBuilder` (only `num_threads`).
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
@@ -151,7 +170,10 @@ where
         let base_path = &base_path;
         let mut out_chunks: Vec<&mut [Option<R>]> = results.chunks_mut(chunk).collect();
         let mut worker = out_chunks.len();
-        // hand out chunks back-to-front so `drain` pops matching tails
+        // hand out chunks back-to-front so `drain` pops matching tails; the
+        // front chunk comes off last and runs on the calling thread, so a
+        // W-way fan-out spawns W−1 threads and the caller does worker 0's
+        // share instead of idling until scope teardown
         while let Some(out) = out_chunks.pop() {
             worker -= 1;
             let tail_start = items.len() - out.len();
@@ -160,12 +182,18 @@ where
                 gvex_obs::counter!(&format!("rayon.worker.{worker}.items"), part.len() as u64);
                 gvex_obs::histogram!("rayon.chunk_items", part.len() as u64);
             }
-            s.spawn(move || {
-                let _adopted = gvex_obs::span::adopt(base_path);
+            if worker == 0 {
                 for (slot, item) in out.iter_mut().zip(part) {
                     *slot = Some(f(item));
                 }
-            });
+            } else {
+                s.spawn(move || {
+                    let _adopted = gvex_obs::span::adopt(base_path);
+                    for (slot, item) in out.iter_mut().zip(part) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
         }
     });
     results

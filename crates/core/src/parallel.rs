@@ -5,20 +5,70 @@
 //! label group's graphs across a rayon pool and summarizes afterwards
 //! (summarization is a cross-graph step and stays sequential, matching the
 //! paper's decomposition).
+//!
+//! Fan-outs are **adaptive**: [`run_adaptive`] estimates the workload in
+//! scalar operations and runs it sequentially when it falls below
+//! `GVEX_PAR_THRESHOLD` — on small databases, spawning worker threads costs
+//! more wall-clock than the explain work itself. Both branches preserve
+//! input order, so results stay bitwise identical across thread counts and
+//! threshold settings.
 
 use crate::approx::{summarize, ApproxGvex};
 use crate::config::Configuration;
 use crate::view::{ExplanationSubgraph, ExplanationView, ExplanationViewSet};
 use gvex_gnn::GcnModel;
-use gvex_graph::GraphDatabase;
+use gvex_graph::{Graph, GraphDatabase};
 use rayon::prelude::*;
 
+/// Cost-threshold switch for fan-outs: runs `f` over `items` sequentially
+/// on the calling thread when `estimated_ops` (a rough scalar-operation
+/// count for the whole workload) falls below the adaptive threshold or only
+/// one worker is available, and across the rayon pool otherwise. Output
+/// order equals input order in both branches, so the dispatch is invisible
+/// to callers; the `core.parallel.{sequential,parallel}` counters record
+/// which way it went.
+pub fn run_adaptive<T, R>(
+    items: Vec<T>,
+    estimated_ops: usize,
+    f: impl Fn(T) -> R + Sync + Send,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    if rayon::should_fan_out(estimated_ops) {
+        gvex_obs::counter!("core.parallel.parallel");
+        items.into_par_iter().map(f).collect()
+    } else {
+        gvex_obs::counter!("core.parallel.sequential");
+        items.into_iter().map(f).collect()
+    }
+}
+
+/// ~ scalar ops of one forward pass of `model` on `g`: `k` layers of a
+/// sparse product plus a dense product against the hidden weights.
+fn forward_cost(model: &GcnModel, g: &Graph) -> usize {
+    let h = model.config().hidden.max(1);
+    let k = model.config().layers.max(1);
+    k * ((g.num_nodes() + 2 * g.num_edges()) * h + g.num_nodes() * h * h)
+}
+
+/// ~ scalar ops of explaining one graph: the influence matrix dominates
+/// (`O(n³)`-ish whichever route computes it), plus the forward pass.
+fn explain_cost(model: &GcnModel, g: &Graph) -> usize {
+    let n = g.num_nodes();
+    n * n * n + forward_cost(model, g)
+}
+
 /// Classifier-assigned labels for every graph of `db`, predicted in
-/// parallel. Predictions are independent per graph and collected in index
-/// order, so the result is identical for any worker count.
+/// parallel when the database is large enough to pay for the fan-out.
+/// Predictions are independent per graph and collected in index order, so
+/// the result is identical for any worker count.
 pub fn predict_all(model: &GcnModel, db: &GraphDatabase) -> Vec<usize> {
     gvex_obs::span!("predict");
-    db.graphs().par_iter().map(|g| model.predict(g)).collect()
+    let graphs: Vec<&Graph> = db.graphs().iter().collect();
+    let est: usize = graphs.iter().map(|g| forward_cost(model, g)).sum();
+    run_adaptive(graphs, est, |g| model.predict(g))
 }
 
 /// Generates explanation views for all labels of interest, explaining
@@ -39,22 +89,33 @@ pub fn explain_database(
         let assigned = predict_all(model, db);
         let groups = db.label_groups(&assigned);
         let ag = ApproxGvex::new(cfg.clone());
-        // per-label prep (the per-graph explain step) fans out across
-        // workers; summarization is a cross-graph step and stays sequential
-        // per label, matching the paper's decomposition
+        // One flat (label slot, graph) work list instead of nested per-label
+        // fan-outs: the adaptive gate prices the whole explain step at once
+        // and a single fan-out spreads uneven label groups evenly across
+        // workers. The list is label-major and `run_adaptive` preserves
+        // input order, so regrouping by slot reproduces the per-label
+        // subgraph sequences of the nested version exactly; summarization
+        // is a cross-graph step and stays sequential per label, matching
+        // the paper's decomposition.
         let prepped: Vec<(usize, Vec<ExplanationSubgraph>)> = {
             gvex_obs::span!("explain");
-            labels_of_interest
-                .par_iter()
-                .map(|&l| {
-                    let subs: Vec<ExplanationSubgraph> = groups
-                        .group(l)
-                        .par_iter()
-                        .filter_map(|&gi| ag.explain_graph(model, db.graph(gi), gi))
-                        .collect();
-                    (l, subs)
-                })
-                .collect()
+            let work: Vec<(usize, usize)> = labels_of_interest
+                .iter()
+                .enumerate()
+                .flat_map(|(slot, &l)| groups.group(l).iter().map(move |&gi| (slot, gi)))
+                .collect();
+            let est: usize = work.iter().map(|&(_, gi)| explain_cost(model, db.graph(gi))).sum();
+            let explained = run_adaptive(work, est, |(slot, gi)| {
+                (slot, ag.explain_graph(model, db.graph(gi), gi))
+            });
+            let mut by_slot: Vec<(usize, Vec<ExplanationSubgraph>)> =
+                labels_of_interest.iter().map(|&l| (l, Vec::new())).collect();
+            for (slot, sub) in explained {
+                if let Some(s) = sub {
+                    by_slot[slot].1.push(s);
+                }
+            }
+            by_slot
         };
         let views: Vec<ExplanationView> =
             prepped.into_iter().map(|(l, subs)| summarize(l, subs, cfg)).collect();
@@ -93,6 +154,19 @@ mod tests {
             db.push(b.build(), 1);
         }
         db
+    }
+
+    #[test]
+    fn run_adaptive_branches_agree() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let items: Vec<usize> = (0..97).collect();
+            // estimate 0 forces the sequential branch, usize::MAX the
+            // parallel one; outputs must be identical either way
+            let seq = run_adaptive(items.clone(), 0, |x| x * 3 + 1);
+            let par = run_adaptive(items, usize::MAX, |x| x * 3 + 1);
+            assert_eq!(seq, par);
+        });
     }
 
     #[test]

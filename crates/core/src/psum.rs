@@ -7,10 +7,12 @@
 //! the classic `H_{u_l}`-approximation (Lemma 4.3).
 
 use gvex_graph::{Graph, NodeId};
-use gvex_iso::coverage::covered;
-use gvex_iso::MatchOptions;
+use gvex_iso::coverage::{canonical_edge, Coverage};
+use gvex_iso::vf2::for_each_embedding_with_index;
+use gvex_iso::{extend_embeddings, MatchIndex, MatchOptions};
 use gvex_mining::{pgen, MiningConfig, PatternCandidate};
 use std::collections::HashSet;
+use std::ops::ControlFlow;
 
 /// Output of `Psum`.
 #[derive(Clone, Debug)]
@@ -34,21 +36,122 @@ struct CandidateCoverage {
     weight: f64,
 }
 
-fn candidate_coverage(
-    cand: PatternCandidate,
+/// Embeddings memoized past this count are dropped: the memo exists to seed
+/// child candidates, and unbounded retention would make memory proportional
+/// to candidates × embeddings.
+const REUSE_MEMO_CAP: usize = 1024;
+
+/// Complete (untruncated) embeddings of one candidate in one subgraph,
+/// retained to seed the candidate's one-node extensions.
+struct EmbMemo {
+    embeddings: Vec<Vec<NodeId>>,
+}
+
+/// Matches every candidate against one subgraph and returns per-candidate
+/// coverage. Candidates are processed smallest-first so that a candidate
+/// extending a parent by one node (the `PatternParent` link mined by
+/// `PGen`) can seed its enumeration from the parent's recorded embeddings —
+/// the paper's `IncPMatch` idea applied at mining time — instead of
+/// searching from scratch. Both paths run the same engine over the same
+/// [`MatchIndex`], and extension enumerates exactly the child's embedding
+/// set, so coverage is independent of which path ran.
+fn coverages_for_subgraph(
+    cands: &[PatternCandidate],
+    sg: &Graph,
+    matching: MatchOptions,
+) -> Vec<Coverage> {
+    let index = MatchIndex::build(sg);
+    let mut memo: Vec<Option<EmbMemo>> = (0..cands.len()).map(|_| None).collect();
+    let mut out: Vec<Coverage> = vec![Coverage::default(); cands.len()];
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by_key(|&i| (cands[i].pattern.num_nodes(), i));
+    for i in order {
+        let cand = &cands[i];
+        let seed = cand
+            .parent
+            .as_ref()
+            .and_then(|par| memo[par.index].as_ref().map(|parent_memo| (par, parent_memo)));
+        let (embeddings, complete) = match seed {
+            Some((par, parent_memo)) => {
+                gvex_obs::counter!("mining.pgen.embedding_reuse_hits");
+                let n = cand.pattern.num_nodes();
+                let seeds: Vec<Vec<NodeId>> = parent_memo
+                    .embeddings
+                    .iter()
+                    .map(|pe| {
+                        let mut m = vec![usize::MAX; n];
+                        for (pn, &cn) in par.map.iter().enumerate() {
+                            m[cn] = pe[pn];
+                        }
+                        m
+                    })
+                    .collect();
+                let ext =
+                    extend_embeddings(&cand.pattern, sg, &index, &seeds, par.removed, matching);
+                (ext.embeddings, !ext.truncated)
+            }
+            None => {
+                if cand.parent.is_some() {
+                    gvex_obs::counter!("mining.pgen.embedding_reuse_misses");
+                }
+                let mut embs = Vec::new();
+                for_each_embedding_with_index(&cand.pattern, sg, &index, matching, |m| {
+                    embs.push(m.to_vec());
+                    ControlFlow::Continue(())
+                });
+                // At exactly the cap the search may or may not have been
+                // exhaustive; treat it as truncated to stay safe.
+                let complete = embs.len() < matching.max_embeddings;
+                (embs, complete)
+            }
+        };
+        let cov = &mut out[i];
+        for emb in &embeddings {
+            for &t in emb {
+                cov.nodes.insert(t);
+            }
+            for (pu, pv, _) in cand.pattern.edges() {
+                cov.edges.insert(canonical_edge(sg, emb[pu], emb[pv]));
+            }
+        }
+        // Only complete, reasonably-sized enumerations are safe seeds:
+        // extending a truncated parent would silently drop embeddings.
+        if complete && embeddings.len() <= REUSE_MEMO_CAP {
+            memo[i] = Some(EmbMemo { embeddings });
+        }
+    }
+    out
+}
+
+/// Per-candidate coverage across the whole subgraph set. Subgraphs are the
+/// outer loop so each one's [`MatchIndex`] and embedding memo live exactly
+/// as long as needed.
+fn candidate_coverages(
+    cands: Vec<PatternCandidate>,
     subgraphs: &[&Graph],
     total_edges: usize,
     matching: MatchOptions,
-) -> CandidateCoverage {
-    let mut nodes = HashSet::new();
-    let mut edges = HashSet::new();
+) -> Vec<CandidateCoverage> {
+    let mut nodes: Vec<HashSet<(usize, NodeId)>> =
+        (0..cands.len()).map(|_| HashSet::new()).collect();
+    let mut edges: Vec<HashSet<(usize, NodeId, NodeId)>> =
+        (0..cands.len()).map(|_| HashSet::new()).collect();
     for (si, sg) in subgraphs.iter().enumerate() {
-        let cov = covered(&cand.pattern, sg, matching);
-        nodes.extend(cov.nodes.into_iter().map(|v| (si, v)));
-        edges.extend(cov.edges.into_iter().map(|(u, v)| (si, u, v)));
+        for (i, cov) in coverages_for_subgraph(&cands, sg, matching).into_iter().enumerate() {
+            nodes[i].extend(cov.nodes.into_iter().map(|v| (si, v)));
+            edges[i].extend(cov.edges.into_iter().map(|(u, v)| (si, u, v)));
+        }
     }
-    let weight = if total_edges == 0 { 0.0 } else { 1.0 - edges.len() as f64 / total_edges as f64 };
-    CandidateCoverage { pattern: cand.pattern, nodes, edges, weight }
+    cands
+        .into_iter()
+        .zip(nodes)
+        .zip(edges)
+        .map(|((cand, nodes), edges)| {
+            let weight =
+                if total_edges == 0 { 0.0 } else { 1.0 - edges.len() as f64 / total_edges as f64 };
+            CandidateCoverage { pattern: cand.pattern, nodes, edges, weight }
+        })
+        .collect()
 }
 
 /// Runs `Psum` over the explanation subgraphs of one view.
@@ -60,10 +163,8 @@ pub fn psum(subgraphs: &[&Graph], mining: &MiningConfig, matching: MatchOptions)
         return PsumResult { patterns: Vec::new(), edge_loss: 0.0, full_node_coverage: true };
     }
 
-    let candidates: Vec<CandidateCoverage> = pgen(subgraphs, mining)
-        .into_iter()
-        .map(|c| candidate_coverage(c, subgraphs, total_edges, matching))
-        .collect();
+    let candidates: Vec<CandidateCoverage> =
+        candidate_coverages(pgen(subgraphs, mining), subgraphs, total_edges, matching);
 
     let mut covered_nodes: HashSet<(usize, NodeId)> = HashSet::new();
     let mut covered_edges: HashSet<(usize, NodeId, NodeId)> = HashSet::new();

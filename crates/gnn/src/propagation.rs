@@ -198,7 +198,9 @@ impl NormAdj {
     /// with no live neighbour are skipped outright. Skipped contributions
     /// are exact zeros, so this changes results by at most the sign of a
     /// zero, and the per-block censuses keep the output bitwise independent
-    /// of the rayon thread count.
+    /// of the rayon thread count. Blocks fan out only when the estimated
+    /// work clears the adaptive threshold ([`rayon::should_fan_out`]);
+    /// small products run on the calling thread, computing identical bits.
     pub fn matmul_blocks_into(&self, x: &Matrix, out: &mut Matrix) {
         let n = self.rows.len();
         assert!(n > 0, "empty operator");
@@ -210,7 +212,7 @@ impl NormAdj {
             return;
         }
         let src = x.as_slice();
-        out.as_mut_slice().par_chunks_mut(block_len).enumerate().for_each(|(b, chunk)| {
+        let run_block = |(b, chunk): (usize, &mut [f32])| {
             let x_block = &src[b * block_len..(b + 1) * block_len];
             let live_in: Vec<bool> = (0..n)
                 .map(|v| x_block[v * cols..(v + 1) * cols].iter().any(|&e| e != 0.0))
@@ -225,7 +227,17 @@ impl NormAdj {
                 let out_row = &mut chunk[u * cols..(u + 1) * cols];
                 accumulate_row_sum(out_row, x_block, &filtered, cols);
             }
-        });
+        };
+        // blocks × nnz × cols multiply-adds, assuming every row live
+        let nnz: usize = self.rows.iter().map(Vec::len).sum();
+        let est = (x.rows() / n) * nnz * cols;
+        if rayon::should_fan_out(est) {
+            out.as_mut_slice().par_chunks_mut(block_len).enumerate().for_each(run_block);
+        } else {
+            for pair in out.as_mut_slice().chunks_mut(block_len).enumerate() {
+                run_block(pair);
+            }
+        }
     }
 
     /// Dense product `Ãᵀ · X`. `Ã` is symmetric whenever the edge-weight

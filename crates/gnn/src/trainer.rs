@@ -218,6 +218,11 @@ pub fn train_parallel(
         db.graphs().iter().map(|g| NormAdj::with_aggregation(g, model.aggregation())).collect()
     };
 
+    // forward + backward ≈ 3 forward passes per graph; constant across
+    // epochs, so price the fan-out once
+    let epoch_est: usize =
+        split.train.iter().map(|&gi| 3 * forward_cost(&model, db.graph(gi))).sum();
+
     // the shuffle is irrelevant to a full-batch mean but is kept so the RNG
     // stream (and thus weight init across epochs-of-interest) matches
     // `train`'s consumption pattern
@@ -232,30 +237,35 @@ pub fn train_parallel(
         gvex_obs::counter!("gnn.train.epochs");
         ran += 1;
         order.shuffle(&mut rng);
-        // fan the per-graph forward/backward passes across workers
-        let results: Vec<(f32, Vec<Matrix>, Option<Matrix>)> = order
-            .par_iter()
-            .filter_map(|&gi| {
-                let g = db.graph(gi);
-                if g.num_nodes() == 0 {
-                    return None;
-                }
-                let truth = db.truth()[gi];
-                Some(if gated {
-                    let trace = model.forward(g); // rebuilds the gated operator
-                    let (grads, gate_grads) = model.backward_edge_gates(&trace, g, truth);
-                    let list: Vec<Matrix> =
-                        GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
-                    (grads.loss, list, Some(gate_grads))
-                } else {
-                    let trace = model.forward_with_adj(g, adj[gi].clone());
-                    let grads = model.backward(&trace, truth);
-                    let list: Vec<Matrix> =
-                        GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
-                    (grads.loss, list, None)
-                })
+        // fan the per-graph forward/backward passes across workers — unless
+        // the split is small enough that thread spawns dominate, in which
+        // case run them in place (the reduction below folds in split order
+        // either way, so the dispatch cannot change the trajectory)
+        let pass = |&gi: &usize| -> Option<(f32, Vec<Matrix>, Option<Matrix>)> {
+            let g = db.graph(gi);
+            if g.num_nodes() == 0 {
+                return None;
+            }
+            let truth = db.truth()[gi];
+            Some(if gated {
+                let trace = model.forward(g); // rebuilds the gated operator
+                let (grads, gate_grads) = model.backward_edge_gates(&trace, g, truth);
+                let list: Vec<Matrix> =
+                    GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
+                (grads.loss, list, Some(gate_grads))
+            } else {
+                let trace = model.forward_with_adj(g, adj[gi].clone());
+                let grads = model.backward(&trace, truth);
+                let list: Vec<Matrix> =
+                    GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
+                (grads.loss, list, None)
             })
-            .collect();
+        };
+        let results: Vec<(f32, Vec<Matrix>, Option<Matrix>)> = if rayon::should_fan_out(epoch_est) {
+            order.par_iter().filter_map(pass).collect()
+        } else {
+            order.iter().filter_map(pass).collect()
+        };
 
         let mut loss_sum = 0.0;
         if let Some((first, rest)) = results.split_first() {
@@ -306,14 +316,29 @@ pub fn train_parallel(
     (best_model, TrainReport { epoch_loss, best_val_accuracy, test_accuracy, epochs: ran })
 }
 
+/// ~ scalar ops of one forward pass of `model` on `g`: `k` layers of a
+/// sparse product plus a dense product against the hidden weights. The
+/// adaptive-parallelism gates in this module price their fan-outs with it.
+fn forward_cost(model: &GcnModel, g: &gvex_graph::Graph) -> usize {
+    let h = model.config().hidden.max(1);
+    let k = model.config().layers.max(1);
+    k * ((g.num_nodes() + 2 * g.num_edges()) * h + g.num_nodes() * h * h)
+}
+
 /// Fraction of `indices` whose prediction matches the ground truth.
-/// Predictions are independent per graph and fan out across rayon workers.
+/// Predictions are independent per graph and fan out across rayon workers
+/// when the split is large enough to pay for the spawns.
 pub fn accuracy(model: &GcnModel, db: &GraphDatabase, indices: &[usize]) -> f32 {
     if indices.is_empty() {
         return 0.0;
     }
-    let correct =
-        indices.par_iter().filter(|&&gi| model.predict(db.graph(gi)) == db.truth()[gi]).count();
+    let est: usize = indices.iter().map(|&gi| forward_cost(model, db.graph(gi))).sum();
+    let hit = |&&gi: &&usize| model.predict(db.graph(gi)) == db.truth()[gi];
+    let correct = if rayon::should_fan_out(est) {
+        indices.par_iter().filter(hit).count()
+    } else {
+        indices.iter().filter(hit).count()
+    };
     correct as f32 / indices.len() as f32
 }
 

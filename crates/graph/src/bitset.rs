@@ -1,16 +1,18 @@
-//! A fixed-capacity bitset tuned for the influence masks.
+//! A fixed-capacity bitset shared by the influence masks and match indexes.
 //!
-//! `I(V_s)` and `D(V_s)` evaluations happen inside the greedy loop of
-//! `ApproxGVEX` (once per candidate per round), so they must be cheap.
-//! Representing "the set of nodes influenced by `u`" as machine words makes
-//! a marginal-gain evaluation a handful of OR/popcount sweeps.
+//! Two hot paths lean on this representation. `I(V_s)` and `D(V_s)`
+//! evaluations happen inside the greedy loop of `ApproxGVEX` (once per
+//! candidate per round), so a marginal-gain evaluation must be a handful of
+//! OR/popcount sweeps. The bitset VF2 engine in `gvex-iso` stores adjacency
+//! rows and per-type candidate sets as `BitSet`s so a feasibility check is
+//! an O(words) intersection instead of a neighbor-list scan.
 
 use serde::{Deserialize, Serialize};
 
 /// A set over `0..capacity` stored as 64-bit words.
 ///
 /// ```
-/// use gvex_influence::BitSet;
+/// use gvex_graph::BitSet;
 /// let mut a = BitSet::new(128);
 /// a.insert(3);
 /// a.insert(100);
@@ -82,6 +84,23 @@ impl BitSet {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
+    }
+
+    /// `self &= !other` — removes every element of `other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Overwrites `self` with `other` without reallocating.
+    ///
+    /// # Panics
+    /// If the capacities differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "copy_from requires equal capacities");
+        self.words.copy_from_slice(&other.words);
     }
 
     /// `|self ∪ other|` without allocating.
@@ -187,6 +206,40 @@ mod tests {
         b.insert(3);
         a.intersect_with(&b);
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn difference_removes_other_elements() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        for i in [1, 64, 100, 129] {
+            a.insert(i);
+        }
+        b.insert(64);
+        b.insert(129);
+        a.difference_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 100]);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let mut a = BitSet::new(100);
+        a.insert(7);
+        let mut b = BitSet::new(100);
+        b.insert(64);
+        b.insert(99);
+        a.copy_from(&b);
+        assert_eq!(a, b);
+        // And the copy is independent of the source afterwards.
+        a.remove(64);
+        assert!(b.contains(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal capacities")]
+    fn copy_from_capacity_mismatch_panics() {
+        let mut a = BitSet::new(100);
+        a.copy_from(&BitSet::new(101));
     }
 
     #[test]

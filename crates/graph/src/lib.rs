@@ -13,13 +13,17 @@
 //! * [`GraphDatabase`] — the collection the classifier and explainers run
 //!   over, with label groups `𝒢^l`,
 //! * [`TypeRegistry`] — string interning for human-readable node/edge types
-//!   (e.g. atom symbols), keeping the hot graph structures numeric.
+//!   (e.g. atom symbols), keeping the hot graph structures numeric,
+//! * [`BitSet`] — the fixed-capacity word-level set underneath both the
+//!   influence masks (`gvex-influence`) and the match indexes (`gvex-iso`).
 
+pub mod bitset;
 pub mod db;
 pub mod graph;
 pub mod registry;
 pub mod traversal;
 
+pub use bitset::BitSet;
 pub use db::{GlobalNodeId, GraphDatabase, LabelGroups};
 pub use graph::{EdgeTypeId, Graph, GraphBuilder, InducedSubgraph, NodeId, NodeTypeId};
 pub use registry::TypeRegistry;

@@ -215,6 +215,12 @@ pub fn realized_with_trace(model: &GcnModel, g: &Graph, trace: &ForwardTrace) ->
 
     let mut i1 = Matrix::zeros(n, n); // i1[(v, u)] = ‖∂X_v^k/∂X_u^0‖₁
     let total_seeds = n * d;
+    // One adaptive decision for every stage of every batch: a full batch
+    // touches ~ batch · n · h² scalars per layer. Tiny graphs run all
+    // stages on the calling thread; the per-block kernels are identical
+    // either way, so the choice cannot change any bit of the result.
+    let h_max = (0..k).map(|l| model.conv_weight(l).cols()).max().unwrap_or(1);
+    let fan_out = rayon::should_fan_out(SEED_BATCH.min(total_seeds) * n * h_max * h_max * k);
     let mut first_seed = 0;
     // Three scratch matrices ping-pong across every layer of every batch,
     // reusing their allocations. Entries outside each block's hop support
@@ -248,7 +254,7 @@ pub fn realized_with_trace(model: &GcnModel, g: &Graph, trace: &ForwardTrace) ->
             {
                 let t_src = t.as_slice();
                 let t_cols = t.cols();
-                z.as_mut_slice().par_chunks_mut(n * h).enumerate().for_each(|(b, chunk)| {
+                let dense_stage = |(b, chunk): (usize, &mut [f32])| {
                     let mut terms: Vec<(usize, f32)> = Vec::new();
                     for &u in &hops[layer][seed_node(b)] {
                         let t_row = &t_src[(b * n + u) * t_cols..(b * n + u + 1) * t_cols];
@@ -264,7 +270,14 @@ pub fn realized_with_trace(model: &GcnModel, g: &Graph, trace: &ForwardTrace) ->
                         );
                         accumulate_row_sum(&mut chunk[u * h..(u + 1) * h], w.as_slice(), &terms, h);
                     }
-                });
+                };
+                if fan_out {
+                    z.as_mut_slice().par_chunks_mut(n * h).enumerate().for_each(dense_stage);
+                } else {
+                    for pair in z.as_mut_slice().chunks_mut(n * h).enumerate() {
+                        dense_stage(pair);
+                    }
+                }
             }
             // Sparse + gate stage: P = gate ⊙ (Ã·Z), computed only on the
             // (l+1)-hop support rows, gathering only in-support neighbours.
@@ -272,23 +285,32 @@ pub fn realized_with_trace(model: &GcnModel, g: &Graph, trace: &ForwardTrace) ->
             {
                 let z_src = z.as_slice();
                 let gate = &gates[layer];
-                propagated.as_mut_slice().par_chunks_mut(n * h).enumerate().for_each(
-                    |(b, chunk)| {
-                        let node = seed_node(b);
-                        let mask = &membership[layer][node];
-                        let z_block = &z_src[b * n * h..(b + 1) * n * h];
-                        let mut terms: Vec<(usize, f32)> = Vec::new();
-                        for &u in &hops[layer + 1][node] {
-                            terms.clear();
-                            terms.extend(adj.row(u).iter().filter(|&&(v, _)| mask[v]));
-                            let out_row = &mut chunk[u * h..(u + 1) * h];
-                            accumulate_row_sum(out_row, z_block, &terms, h);
-                            for (o, &gv) in out_row.iter_mut().zip(gate.row(u)) {
-                                *o *= gv;
-                            }
+                let sparse_stage = |(b, chunk): (usize, &mut [f32])| {
+                    let node = seed_node(b);
+                    let mask = &membership[layer][node];
+                    let z_block = &z_src[b * n * h..(b + 1) * n * h];
+                    let mut terms: Vec<(usize, f32)> = Vec::new();
+                    for &u in &hops[layer + 1][node] {
+                        terms.clear();
+                        terms.extend(adj.row(u).iter().filter(|&&(v, _)| mask[v]));
+                        let out_row = &mut chunk[u * h..(u + 1) * h];
+                        accumulate_row_sum(out_row, z_block, &terms, h);
+                        for (o, &gv) in out_row.iter_mut().zip(gate.row(u)) {
+                            *o *= gv;
                         }
-                    },
-                );
+                    }
+                };
+                if fan_out {
+                    propagated
+                        .as_mut_slice()
+                        .par_chunks_mut(n * h)
+                        .enumerate()
+                        .for_each(sparse_stage);
+                } else {
+                    for pair in propagated.as_mut_slice().chunks_mut(n * h).enumerate() {
+                        sparse_stage(pair);
+                    }
+                }
             }
             std::mem::swap(&mut t, &mut propagated);
         }
@@ -347,36 +369,38 @@ fn monte_carlo(g: &Graph, k: usize, walks: u32, rng: &mut impl Rng) -> Matrix {
     // without contending for (or reordering draws from) a shared generator,
     // and the result is identical for any thread count.
     let streams: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
-    let rows: Vec<Vec<f32>> = streams
-        .into_par_iter()
-        .enumerate()
-        .map(|(v, stream)| {
-            let mut rng = SmallRng::seed_from_u64(stream);
-            let mut row = vec![0.0f32; n];
-            // Walk on the self-looped, symmetrized graph (the GCN's
-            // receptive field).
-            for _ in 0..walks.max(1) {
-                let mut cur = v;
-                for _ in 0..k {
-                    // neighbors + self loop, uniform choice
-                    // (degree-proportional approximation of Ã's support).
-                    let out = g.neighbors(cur);
-                    let inn = if g.is_directed() { g.in_neighbors(cur) } else { &[] };
-                    let deg = out.len() + inn.len();
-                    let pick = rng.gen_range(0..=deg);
-                    cur = if pick == deg {
-                        cur // self loop
-                    } else if pick < out.len() {
-                        out[pick].0
-                    } else {
-                        inn[pick - out.len()].0
-                    };
-                }
-                row[cur] += 1.0;
+    let walk_rows = |(v, stream): (usize, u64)| {
+        let mut rng = SmallRng::seed_from_u64(stream);
+        let mut row = vec![0.0f32; n];
+        // Walk on the self-looped, symmetrized graph (the GCN's
+        // receptive field).
+        for _ in 0..walks.max(1) {
+            let mut cur = v;
+            for _ in 0..k {
+                // neighbors + self loop, uniform choice
+                // (degree-proportional approximation of Ã's support).
+                let out = g.neighbors(cur);
+                let inn = if g.is_directed() { g.in_neighbors(cur) } else { &[] };
+                let deg = out.len() + inn.len();
+                let pick = rng.gen_range(0..=deg);
+                cur = if pick == deg {
+                    cur // self loop
+                } else if pick < out.len() {
+                    out[pick].0
+                } else {
+                    inn[pick - out.len()].0
+                };
             }
-            row
-        })
-        .collect();
+            row[cur] += 1.0;
+        }
+        row
+    };
+    // ~ one RNG draw + one neighbor index per walk step, per source node
+    let rows: Vec<Vec<f32>> = if rayon::should_fan_out(n * walks.max(1) as usize * k * 8) {
+        streams.into_par_iter().enumerate().map(walk_rows).collect()
+    } else {
+        streams.into_iter().enumerate().map(walk_rows).collect()
+    };
     let mut counts = Matrix::zeros(n, n);
     for (v, row) in rows.iter().enumerate() {
         counts.set_row(v, row);

@@ -25,17 +25,21 @@
 //!   its largest graphs (§6.2, PRO/SYN).
 //!
 //! [`analysis::InfluenceAnalysis`] precomputes, per graph, the influence
-//! masks and embedding balls as [`bitset::BitSet`]s so the greedy selection
+//! masks and embedding balls as [`BitSet`]s so the greedy selection
 //! in `ApproxGVEX` gets O(|V|/64)-word marginal-gain evaluations, and
 //! [`analysis::StreamingInfluence`] is the incremental (`IncEVerify`)
 //! counterpart that reveals one node at a time (§5).
 
 pub mod analysis;
-pub mod bitset;
 pub mod jacobian;
 
+/// The bitset now lives in `gvex-graph` (it also backs the match indexes in
+/// `gvex-iso`); re-exported here so `gvex_influence::BitSet` and
+/// `gvex_influence::bitset::*` keep working.
+pub use gvex_graph::bitset;
+pub use gvex_graph::BitSet;
+
 pub use analysis::{InfluenceAnalysis, StreamingInfluence};
-pub use bitset::BitSet;
 pub use jacobian::{
     influence_matrix, influence_matrix_with_trace, realized, realized_reference,
     realized_with_trace, InfluenceMode,

@@ -45,7 +45,11 @@ impl Coverage {
     }
 }
 
-fn canonical_edge(g: &Graph, u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+/// The key under which an edge is recorded: `(min, max)` for undirected
+/// graphs, `(src, dst)` for directed ones. Public so consumers accumulating
+/// coverage from raw embeddings (e.g. `Psum`'s embedding-reuse path) agree
+/// with [`covered`] on edge identity.
+pub fn canonical_edge(g: &Graph, u: NodeId, v: NodeId) -> (NodeId, NodeId) {
     if g.is_directed() || u <= v {
         (u, v)
     } else {
@@ -93,13 +97,24 @@ pub fn covered_by_set(patterns: &[Graph], target: &Graph, opts: MatchOptions) ->
 
 /// Coverage of each of `targets` by the pattern set. Match enumeration is
 /// independent per target graph, so the targets fan out across rayon
-/// workers; results come back in target order regardless of thread count.
+/// workers — when the workload clears the adaptive threshold; tiny target
+/// sets run on the calling thread. Results come back in target order
+/// regardless of thread count or dispatch.
 pub fn covered_by_set_many(
     patterns: &[Graph],
     targets: &[&Graph],
     opts: MatchOptions,
 ) -> Vec<Coverage> {
-    targets.par_iter().map(|t| covered_by_set(patterns, t, opts)).collect()
+    // ~ per target: each pattern explores O(n²) candidate pairs before
+    // pruning; embedding enumeration beyond that is output-sensitive
+    let est: usize =
+        targets.iter().map(|t| patterns.len() * t.num_nodes() * t.num_nodes() * 16).sum();
+    let cover = |t: &&Graph| covered_by_set(patterns, t, opts);
+    if rayon::should_fan_out(est) {
+        targets.par_iter().map(cover).collect()
+    } else {
+        targets.iter().map(cover).collect()
+    }
 }
 
 #[cfg(test)]

@@ -18,4 +18,6 @@ pub mod enumerate;
 pub mod pgen;
 
 pub use enumerate::connected_subsets;
-pub use pgen::{inc_pgen, pgen, MiningConfig, PatternCandidate};
+pub use pgen::{
+    inc_pgen, pgen, pgen_with, DedupStrategy, MiningConfig, PatternCandidate, PatternParent,
+};

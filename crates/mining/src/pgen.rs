@@ -2,7 +2,8 @@
 
 use crate::enumerate::connected_subsets;
 use gvex_graph::{Graph, NodeId};
-use gvex_iso::vf2::are_isomorphic;
+use gvex_iso::canon::canonical_code;
+use gvex_iso::vf2::{are_isomorphic, find_one, MatchOptions};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
@@ -27,6 +28,21 @@ impl Default for MiningConfig {
     }
 }
 
+/// Link from a candidate to the candidate it extends by exactly one node.
+/// `PMatch` consumers use it to seed the child's embedding enumeration from
+/// the parent's recorded embeddings (the paper's `IncPMatch` applied at
+/// mining time) instead of matching from scratch.
+#[derive(Clone, Debug)]
+pub struct PatternParent {
+    /// Index of the parent candidate in the same candidate list.
+    pub index: usize,
+    /// The child pattern node the parent lacks.
+    pub removed: NodeId,
+    /// `map[parent_node] = child_node` for the shared nodes: an isomorphism
+    /// from the parent pattern onto the child minus `removed`.
+    pub map: Vec<NodeId>,
+}
+
 /// A mined pattern with its statistics.
 #[derive(Clone, Debug)]
 pub struct PatternCandidate {
@@ -37,6 +53,22 @@ pub struct PatternCandidate {
     /// MDL gain: description-length saving from factoring the occurrences
     /// through the pattern. Higher is better.
     pub mdl_score: f64,
+    /// One-node-smaller candidate this pattern extends, when one exists in
+    /// the same list (computed after ranking/truncation).
+    pub parent: Option<PatternParent>,
+}
+
+/// How the candidate store recognizes two occurrences as the same pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DedupStrategy {
+    /// Canonical-code hash buckets (`gvex_iso::canon`): codes are exact, so
+    /// a bucket hit needs at most one `are_isomorphic` confirmation, and
+    /// patterns past the canonicalizer's budget fall back to the signature
+    /// path. The default.
+    Canonical,
+    /// Signature buckets with pairwise `are_isomorphic` scans — the
+    /// original implementation, retained as the differential baseline.
+    Pairwise,
 }
 
 /// SUBDUE-style MDL gain: encoding `s` occurrences of a pattern with
@@ -48,7 +80,7 @@ fn mdl_gain(pattern: &Graph, support: usize) -> f64 {
 }
 
 /// Cheap isomorphism-invariant signature used to bucket candidates before
-/// the exact `are_isomorphic` check.
+/// the exact `are_isomorphic` check on the pairwise path.
 fn signature(g: &Graph) -> Signature {
     let mut types = g.node_types().to_vec();
     types.sort_unstable();
@@ -61,16 +93,59 @@ fn signature(g: &Graph) -> Signature {
 type Signature = (usize, usize, Vec<u32>, Vec<usize>);
 
 /// Internal accumulator that deduplicates candidates up to isomorphism.
-#[derive(Default)]
 struct CandidateStore {
-    buckets: HashMap<Signature, Vec<usize>>,
+    strategy: DedupStrategy,
+    /// Pairwise-scan buckets: the `Pairwise` strategy, and the fallback for
+    /// patterns the canonicalizer declines. Canonicalizability is
+    /// isomorphism-invariant, so coded and uncoded candidates can never
+    /// collide across the two bucket maps.
+    sig_buckets: HashMap<Signature, Vec<usize>>,
+    code_buckets: HashMap<Vec<u64>, Vec<usize>>,
     candidates: Vec<PatternCandidate>,
 }
 
 impl CandidateStore {
+    fn new(strategy: DedupStrategy) -> Self {
+        CandidateStore {
+            strategy,
+            sig_buckets: HashMap::new(),
+            code_buckets: HashMap::new(),
+            candidates: Vec::new(),
+        }
+    }
+
+    fn push_new(&mut self, pattern: Graph) -> usize {
+        let idx = self.candidates.len();
+        self.candidates.push(PatternCandidate {
+            pattern,
+            support: 1,
+            mdl_score: 0.0,
+            parent: None,
+        });
+        idx
+    }
+
     fn add_occurrence(&mut self, pattern: Graph) -> bool {
+        if self.strategy == DedupStrategy::Canonical {
+            if let Some(code) = canonical_code(&pattern) {
+                // Codes are exact, so a hit bucket holds exactly one
+                // candidate; the single VF2 run guards the hash path.
+                if let Some(bucket) = self.code_buckets.get(&code) {
+                    for &idx in bucket {
+                        if are_isomorphic(&self.candidates[idx].pattern, &pattern) {
+                            self.candidates[idx].support += 1;
+                            return false;
+                        }
+                    }
+                }
+                let idx = self.push_new(pattern);
+                self.code_buckets.entry(code).or_default().push(idx);
+                return true;
+            }
+            gvex_obs::counter!("mining.pgen.canon_fallbacks");
+        }
         let sig = signature(&pattern);
-        let bucket = self.buckets.entry(sig).or_default();
+        let bucket = self.sig_buckets.entry(sig).or_default();
         for &idx in bucket.iter() {
             if are_isomorphic(&self.candidates[idx].pattern, &pattern) {
                 self.candidates[idx].support += 1;
@@ -78,7 +153,12 @@ impl CandidateStore {
             }
         }
         let idx = self.candidates.len();
-        self.candidates.push(PatternCandidate { pattern, support: 1, mdl_score: 0.0 });
+        self.candidates.push(PatternCandidate {
+            pattern,
+            support: 1,
+            mdl_score: 0.0,
+            parent: None,
+        });
         bucket.push(idx);
         true
     }
@@ -97,7 +177,43 @@ impl CandidateStore {
                 .then(a.pattern.num_nodes().cmp(&b.pattern.num_nodes()))
         });
         self.candidates.truncate(cfg.max_candidates);
+        attach_parents(&mut self.candidates);
         self.candidates
+    }
+}
+
+/// Wires up [`PatternParent`] links: for each candidate, find a node whose
+/// removal leaves a connected graph isomorphic to another (necessarily
+/// one-node-smaller) candidate, and record the isomorphism. Runs on the
+/// final ranked list so the indexes are stable for consumers.
+fn attach_parents(cands: &mut [PatternCandidate]) {
+    let mut by_code: HashMap<Vec<u64>, usize> = HashMap::new();
+    for (i, c) in cands.iter().enumerate() {
+        if let Some(code) = canonical_code(&c.pattern) {
+            by_code.entry(code).or_insert(i);
+        }
+    }
+    let opts = MatchOptions { induced: true, max_embeddings: usize::MAX };
+    for i in 0..cands.len() {
+        let n = cands[i].pattern.num_nodes();
+        if n < 2 {
+            continue;
+        }
+        for v in 0..n {
+            let keep: Vec<NodeId> = (0..n).filter(|&u| u != v).collect();
+            let sub = cands[i].pattern.induced_subgraph(&keep);
+            if !sub.graph.is_connected() {
+                continue;
+            }
+            let Some(code) = canonical_code(&sub.graph) else { continue };
+            let Some(&j) = by_code.get(&code) else { continue };
+            // An induced embedding between isomorphic (equal-size) graphs
+            // is a full isomorphism.
+            let Some(emb) = find_one(&cands[j].pattern, &sub.graph, opts) else { continue };
+            let map: Vec<NodeId> = emb.iter().map(|&s| sub.to_parent(s)).collect();
+            cands[i].parent = Some(PatternParent { index: j, removed: v, map });
+            break;
+        }
     }
 }
 
@@ -107,8 +223,19 @@ impl CandidateStore {
 /// `cfg.max_pattern_nodes`, takes its induced typed subgraph as a pattern,
 /// deduplicates up to isomorphism, counts support, and ranks by MDL gain.
 pub fn pgen(subgraphs: &[&Graph], cfg: &MiningConfig) -> Vec<PatternCandidate> {
+    pgen_with(subgraphs, cfg, DedupStrategy::Canonical)
+}
+
+/// [`pgen`] with an explicit [`DedupStrategy`]; both strategies see
+/// occurrences in the same order, so they produce identical candidate lists
+/// (the differential property the proptests pin).
+pub fn pgen_with(
+    subgraphs: &[&Graph],
+    cfg: &MiningConfig,
+    strategy: DedupStrategy,
+) -> Vec<PatternCandidate> {
     gvex_obs::span!("mining.pgen");
-    let mut store = CandidateStore::default();
+    let mut store = CandidateStore::new(strategy);
     let mut total = 0usize;
     // Hard enumeration budget: distinct candidates are capped by
     // max_candidates; occurrences by a generous multiple.
@@ -140,7 +267,7 @@ pub fn inc_pgen(
     cfg: &MiningConfig,
 ) -> Vec<PatternCandidate> {
     gvex_obs::span!("mining.inc_pgen");
-    let mut store = CandidateStore::default();
+    let mut store = CandidateStore::new(DedupStrategy::Canonical);
     connected_subsets(subgraph, cfg.max_pattern_nodes, |nodes| {
         if nodes.contains(&anchor) {
             store.add_occurrence(subgraph.induced_subgraph(nodes).graph);
@@ -148,7 +275,16 @@ pub fn inc_pgen(
         ControlFlow::Continue(())
     });
     let mut fresh = store.finish(cfg);
-    fresh.retain(|c| !existing.iter().any(|p| are_isomorphic(p, &c.pattern)));
+    // Canonical codes make the "already maintained?" probe a set lookup.
+    // Canonicalizability is isomorphism-invariant, so an uncodable fresh
+    // pattern can only ever match an uncodable existing one (and vice
+    // versa) — each side scans only its own representation.
+    let existing_codes: std::collections::HashSet<Vec<u64>> =
+        existing.iter().filter_map(canonical_code).collect();
+    fresh.retain(|c| match canonical_code(&c.pattern) {
+        Some(code) => !existing_codes.contains(&code),
+        None => !existing.iter().any(|p| are_isomorphic(p, &c.pattern)),
+    });
     fresh
 }
 
@@ -215,6 +351,48 @@ mod tests {
         let cfg = MiningConfig { max_pattern_nodes: 3, ..Default::default() };
         let cands = pgen(&[&sub], &cfg);
         assert!(cands.iter().all(|c| c.pattern.num_nodes() <= 3));
+    }
+
+    #[test]
+    fn dedup_strategies_agree() {
+        let subs = [g(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]), g(&[1, 0, 1], &[(0, 1), (1, 2)])];
+        let refs: Vec<&Graph> = subs.iter().collect();
+        let cfg = MiningConfig::default();
+        let canonical = pgen_with(&refs, &cfg, DedupStrategy::Canonical);
+        let pairwise = pgen_with(&refs, &cfg, DedupStrategy::Pairwise);
+        assert_eq!(canonical.len(), pairwise.len());
+        for (a, b) in canonical.iter().zip(&pairwise) {
+            assert_eq!(a.support, b.support);
+            assert_eq!(a.mdl_score, b.mdl_score);
+            assert!(are_isomorphic(&a.pattern, &b.pattern));
+        }
+    }
+
+    #[test]
+    fn parents_link_one_node_extensions() {
+        // path of three: the 3-node pattern should link to a 2-node parent,
+        // which links to a singleton.
+        let sub = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let cands = pgen(&[&sub], &MiningConfig::default());
+        for c in &cands {
+            let n = c.pattern.num_nodes();
+            if n == 1 {
+                assert!(c.parent.is_none(), "singletons have no parent");
+                continue;
+            }
+            let parent = c.parent.as_ref().expect("every multi-node candidate here has a parent");
+            let pc = &cands[parent.index];
+            assert_eq!(pc.pattern.num_nodes(), n - 1);
+            assert!(parent.removed < n);
+            // the recorded map really is an isomorphism onto child \ removed
+            let keep: Vec<NodeId> = (0..n).filter(|&u| u != parent.removed).collect();
+            let sub_pat = c.pattern.induced_subgraph(&keep);
+            assert!(are_isomorphic(&pc.pattern, &sub_pat.graph));
+            for (pn, &cn) in parent.map.iter().enumerate() {
+                assert_eq!(pc.pattern.node_type(pn), c.pattern.node_type(cn));
+                assert_ne!(cn, parent.removed);
+            }
+        }
     }
 
     #[test]

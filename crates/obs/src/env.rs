@@ -92,9 +92,38 @@ pub fn threads() -> usize {
     }
 }
 
-/// The machine's available parallelism (1 if unknown).
+/// The machine's available parallelism (1 if unknown), snapshotted on
+/// first use: `std::thread::available_parallelism` re-reads cgroup limits
+/// on every call (microseconds each), and this sits on the dispatch path
+/// of every parallel call and adaptive fan-out gate.
 pub fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Default for [`par_threshold`]: roughly the scalar-operation count below
+/// which spawning scoped worker threads costs more than it saves, measured
+/// on the explain pipeline's fan-outs (see `BENCH_hotpaths.json`).
+pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 18;
+
+/// The adaptive-parallelism cost threshold in estimated scalar operations:
+/// gated fan-outs whose workload estimate falls below it run sequentially
+/// on the calling thread; larger ones go parallel (given more than one
+/// worker *and* more than one hardware thread — see
+/// `rayon::should_fan_out`). `GVEX_PAR_THRESHOLD=0` removes the cost bar
+/// entirely; a malformed value warns once and falls back to
+/// [`DEFAULT_PAR_THRESHOLD`]. Both branches of every gate preserve input
+/// order, so the setting never changes results — only thread-spawn
+/// overhead.
+pub fn par_threshold() -> usize {
+    match parse_usize("GVEX_PAR_THRESHOLD") {
+        Ok(Some(n)) => n,
+        Ok(None) => DEFAULT_PAR_THRESHOLD,
+        Err(err) => {
+            warn_once("GVEX_PAR_THRESHOLD", &format!("{err}; using the default threshold"));
+            DEFAULT_PAR_THRESHOLD
+        }
+    }
 }
 
 static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
@@ -150,5 +179,17 @@ mod tests {
     #[test]
     fn default_parallelism_is_positive() {
         assert!(default_parallelism() >= 1);
+    }
+
+    #[test]
+    fn par_threshold_parses_and_falls_back() {
+        std::env::set_var("GVEX_PAR_THRESHOLD", "4096");
+        assert_eq!(par_threshold(), 4096);
+        std::env::set_var("GVEX_PAR_THRESHOLD", "0");
+        assert_eq!(par_threshold(), 0);
+        std::env::set_var("GVEX_PAR_THRESHOLD", "not-a-number");
+        assert_eq!(par_threshold(), DEFAULT_PAR_THRESHOLD);
+        std::env::remove_var("GVEX_PAR_THRESHOLD");
+        assert_eq!(par_threshold(), DEFAULT_PAR_THRESHOLD);
     }
 }

@@ -1,0 +1,112 @@
+//! Differential property tests for the matching engine overhaul: the
+//! bitset-frontier VF2 must agree embedding-for-embedding with the retained
+//! reference engine, and `PGen`'s canonical-code dedup must produce the same
+//! candidates as the original pairwise-isomorphism scan.
+
+use gvex::graph::{Graph, GraphBuilder};
+use gvex::iso::{
+    are_isomorphic, for_each_embedding_reference, for_each_embedding_with_index, MatchIndex,
+    MatchOptions,
+};
+use gvex::mining::{pgen_with, DedupStrategy, MiningConfig};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+
+/// Strategy: a random undirected typed graph with ≤ `max_n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        let types = proptest::collection::vec(0u32..3, n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..2 * n);
+        (types, edges).prop_map(|(types, edges)| {
+            let mut b = GraphBuilder::new(false);
+            for &t in &types {
+                b.add_node(t, &[1.0]);
+            }
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v, 0);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// All embeddings of `pattern` in `target` from the reference engine, in
+/// emission order.
+fn reference_embeddings(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for_each_embedding_reference(pattern, target, opts, |map| {
+        out.push(map.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// All embeddings from the bitset engine against a freshly built index.
+fn bitset_embeddings(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Vec<Vec<usize>> {
+    let index = MatchIndex::build(target);
+    let mut out = Vec::new();
+    for_each_embedding_with_index(pattern, target, &index, opts, |map| {
+        out.push(map.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Induced matching: the bitset engine emits exactly the reference
+    /// engine's embeddings, in the same order (the order identity the
+    /// adaptive dispatch in `for_each_embedding` relies on).
+    #[test]
+    fn bitset_matches_reference_induced(pattern in arb_graph(4), target in arb_graph(12)) {
+        let opts = MatchOptions { induced: true, max_embeddings: 5_000 };
+        prop_assert_eq!(
+            bitset_embeddings(&pattern, &target, opts),
+            reference_embeddings(&pattern, &target, opts)
+        );
+    }
+
+    /// Non-induced (monomorphism) matching agrees too: the frontier pruning
+    /// must not assume absent pattern edges forbid target edges.
+    #[test]
+    fn bitset_matches_reference_non_induced(pattern in arb_graph(4), target in arb_graph(12)) {
+        let opts = MatchOptions { induced: false, max_embeddings: 5_000 };
+        prop_assert_eq!(
+            bitset_embeddings(&pattern, &target, opts),
+            reference_embeddings(&pattern, &target, opts)
+        );
+    }
+
+    /// Truncation at `max_embeddings` cuts the same prefix from both
+    /// engines — truncated searches are still deterministic and comparable.
+    #[test]
+    fn truncated_prefixes_agree(pattern in arb_graph(3), target in arb_graph(10), cap in 1usize..6) {
+        let opts = MatchOptions { induced: false, max_embeddings: cap };
+        let reference = reference_embeddings(&pattern, &target, opts);
+        prop_assert!(reference.len() <= cap);
+        prop_assert_eq!(bitset_embeddings(&pattern, &target, opts), reference);
+    }
+
+    /// `PGen` candidate lists are identical under canonical-code dedup and
+    /// the original pairwise-isomorphism scan: same length, same order, same
+    /// support and MDL score, isomorphic patterns position by position.
+    #[test]
+    fn pgen_dedup_strategies_agree(a in arb_graph(7), b in arb_graph(7)) {
+        let cfg = MiningConfig { max_pattern_nodes: 4, ..MiningConfig::default() };
+        let subgraphs = [&a, &b];
+        let canonical = pgen_with(&subgraphs, &cfg, DedupStrategy::Canonical);
+        let pairwise = pgen_with(&subgraphs, &cfg, DedupStrategy::Pairwise);
+        prop_assert_eq!(canonical.len(), pairwise.len());
+        for (c, p) in canonical.iter().zip(&pairwise) {
+            prop_assert_eq!(c.support, p.support);
+            prop_assert!((c.mdl_score - p.mdl_score).abs() < 1e-9);
+            prop_assert!(
+                are_isomorphic(&c.pattern, &p.pattern),
+                "non-isomorphic candidates at the same rank"
+            );
+        }
+    }
+}
