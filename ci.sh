@@ -17,6 +17,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --release --all-targets -- -D warnings
 
+echo "==> cargo clippy (dev profile)"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -49,6 +52,12 @@ if ratio_large > 1.1:
 if not large["identical"]:
     raise SystemExit("bench gate: large explain_database results differ across thread counts")
 
+session = bench["explain_session"]
+if session["speedup"] < 1.5:
+    raise SystemExit(f"bench gate: explain_session reuse speedup {session['speedup']:.2f}x below the 1.5x gate")
+if not session["identical"]:
+    raise SystemExit("bench gate: explain_session arms produced different selections")
+
 # The matching-engine counters are exercised by the bench's obs epilogue
 # (tiny CLI graphs never reach the bitset/truncation/reuse paths).
 counters = json.load(open("OBS_report.json"))["counters"]
@@ -56,7 +65,7 @@ for required in ("iso.vf2.frontier_prunes", "iso.vf2.truncated", "mining.pgen.em
     if counters.get(required, 0) <= 0:
         raise SystemExit(f"bench gate: counter {required!r} missing or zero in OBS_report.json")
 
-print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f} — OK")
+print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x — OK")
 PY
 fi
 

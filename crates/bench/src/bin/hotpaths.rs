@@ -34,8 +34,9 @@
 //!    `TraceCache`, and emits the obs run report (`OBS_report.json`) as
 //!    the phase breakdown for this benchmark.
 
+use gvex_core::exact::{greedy_selection, streaming_selection};
 use gvex_core::verify::verify_view_with;
-use gvex_core::{explain_database, Configuration};
+use gvex_core::{explain_database, Configuration, ExplainSession};
 use gvex_gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split, TraceCache};
 use gvex_graph::{Graph, GraphDatabase};
 use gvex_iso::{
@@ -127,6 +128,24 @@ struct ExplainScaleBench {
     identical: bool,
 }
 
+/// Session-reuse amortization: the same influence analyses consumed by
+/// several selection algorithms per graph, through one shared
+/// [`ExplainSession`] (each Jacobian differentiated once) vs. a fresh
+/// session per selector call (each call recomputes it).
+#[derive(Serialize)]
+struct ExplainSessionBench {
+    graphs: usize,
+    /// Selector variants run per graph.
+    algorithms: usize,
+    /// Min-of-N seconds with a fresh session (fresh caches) per call.
+    per_call_secs: f64,
+    /// Min-of-N seconds with one session shared across all calls.
+    session_secs: f64,
+    speedup: f64,
+    /// Whether both arms produced identical selections.
+    identical: bool,
+}
+
 #[derive(Serialize)]
 struct Report {
     matmul_256: MatmulBench,
@@ -135,6 +154,7 @@ struct Report {
     vf2_match: Vf2Bench,
     explain_database: ExplainBench,
     explain_database_large: ExplainScaleBench,
+    explain_session: ExplainSessionBench,
 }
 
 /// Interleaved min-of-`rounds` timing of two closures: `a` and `b` alternate
@@ -486,6 +506,82 @@ fn bench_explain() -> (ExplainBench, ExplainScaleBench) {
     (small, scale)
 }
 
+/// One selector variant: the un-gated greedy, or the streaming swap rule
+/// over a forward / reverse arrival order. All three consume the same
+/// [`gvex_influence::analysis::InfluenceAnalysis`], which is the expensive
+/// part — exactly the sharing a session exists to capture.
+fn run_selector(a: &gvex_influence::analysis::InfluenceAnalysis, k: usize, n: usize) -> Vec<usize> {
+    match k {
+        0 => greedy_selection(a, 5).0,
+        1 => {
+            let fwd: Vec<usize> = (0..n).collect();
+            streaming_selection(a, &fwd, 5).0
+        }
+        _ => {
+            let rev: Vec<usize> = (0..n).rev().collect();
+            streaming_selection(a, &rev, 5).0
+        }
+    }
+}
+
+fn bench_explain_session() -> ExplainSessionBench {
+    const GRAPHS: usize = 8;
+    const ALGOS: usize = 3;
+    let graphs: Vec<Graph> = (0..GRAPHS).map(|i| ring_graph(40 + i, 8)).collect();
+    let model = GcnModel::new(
+        GcnConfig { input_dim: 8, hidden: 32, layers: 3, num_classes: 2 },
+        &mut ChaCha8Rng::seed_from_u64(7),
+    );
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 5);
+
+    // Per-call arm: what the free-function era did — every algorithm
+    // invocation rebuilds its own analysis (GRAPHS × ALGOS Jacobians).
+    let per_call = || -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for (gi, g) in graphs.iter().enumerate() {
+            for k in 0..ALGOS {
+                let sess = ExplainSession::new(&model, cfg.clone()).expect("valid configuration");
+                let a = sess.influence(g, gi);
+                out.push(run_selector(&a, k, g.num_nodes()));
+            }
+        }
+        out
+    };
+    // Session arm: one session for the whole batch; the influence memo
+    // differentiates each graph once (GRAPHS Jacobians), every later
+    // selector call on the same graph is a cache hit.
+    let session_arm = || -> Vec<Vec<usize>> {
+        let sess = ExplainSession::new(&model, cfg.clone()).expect("valid configuration");
+        let mut out = Vec::new();
+        for (gi, g) in graphs.iter().enumerate() {
+            for k in 0..ALGOS {
+                let a = sess.influence(g, gi);
+                out.push(run_selector(&a, k, g.num_nodes()));
+            }
+        }
+        out
+    };
+
+    let identical = per_call() == session_arm();
+    let (per_call_secs, session_secs) = race(
+        5,
+        || {
+            black_box(per_call());
+        },
+        || {
+            black_box(session_arm());
+        },
+    );
+    ExplainSessionBench {
+        graphs: GRAPHS,
+        algorithms: ALGOS,
+        per_call_secs,
+        session_secs,
+        speedup: per_call_secs / session_secs,
+        identical,
+    }
+}
+
 fn main() {
     eprintln!("[hotpaths] matmul 256^3 ...");
     let matmul = bench_matmul();
@@ -545,6 +641,20 @@ fn main() {
         if explain_large.identical { "output identical" } else { "OUTPUT DIVERGED" }
     );
 
+    eprintln!("[hotpaths] explain-session reuse ...");
+    let session = bench_explain_session();
+    eprintln!(
+        "[hotpaths]   {} graphs x {} algorithms: per-call {:.3}s, session {:.3}s, \
+         speedup {:.2}x {} ({})",
+        session.graphs,
+        session.algorithms,
+        session.per_call_secs,
+        session.session_secs,
+        session.speedup,
+        if session.speedup >= 1.5 { "(>= 1.5x target met)" } else { "(BELOW 1.5x target)" },
+        if session.identical { "selections identical" } else { "SELECTIONS DIVERGED" }
+    );
+
     let report = Report {
         matmul_256: matmul,
         realized_jacobian_128: jac,
@@ -552,6 +662,7 @@ fn main() {
         vf2_match: vf2,
         explain_database: explain,
         explain_database_large: explain_large,
+        explain_session: session,
     };
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json");
     let text = serde_json::to_string_pretty(&report).expect("serializable report");

@@ -8,6 +8,14 @@
 //! (§4, "Correctness & Approximability"). The *summarize* phase hands the
 //! induced explanation subgraphs of a label group to `Psum`.
 //!
+//! The algorithm lives in [`GreedyStrategy`], a
+//! [`SelectionStrategy`] over a shared [`ExplainSession`]: the forward
+//! trace and influence analysis come from the session's memos, and every
+//! candidate probe runs on a zero-copy [`gvex_graph::GraphRef`] view
+//! instead of an allocated subgraph clone. [`ApproxGvex`] remains as the
+//! configuration-carrying entry point; its methods are thin wrappers that
+//! build a one-shot session.
+//!
 //! One deliberate refinement over the paper's pseudo-code: Procedure 2
 //! (`VpExtend`) rejects a candidate unless the extended subgraph is already
 //! consistent *and* counterfactual. A prefix of one or two nodes often
@@ -21,39 +29,23 @@
 //! flags are reported on the final subgraph.
 
 use crate::config::Configuration;
-use crate::psum::psum;
+use crate::session::{ExplainSession, SelectionStrategy};
 use crate::view::{ExplanationSubgraph, ExplanationView, ExplanationViewSet};
 use gvex_gnn::GcnModel;
 use gvex_graph::{Graph, GraphDatabase, NodeId};
-use gvex_influence::analysis::InfluenceAnalysis;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
-/// The ApproxGVEX explainer (§4).
-#[derive(Clone, Debug)]
-pub struct ApproxGvex {
-    cfg: Configuration,
-}
+/// Algorithm 1's greedy node selection as a session strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyStrategy;
 
-impl ApproxGvex {
-    /// Creates the explainer with a configuration.
-    pub fn new(cfg: Configuration) -> Self {
-        Self { cfg }
+impl SelectionStrategy for GreedyStrategy {
+    fn name(&self) -> &'static str {
+        "approx-greedy"
     }
 
-    /// The configuration in use.
-    pub fn config(&self) -> &Configuration {
-        &self.cfg
-    }
-
-    /// Algorithm 1 for a single graph: selects `V_S`, induces the
-    /// explanation subgraph, and reports the §2.2 property flags.
-    ///
-    /// Returns `None` when the graph is empty or no selection satisfying
-    /// the lower coverage bound exists (the paper's `return ∅`).
-    pub fn explain_graph(
+    fn explain_graph(
         &self,
-        model: &GcnModel,
+        sess: &ExplainSession<'_>,
         g: &Graph,
         graph_index: usize,
     ) -> Option<ExplanationSubgraph> {
@@ -62,25 +54,18 @@ impl ApproxGvex {
         if n == 0 {
             return None;
         }
-        // One forward pass serves the label, the Jacobian gates, and the
-        // embeddings below — explain_graph used to run up to three.
-        let trace = model.forward(g);
+        let model = sess.model();
+        let cfg = sess.config();
+        // One memoized forward pass serves the label, the Jacobian gates,
+        // and the embeddings below.
+        let trace = sess.trace(g);
         let label = trace.label();
-        let bound = self.cfg.bound(label);
+        let bound = cfg.bound(label);
         let upper = bound.upper.min(n);
 
-        // Line 2: EVerify precomputation — Jacobian + embeddings.
-        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ graph_index as u64);
-        let analysis = InfluenceAnalysis::with_trace(
-            model,
-            g,
-            &trace,
-            self.cfg.theta,
-            self.cfg.r,
-            self.cfg.gamma,
-            self.cfg.influence,
-            &mut rng,
-        );
+        // Line 2: EVerify precomputation — Jacobian + embeddings, memoized
+        // per (graph, index) on the session.
+        let analysis = sess.influence(g, graph_index);
 
         let mut selected: Vec<NodeId> = Vec::with_capacity(upper);
         let mut in_selected = vec![false; n];
@@ -139,12 +124,16 @@ impl ApproxGvex {
                 let mut full_checks = 0;
                 for &(_, v) in &cands {
                     selected.push(v);
-                    let proba = model.predict_proba(&g.induced_subgraph(&selected).graph);
+                    // probe the extension on zero-copy views: induced
+                    // subgraph for consistency, complement for the
+                    // counterfactual
+                    let proba = model.predict_proba(g.view_of(&selected));
                     let consistent = gvex_linalg::ops::argmax(&proba) == label;
                     let mut counterfactual = false;
                     if consistent && full_checks < FULL_TRIALS {
                         full_checks += 1;
-                        counterfactual = model.predict(&g.remove_nodes(&selected).graph) != label;
+                        counterfactual =
+                            crate::session::selection_counterfactual(model, g, label, &selected);
                     }
                     selected.pop();
                     if consistent && counterfactual {
@@ -236,6 +225,45 @@ impl ApproxGvex {
             explainability: analysis.score(&state) / n as f64,
         })
     }
+}
+
+/// The ApproxGVEX explainer (§4): a configuration plus the
+/// [`GreedyStrategy`]. Each call builds a one-shot [`ExplainSession`];
+/// construct a session directly to share caches across calls and
+/// algorithms.
+#[derive(Clone, Debug)]
+pub struct ApproxGvex {
+    cfg: Configuration,
+}
+
+impl ApproxGvex {
+    /// Creates the explainer with a configuration.
+    pub fn new(cfg: Configuration) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Configuration {
+        &self.cfg
+    }
+
+    fn session<'m>(&self, model: &'m GcnModel) -> ExplainSession<'m> {
+        ExplainSession::new(model, self.cfg.clone()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Algorithm 1 for a single graph: selects `V_S`, induces the
+    /// explanation subgraph, and reports the §2.2 property flags.
+    ///
+    /// Returns `None` when the graph is empty or no selection satisfying
+    /// the lower coverage bound exists (the paper's `return ∅`).
+    pub fn explain_graph(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        graph_index: usize,
+    ) -> Option<ExplanationSubgraph> {
+        GreedyStrategy.explain_graph(&self.session(model), g, graph_index)
+    }
 
     /// Builds one explanation view for label `l` over the given label group
     /// (graph indices): explain each graph, then summarize with `Psum`.
@@ -246,11 +274,7 @@ impl ApproxGvex {
         label: usize,
         group: &[usize],
     ) -> ExplanationView {
-        let subgraphs: Vec<ExplanationSubgraph> = {
-            gvex_obs::span!("explain");
-            group.iter().filter_map(|&gi| self.explain_graph(model, db.graph(gi), gi)).collect()
-        };
-        summarize(label, subgraphs, &self.cfg)
+        GreedyStrategy.explain_label_group(&self.session(model), db, label, group)
     }
 
     /// Solves the full EVG instance: one view per label of interest
@@ -261,35 +285,7 @@ impl ApproxGvex {
         db: &GraphDatabase,
         labels_of_interest: &[usize],
     ) -> ExplanationViewSet {
-        gvex_obs::span!("explain_db");
-        let assigned = crate::parallel::predict_all(model, db);
-        let groups = db.label_groups(&assigned);
-        let views = labels_of_interest
-            .iter()
-            .map(|&l| self.explain_label_group(model, db, l, groups.group(l)))
-            .collect();
-        ExplanationViewSet { views }
-    }
-}
-
-/// Shared summarize step (also used by the streaming algorithm's final
-/// assembly): run `Psum` over a label group's subgraphs and aggregate
-/// explainability (Eq. 2).
-pub(crate) fn summarize(
-    label: usize,
-    subgraphs: Vec<ExplanationSubgraph>,
-    cfg: &Configuration,
-) -> ExplanationView {
-    gvex_obs::span!("summarize");
-    let graphs: Vec<&Graph> = subgraphs.iter().map(|s| &s.subgraph).collect();
-    let ps = psum(&graphs, &cfg.mining, cfg.matching);
-    let explainability = subgraphs.iter().map(|s| s.explainability).sum();
-    ExplanationView {
-        label,
-        patterns: ps.patterns,
-        subgraphs,
-        edge_loss: ps.edge_loss,
-        explainability,
+        self.session(model).explain(&GreedyStrategy, db, labels_of_interest)
     }
 }
 
@@ -438,5 +434,22 @@ mod tests {
             .explain_graph(&model, db.graph(1), 1)
             .unwrap();
         assert!(large.explainability >= small.explainability - 1e-9);
+    }
+
+    #[test]
+    fn wrapper_matches_shared_session() {
+        // the thin wrapper (one-shot session) and a long-lived session with
+        // warm caches must agree bitwise
+        let db = motif_db();
+        let model = trained_model(&db);
+        let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);
+        let sess = ExplainSession::new(&model, cfg.clone()).unwrap();
+        // warm the memos with a first pass
+        let warm = GreedyStrategy.explain_graph(&sess, db.graph(1), 1).unwrap();
+        let memoized = GreedyStrategy.explain_graph(&sess, db.graph(1), 1).unwrap();
+        let one_shot = ApproxGvex::new(cfg).explain_graph(&model, db.graph(1), 1).unwrap();
+        let json = |s: &ExplanationSubgraph| serde_json::to_string(s).unwrap();
+        assert_eq!(json(&warm), json(&one_shot));
+        assert_eq!(json(&memoized), json(&one_shot));
     }
 }

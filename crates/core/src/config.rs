@@ -4,6 +4,39 @@ use gvex_influence::InfluenceMode;
 use gvex_iso::MatchOptions;
 use gvex_mining::MiningConfig;
 
+/// A structurally invalid configuration, reported by the centralized
+/// validating constructors ([`CoverageBound::try_new`],
+/// [`Configuration::validate`]). The explanation algorithms assume a
+/// validated configuration and perform no ad-hoc bound checks of their own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `lower > upper`: the bound admits no selection size.
+    EmptyBound {
+        /// The offending `b_l`.
+        lower: usize,
+        /// The offending `u_l`.
+        upper: usize,
+    },
+    /// `upper == 0`: the selection budget must be positive.
+    ZeroBudget,
+    /// The configuration defines no coverage bound at all.
+    NoBounds,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyBound { lower, upper } => {
+                write!(f, "coverage bound [{lower}, {upper}] is empty")
+            }
+            ConfigError::ZeroBudget => write!(f, "upper coverage bound must be at least 1"),
+            ConfigError::NoBounds => write!(f, "at least one coverage bound required"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Per-label coverage constraint `[b_l, u_l]` on the number of nodes an
 /// explanation subgraph may select from a graph of label group `l`.
 ///
@@ -19,11 +52,23 @@ pub struct CoverageBound {
 }
 
 impl CoverageBound {
-    /// Creates a bound, validating `lower ≤ upper` and `upper ≥ 1`.
+    /// Creates a bound, validating `lower ≤ upper` and `upper ≥ 1`
+    /// (a positive budget). This is the single place the bound invariants
+    /// are checked; every other constructor funnels through it.
+    pub fn try_new(lower: usize, upper: usize) -> Result<Self, ConfigError> {
+        if lower > upper {
+            return Err(ConfigError::EmptyBound { lower, upper });
+        }
+        if upper == 0 {
+            return Err(ConfigError::ZeroBudget);
+        }
+        Ok(Self { lower, upper })
+    }
+
+    /// Creates a bound, panicking on the invariants [`Self::try_new`]
+    /// reports as typed errors (convenience for static configurations).
     pub fn new(lower: usize, upper: usize) -> Self {
-        assert!(lower <= upper, "coverage bound [{lower}, {upper}] is empty");
-        assert!(upper >= 1, "upper coverage bound must be at least 1");
-        Self { lower, upper }
+        Self::try_new(lower, upper).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Whether `n` selected nodes satisfy the bound.
@@ -91,10 +136,27 @@ impl Configuration {
     }
 
     /// Replaces the bound table with per-label bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty (see [`Self::validate`] for the typed check).
     pub fn with_bounds(mut self, bounds: Vec<CoverageBound>) -> Self {
-        assert!(!bounds.is_empty(), "at least one coverage bound required");
         self.bounds = bounds;
+        self.validate().unwrap_or_else(|e| panic!("{e}"));
         self
+    }
+
+    /// Validates the configuration's structural invariants — at least one
+    /// coverage bound, every bound non-empty with a positive budget —
+    /// returning a typed error. [`crate::ExplainSession::new`] runs this
+    /// once at session construction, so the strategies never re-check.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.bounds.is_empty() {
+            return Err(ConfigError::NoBounds);
+        }
+        for b in &self.bounds {
+            CoverageBound::try_new(b.lower, b.upper)?;
+        }
+        Ok(())
     }
 
     /// Sets the influence estimation mode.
@@ -123,6 +185,19 @@ mod tests {
     }
 
     #[test]
+    fn inverted_bound_is_typed_error() {
+        assert_eq!(
+            CoverageBound::try_new(5, 2),
+            Err(ConfigError::EmptyBound { lower: 5, upper: 2 })
+        );
+    }
+
+    #[test]
+    fn zero_upper_bound_is_typed_error() {
+        assert_eq!(CoverageBound::try_new(0, 0), Err(ConfigError::ZeroBudget));
+    }
+
+    #[test]
     #[should_panic(expected = "is empty")]
     fn inverted_bound_panics() {
         let _ = CoverageBound::new(5, 2);
@@ -132,6 +207,16 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_upper_bound_panics() {
         let _ = CoverageBound::new(0, 0);
+    }
+
+    #[test]
+    fn validate_reports_missing_bounds() {
+        let mut cfg = Configuration::paper_mut(4);
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.bounds.clear();
+        assert_eq!(cfg.validate(), Err(ConfigError::NoBounds));
+        cfg.bounds = vec![CoverageBound { lower: 3, upper: 1 }];
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptyBound { lower: 3, upper: 1 }));
     }
 
     #[test]

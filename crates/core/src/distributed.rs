@@ -11,23 +11,17 @@
 //! to isomorphism and re-checking coverage. Workers communicate over
 //! channels only — no shared mutable state — so the same protocol lifts to
 //! processes or machines unchanged.
+//!
+//! The protocol lives in [`crate::ExplainSession::explain_sharded`] and
+//! runs any [`crate::SelectionStrategy`]; this module keeps the original
+//! free-function entry point as a thin wrapper with the greedy strategy.
 
-use crate::approx::ApproxGvex;
+use crate::approx::GreedyStrategy;
 use crate::config::Configuration;
-use crate::psum::coverage_stats;
-use crate::view::{ExplanationSubgraph, ExplanationView, ExplanationViewSet};
+use crate::session::ExplainSession;
+use crate::view::ExplanationViewSet;
 use gvex_gnn::GcnModel;
-use gvex_graph::{Graph, GraphDatabase};
-use gvex_iso::vf2::are_isomorphic;
-use std::sync::mpsc;
-
-/// What a worker sends back for one label: its shard's explanation
-/// subgraphs plus the locally mined pattern set.
-struct ShardResult {
-    label: usize,
-    subgraphs: Vec<ExplanationSubgraph>,
-    patterns: Vec<Graph>,
-}
+use gvex_graph::GraphDatabase;
 
 /// Generates explanation views with `shards` workers, each owning a
 /// contiguous slice of the database. Deterministic: the merged result does
@@ -40,90 +34,16 @@ pub fn explain_database_sharded(
     cfg: &Configuration,
     shards: usize,
 ) -> ExplanationViewSet {
-    let shards = shards.max(1);
-    let assigned = crate::parallel::predict_all(model, db);
-    let groups = db.label_groups(&assigned);
-
-    // shard boundaries over graph indices
-    let n = db.len();
-    let per_shard = n.div_ceil(shards);
-
-    let (tx, rx) = mpsc::channel::<(usize, ShardResult)>();
-    std::thread::scope(|scope| {
-        for shard_id in 0..shards {
-            let lo = shard_id * per_shard;
-            let hi = ((shard_id + 1) * per_shard).min(n);
-            let tx = tx.clone();
-            let cfg = cfg.clone();
-            let groups = &groups;
-            scope.spawn(move || {
-                let ag = ApproxGvex::new(cfg.clone());
-                for &label in labels_of_interest {
-                    // this shard's members of the label group
-                    let members: Vec<usize> = groups
-                        .group(label)
-                        .iter()
-                        .copied()
-                        .filter(|&gi| gi >= lo && gi < hi)
-                        .collect();
-                    let subgraphs: Vec<ExplanationSubgraph> = members
-                        .iter()
-                        .filter_map(|&gi| ag.explain_graph(model, db.graph(gi), gi))
-                        .collect();
-                    // local summarization: only patterns + subgraphs leave
-                    // the worker
-                    let refs: Vec<&Graph> = subgraphs.iter().map(|s| &s.subgraph).collect();
-                    let ps = crate::psum::psum(&refs, &cfg.mining, cfg.matching);
-                    let _ = tx
-                        .send((shard_id, ShardResult { label, subgraphs, patterns: ps.patterns }));
-                }
-            });
-        }
-        drop(tx);
-
-        // coordinator: collect everything, then merge in shard order
-        let mut inbox: Vec<(usize, ShardResult)> = rx.iter().collect();
-        inbox.sort_by_key(|&(shard, ref r)| (r.label, shard));
-
-        let views = labels_of_interest
-            .iter()
-            .map(|&label| {
-                let mut subgraphs: Vec<ExplanationSubgraph> = Vec::new();
-                let mut patterns: Vec<Graph> = Vec::new();
-                for (_, r) in inbox.iter().filter(|(_, r)| r.label == label) {
-                    subgraphs.extend(r.subgraphs.iter().cloned());
-                    for p in &r.patterns {
-                        if !patterns.iter().any(|q| are_isomorphic(q, p)) {
-                            patterns.push(p.clone());
-                        }
-                    }
-                }
-                subgraphs.sort_by_key(|s| s.graph_index);
-                // re-check global coverage; plug any gap with singletons
-                let refs: Vec<&Graph> = subgraphs.iter().map(|s| &s.subgraph).collect();
-                let (uncovered, _) = coverage_stats(&patterns, &refs, cfg.matching);
-                for (si, v) in uncovered {
-                    let t = refs[si].node_type(v);
-                    let mut b = Graph::builder(refs[si].is_directed());
-                    b.add_node(t, &[]);
-                    let singleton = b.build();
-                    if !patterns.iter().any(|q| are_isomorphic(q, &singleton)) {
-                        patterns.push(singleton);
-                    }
-                }
-                let (_, edge_loss) = coverage_stats(&patterns, &refs, cfg.matching);
-                let explainability = subgraphs.iter().map(|s| s.explainability).sum();
-                ExplanationView { label, patterns, subgraphs, edge_loss, explainability }
-            })
-            .collect();
-        ExplanationViewSet { views }
-    })
+    let sess = ExplainSession::new(model, cfg.clone()).unwrap_or_else(|e| panic!("{e}"));
+    sess.explain_sharded(&GreedyStrategy, db, labels_of_interest, shards)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::approx::ApproxGvex;
     use gvex_gnn::{trainer, GcnConfig};
+    use gvex_graph::Graph;
 
     fn motif_db() -> GraphDatabase {
         let mut db = GraphDatabase::new(vec!["plain".into(), "motif".into()]);

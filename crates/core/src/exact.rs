@@ -17,8 +17,55 @@
 //! `tests/approximation_ratio.rs` checks both bounds across random
 //! instances.
 
-use gvex_graph::NodeId;
+use crate::session::{ExplainSession, SelectionStrategy};
+use crate::view::ExplanationSubgraph;
+use gvex_graph::{Graph, NodeId};
 use gvex_influence::analysis::InfluenceAnalysis;
+
+/// The brute-force optimum as a session strategy: selects the exact best
+/// subset within the coverage bound. Exponential in the upper bound —
+/// reserved for tiny graphs (approximation-ratio validation, ablations);
+/// plugs into every session driver like the approximate strategies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactStrategy;
+
+impl SelectionStrategy for ExactStrategy {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn explain_graph(
+        &self,
+        sess: &ExplainSession<'_>,
+        g: &Graph,
+        graph_index: usize,
+    ) -> Option<ExplanationSubgraph> {
+        gvex_obs::span!("exact.explain_graph");
+        let n = g.num_nodes();
+        if n == 0 {
+            return None;
+        }
+        let trace = sess.trace(g);
+        let label = trace.label();
+        let bound = sess.config().bound(label);
+        let analysis = sess.influence(g, graph_index);
+        let (mut selected, score) = exact_selection(&analysis, bound.lower, bound.upper.min(n));
+        if selected.len() < bound.lower || selected.is_empty() {
+            return None;
+        }
+        selected.sort_unstable();
+        let sub = g.induced_subgraph(&selected);
+        let verdict = crate::verify::everify_with_label(sess.model(), g, label, &selected);
+        Some(ExplanationSubgraph {
+            graph_index,
+            nodes: selected,
+            subgraph: sub.graph,
+            consistent: verdict.consistent,
+            counterfactual: verdict.counterfactual,
+            explainability: score / n as f64,
+        })
+    }
+}
 
 /// Brute-force optimal subset of size in `[lower, upper]` maximizing
 /// `I + γ·D`. Exponential in `upper`; intended for `n ≤ 20`, `upper ≤ 6`.

@@ -15,6 +15,10 @@
 //!   ½-approximation,
 //! * [`stream`] — **StreamGVEX** (Algorithm 3 + Procedures 4–5): the
 //!   single-pass anytime ¼-approximation with swap-based maintenance,
+//! * [`session`] — the shared [`session::ExplainSession`] owning the model
+//!   handle, forward-trace cache, and per-graph influence memo, with every
+//!   generation algorithm reduced to a [`session::SelectionStrategy`]
+//!   plugged into the sequential/parallel/sharded drivers,
 //! * [`parallel`] — the per-graph parallel driver (§A.7),
 //! * [`explainer`] — the [`explainer::Explainer`] trait shared with the
 //!   baseline explainers so the evaluation harness can treat every method
@@ -30,18 +34,21 @@ pub mod node_explain;
 pub mod parallel;
 pub mod psum;
 pub mod query;
+pub mod session;
 pub mod stream;
 pub mod verify;
 pub mod view;
 
-pub use approx::ApproxGvex;
-pub use config::{Configuration, CoverageBound};
+pub use approx::{ApproxGvex, GreedyStrategy};
+pub use config::{ConfigError, Configuration, CoverageBound};
 pub use distributed::explain_database_sharded;
+pub use exact::ExactStrategy;
 pub use explainer::{Explainer, NodeExplanation};
 pub use maintain::ViewMaintainer;
 pub use node_explain::{explain_node, NodeExplanationView};
 pub use parallel::explain_database;
 pub use query::{index_views, ViewIndex};
-pub use stream::StreamGvex;
+pub use session::{ExplainSession, SelectionStrategy, SessionCaches};
+pub use stream::{StreamGvex, StreamStrategy};
 pub use verify::{everify, pmatch, verify_view, VerificationReport};
 pub use view::{ExplanationSubgraph, ExplanationView, ExplanationViewSet};

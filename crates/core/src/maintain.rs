@@ -13,30 +13,49 @@
 //! * [`ViewMaintainer::remove_graph`] drops the subgraph and garbage-collects
 //!   patterns that no longer cover anything.
 
-use crate::approx::ApproxGvex;
+use crate::approx::GreedyStrategy;
 use crate::config::Configuration;
 use crate::psum::coverage_stats;
+use crate::session::{ExplainSession, SelectionStrategy, SessionCaches};
 use crate::view::ExplanationView;
-use gvex_gnn::{GcnModel, TraceCache};
+use gvex_gnn::GcnModel;
 use gvex_graph::Graph;
 use gvex_iso::coverage::{covered, covered_by_set};
 use gvex_iso::vf2::are_isomorphic;
 use gvex_mining::pgen;
+use std::sync::Arc;
 
 /// Incremental maintenance of one label's explanation view.
-#[derive(Clone, Debug)]
 pub struct ViewMaintainer {
     cfg: Configuration,
-    /// Memoized forward passes: repeated maintenance rounds touch the same
-    /// graphs, and each label-check used to rebuild the propagation
-    /// operator from scratch. (Cloning a maintainer starts a fresh cache.)
-    cache: TraceCache,
+    /// The session cache set, kept across maintenance rounds: repeated
+    /// rounds touch the same graphs, and each label-check used to rebuild
+    /// the propagation operator from scratch. Each call constructs a
+    /// session over these caches, so the explain step shares traces and
+    /// influence memos with prior rounds. (Cloning a maintainer starts a
+    /// fresh cache.)
+    caches: Arc<SessionCaches>,
+}
+
+impl Clone for ViewMaintainer {
+    /// Clones the configuration but starts a fresh cache: a cloned owner
+    /// (e.g. a maintainer handed to another thread) re-warms against its
+    /// own workload.
+    fn clone(&self) -> Self {
+        Self::new(self.cfg.clone())
+    }
+}
+
+impl std::fmt::Debug for ViewMaintainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewMaintainer").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
 }
 
 impl ViewMaintainer {
     /// Creates a maintainer with the generation configuration.
     pub fn new(cfg: Configuration) -> Self {
-        Self { cfg, cache: TraceCache::new() }
+        Self { cfg, caches: Arc::new(SessionCaches::new()) }
     }
 
     /// Adds a newly classified graph to the view. Returns how many *new*
@@ -51,11 +70,12 @@ impl ViewMaintainer {
         g: &Graph,
         graph_index: usize,
     ) -> Option<usize> {
-        if self.cache.predict(model, g) != view.label {
+        let sess = ExplainSession::with_caches(model, self.cfg.clone(), Arc::clone(&self.caches))
+            .unwrap_or_else(|e| panic!("{e}"));
+        if sess.predict(g) != view.label {
             return None;
         }
-        let ag = ApproxGvex::new(self.cfg.clone());
-        let sub = ag.explain_graph(model, g, graph_index)?;
+        let sub = GreedyStrategy.explain_graph(&sess, g, graph_index)?;
 
         // which of the new subgraph's nodes do existing patterns miss?
         let cov = covered_by_set(&view.patterns, &sub.subgraph, self.cfg.matching);
@@ -122,6 +142,7 @@ impl ViewMaintainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::approx::ApproxGvex;
     use gvex_gnn::{trainer, GcnConfig};
     use gvex_graph::GraphDatabase;
 

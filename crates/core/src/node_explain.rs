@@ -78,11 +78,12 @@ pub fn explain_node(
         &mut rng,
     );
 
-    // per-node verification on the ego network
+    // per-node verification on the ego network, probing zero-copy views of
+    // the ego graph instead of materialized subgraph clones
     let consistent_with = |sel: &[NodeId]| -> bool {
-        let sub = ego.graph.induced_subgraph(sel);
+        let sub = ego.graph.view_of(sel);
         let t = sub.from_parent(local_target).expect("target always selected");
-        model.predict_node(&sub.graph, t) == label
+        model.predict_node(&sub, t) == label
     };
     let counterfactual_with = |sel: &[NodeId]| -> bool {
         // remove the explanation's *context*; the target must survive
@@ -90,9 +91,9 @@ pub fn explain_node(
         if removed.is_empty() {
             return false;
         }
-        let rest = ego.graph.remove_nodes(&removed);
+        let rest = ego.graph.view_without(&removed);
         match rest.from_parent(local_target) {
-            Some(t) => model.predict_node(&rest.graph, t) != label,
+            Some(t) => model.predict_node(&rest, t) != label,
             None => true,
         }
     };

@@ -1,10 +1,12 @@
 //! Parallel view generation (§A.7).
 //!
 //! Influence and diversity are computed independently per graph, so the
-//! per-graph explain step parallelizes embarrassingly; this driver fans the
-//! label group's graphs across a rayon pool and summarizes afterwards
-//! (summarization is a cross-graph step and stays sequential, matching the
-//! paper's decomposition).
+//! per-graph explain step parallelizes embarrassingly; the driver
+//! ([`crate::ExplainSession::explain_parallel`]) fans the label group's
+//! graphs across a rayon pool and summarizes afterwards (summarization is a
+//! cross-graph step and stays sequential, matching the paper's
+//! decomposition). This module keeps the shared machinery: the adaptive
+//! fan-out gate, the cost estimators, and batch prediction.
 //!
 //! Fan-outs are **adaptive**: [`run_adaptive`] estimates the workload in
 //! scalar operations and runs it sequentially when it falls below
@@ -13,9 +15,10 @@
 //! input order, so results stay bitwise identical across thread counts and
 //! threshold settings.
 
-use crate::approx::{summarize, ApproxGvex};
+use crate::approx::GreedyStrategy;
 use crate::config::Configuration;
-use crate::view::{ExplanationSubgraph, ExplanationView, ExplanationViewSet};
+use crate::session::ExplainSession;
+use crate::view::ExplanationViewSet;
 use gvex_gnn::GcnModel;
 use gvex_graph::{Graph, GraphDatabase};
 use rayon::prelude::*;
@@ -47,7 +50,7 @@ where
 
 /// ~ scalar ops of one forward pass of `model` on `g`: `k` layers of a
 /// sparse product plus a dense product against the hidden weights.
-fn forward_cost(model: &GcnModel, g: &Graph) -> usize {
+pub(crate) fn forward_cost(model: &GcnModel, g: &Graph) -> usize {
     let h = model.config().hidden.max(1);
     let k = model.config().layers.max(1);
     k * ((g.num_nodes() + 2 * g.num_edges()) * h + g.num_nodes() * h * h)
@@ -55,7 +58,7 @@ fn forward_cost(model: &GcnModel, g: &Graph) -> usize {
 
 /// ~ scalar ops of explaining one graph: the influence matrix dominates
 /// (`O(n³)`-ish whichever route computes it), plus the forward pass.
-fn explain_cost(model: &GcnModel, g: &Graph) -> usize {
+pub(crate) fn explain_cost(model: &GcnModel, g: &Graph) -> usize {
     let n = g.num_nodes();
     n * n * n + forward_cost(model, g)
 }
@@ -73,6 +76,10 @@ pub fn predict_all(model: &GcnModel, db: &GraphDatabase) -> Vec<usize> {
 
 /// Generates explanation views for all labels of interest, explaining
 /// graphs in parallel on `threads` workers (0 = rayon's default).
+///
+/// Thin wrapper over [`ExplainSession::explain_parallel`] with the
+/// [`GreedyStrategy`]; construct a session directly to reuse caches across
+/// runs or combine strategies.
 pub fn explain_database(
     model: &GcnModel,
     db: &GraphDatabase,
@@ -80,52 +87,14 @@ pub fn explain_database(
     cfg: &Configuration,
     threads: usize,
 ) -> ExplanationViewSet {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("failed to build rayon pool");
-    pool.install(|| {
-        gvex_obs::span!("explain_db");
-        let assigned = predict_all(model, db);
-        let groups = db.label_groups(&assigned);
-        let ag = ApproxGvex::new(cfg.clone());
-        // One flat (label slot, graph) work list instead of nested per-label
-        // fan-outs: the adaptive gate prices the whole explain step at once
-        // and a single fan-out spreads uneven label groups evenly across
-        // workers. The list is label-major and `run_adaptive` preserves
-        // input order, so regrouping by slot reproduces the per-label
-        // subgraph sequences of the nested version exactly; summarization
-        // is a cross-graph step and stays sequential per label, matching
-        // the paper's decomposition.
-        let prepped: Vec<(usize, Vec<ExplanationSubgraph>)> = {
-            gvex_obs::span!("explain");
-            let work: Vec<(usize, usize)> = labels_of_interest
-                .iter()
-                .enumerate()
-                .flat_map(|(slot, &l)| groups.group(l).iter().map(move |&gi| (slot, gi)))
-                .collect();
-            let est: usize = work.iter().map(|&(_, gi)| explain_cost(model, db.graph(gi))).sum();
-            let explained = run_adaptive(work, est, |(slot, gi)| {
-                (slot, ag.explain_graph(model, db.graph(gi), gi))
-            });
-            let mut by_slot: Vec<(usize, Vec<ExplanationSubgraph>)> =
-                labels_of_interest.iter().map(|&l| (l, Vec::new())).collect();
-            for (slot, sub) in explained {
-                if let Some(s) = sub {
-                    by_slot[slot].1.push(s);
-                }
-            }
-            by_slot
-        };
-        let views: Vec<ExplanationView> =
-            prepped.into_iter().map(|(l, subs)| summarize(l, subs, cfg)).collect();
-        ExplanationViewSet { views }
-    })
+    let sess = ExplainSession::new(model, cfg.clone()).unwrap_or_else(|e| panic!("{e}"));
+    sess.explain_parallel(&GreedyStrategy, db, labels_of_interest, threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::approx::ApproxGvex;
     use gvex_gnn::{trainer, GcnConfig};
     use gvex_graph::Graph;
 

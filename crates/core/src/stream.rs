@@ -14,16 +14,20 @@
 //! The explanation view is queryable at *any* prefix of the stream
 //! ([`GraphStream::current_nodes`] / [`GraphStream::current_patterns`]),
 //! with the approximation holding relative to the seen fraction.
+//!
+//! The algorithm is exposed as [`StreamStrategy`], a
+//! [`SelectionStrategy`] over a shared [`ExplainSession`] (the initial
+//! forward pass comes from the session's trace cache, and every `VpExtend`
+//! probe runs on a zero-copy view); [`StreamGvex`] remains as the
+//! configuration-carrying entry point with one-shot sessions.
 
-use crate::approx::summarize;
 use crate::config::Configuration;
-use crate::psum::coverage_stats;
+use crate::session::{ExplainSession, SelectionStrategy};
 use crate::view::{ExplanationSubgraph, ExplanationView, ExplanationViewSet};
-use gvex_gnn::GcnModel;
+use gvex_gnn::{ForwardTrace, GcnModel};
 use gvex_graph::{Graph, GraphDatabase, NodeId};
 use gvex_influence::analysis::StreamingInfluence;
 use gvex_iso::coverage::covered_by_set;
-use gvex_iso::vf2::are_isomorphic;
 use gvex_mining::inc_pgen;
 
 /// The StreamGVEX explainer (§5).
@@ -31,6 +35,10 @@ use gvex_mining::inc_pgen;
 pub struct StreamGvex {
     cfg: Configuration,
 }
+
+/// Algorithm 3's single-pass swap selection as a session strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamStrategy;
 
 /// Streaming state for one graph: the selection cache, backup set, and
 /// maintained pattern candidates.
@@ -62,9 +70,26 @@ impl<'m> GraphStream<'m> {
     pub fn new(model: &'m GcnModel, g: &'m Graph, graph_index: usize, cfg: Configuration) -> Self {
         // one forward pass serves the label and the stream's embeddings/adj
         let trace = model.forward(g);
+        Self::from_trace(model, g, graph_index, cfg, &trace)
+    }
+
+    /// Prepares streaming over `g` through a session: the initial forward
+    /// pass comes from the session's trace cache.
+    pub fn with_session(sess: &ExplainSession<'m>, g: &'m Graph, graph_index: usize) -> Self {
+        let trace = sess.trace(g);
+        Self::from_trace(sess.model(), g, graph_index, sess.config().clone(), &trace)
+    }
+
+    fn from_trace(
+        model: &'m GcnModel,
+        g: &'m Graph,
+        graph_index: usize,
+        cfg: Configuration,
+        trace: &ForwardTrace,
+    ) -> Self {
         let label = trace.label();
         let bound = cfg.bound(label);
-        let inf = StreamingInfluence::with_trace(model, g, &trace, cfg.theta, cfg.r, cfg.gamma);
+        let inf = StreamingInfluence::with_trace(model, g, trace, cfg.theta, cfg.r, cfg.gamma);
         Self {
             model,
             g,
@@ -132,15 +157,15 @@ impl<'m> GraphStream<'m> {
     /// counterfactual; an unconstrained extension admits only while even
     /// consistency has not been reached (a single pass cannot afford to be
     /// choosy on multi-class data). Established properties never regress.
+    /// Both checks run on zero-copy views of `g`.
     fn vp_extend(&self, v: NodeId) -> bool {
         let mut trial = self.selected.clone();
         trial.push(v);
-        let consistent = self.model.predict(&self.g.induced_subgraph(&trial).graph) == self.label;
-        if !consistent {
+        if !crate::session::selection_consistent(self.model, self.g, self.label, &trial) {
             return !self.is_consistent;
         }
-        let counterfactual = self.model.predict(&self.g.remove_nodes(&trial).graph) != self.label;
-        counterfactual || !self.is_counterfactual
+        crate::session::selection_counterfactual(self.model, self.g, self.label, &trial)
+            || !self.is_counterfactual
     }
 
     /// Refreshes the property flags after `V_S` changed.
@@ -151,9 +176,13 @@ impl<'m> GraphStream<'m> {
             return;
         }
         self.is_consistent =
-            self.model.predict(&self.g.induced_subgraph(&self.selected).graph) == self.label;
-        self.is_counterfactual =
-            self.model.predict(&self.g.remove_nodes(&self.selected).graph) != self.label;
+            crate::session::selection_consistent(self.model, self.g, self.label, &self.selected);
+        self.is_counterfactual = crate::session::selection_counterfactual(
+            self.model,
+            self.g,
+            self.label,
+            &self.selected,
+        );
     }
 
     /// `IncUpdateVS` (Procedure 4). Returns whether `v` joined `V_S`.
@@ -170,14 +199,12 @@ impl<'m> GraphStream<'m> {
         // when `v` takes its place. Probability hill-climbing is the
         // single-pass analogue of ApproxGVEX's tier-3 cold start.
         if !self.is_consistent {
-            let cur_p = self.model.predict_proba(&self.g.induced_subgraph(&self.selected).graph)
-                [self.label];
+            let cur_p = self.model.predict_proba(self.g.view_of(&self.selected))[self.label];
             let mut best: Option<(f32, usize)> = None;
             for idx in 0..self.selected.len() {
                 let mut trial = self.selected.clone();
                 trial[idx] = v;
-                let p =
-                    self.model.predict_proba(&self.g.induced_subgraph(&trial).graph)[self.label];
+                let p = self.model.predict_proba(self.g.view_of(&trial))[self.label];
                 if best.is_none_or(|(bp, _)| p > bp) {
                     best = Some((p, idx));
                 }
@@ -241,6 +268,10 @@ impl<'m> GraphStream<'m> {
 
     /// Whether the maintained patterns already cover `v` inside the current
     /// explanation subgraph extended by `v`.
+    ///
+    /// Needs an *owned* induced subgraph (the coverage matcher takes a
+    /// `&Graph` target and the parent→local id mapping): this is one of the
+    /// places where materialization is inherent, not an artifact.
     fn covered_by_patterns(&self, v: NodeId) -> bool {
         if self.patterns.is_empty() {
             return false;
@@ -257,7 +288,7 @@ impl<'m> GraphStream<'m> {
     }
 
     /// `IncPGen`: new patterns through `v`'s local neighborhood, not yet in
-    /// `𝒫_c`.
+    /// `𝒫_c` (mining consumes an owned subgraph, like coverage above).
     fn delta_patterns(&self, v: NodeId) -> Vec<Graph> {
         let mut nodes = self.selected.clone();
         if !nodes.contains(&v) {
@@ -369,24 +400,14 @@ impl<'m> GraphStream<'m> {
     }
 }
 
-impl StreamGvex {
-    /// Creates the streaming explainer.
-    pub fn new(cfg: Configuration) -> Self {
-        Self { cfg }
-    }
-
-    /// The configuration in use.
-    pub fn config(&self) -> &Configuration {
-        &self.cfg
-    }
-
+impl StreamStrategy {
     /// Streams one graph in the given node order (defaults to `0..n` when
     /// `order` is `None`) and returns its explanation subgraph + local
     /// patterns.
-    pub fn explain_graph_stream(
+    pub fn stream_graph<'m>(
         &self,
-        model: &GcnModel,
-        g: &Graph,
+        sess: &ExplainSession<'m>,
+        g: &'m Graph,
         graph_index: usize,
         order: Option<&[NodeId]>,
     ) -> Option<(ExplanationSubgraph, Vec<Graph>)> {
@@ -394,7 +415,7 @@ impl StreamGvex {
         if g.num_nodes() == 0 {
             return None;
         }
-        let mut stream = GraphStream::new(model, g, graph_index, self.cfg.clone());
+        let mut stream = GraphStream::with_session(sess, g, graph_index);
         match order {
             Some(o) => {
                 for &v in o {
@@ -409,6 +430,74 @@ impl StreamGvex {
         }
         stream.finish()
     }
+}
+
+impl SelectionStrategy for StreamStrategy {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn explain_graph(
+        &self,
+        sess: &ExplainSession<'_>,
+        g: &Graph,
+        graph_index: usize,
+    ) -> Option<ExplanationSubgraph> {
+        self.stream_graph(sess, g, graph_index, None).map(|(s, _)| s)
+    }
+
+    /// Streaming overrides the default batch assembly: each member graph's
+    /// locally maintained patterns are merged (deduplicated up to
+    /// isomorphism) instead of re-mined, then the session's shared
+    /// completion covers any cross-graph gaps with singleton patterns
+    /// (streamed pattern maintenance is local to each graph, so gaps are
+    /// possible).
+    fn explain_label_group(
+        &self,
+        sess: &ExplainSession<'_>,
+        db: &GraphDatabase,
+        label: usize,
+        group: &[usize],
+    ) -> ExplanationView {
+        let mut subgraphs = Vec::new();
+        let mut patterns: Vec<Graph> = Vec::new();
+        for &gi in group {
+            if let Some((sub, local)) = self.stream_graph(sess, db.graph(gi), gi, None) {
+                subgraphs.push(sub);
+                crate::session::merge_patterns(&mut patterns, local);
+            }
+        }
+        sess.assemble_view(label, subgraphs, patterns)
+    }
+}
+
+impl StreamGvex {
+    /// Creates the streaming explainer.
+    pub fn new(cfg: Configuration) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Configuration {
+        &self.cfg
+    }
+
+    fn session<'m>(&self, model: &'m GcnModel) -> ExplainSession<'m> {
+        ExplainSession::new(model, self.cfg.clone()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Streams one graph in the given node order (defaults to `0..n` when
+    /// `order` is `None`) and returns its explanation subgraph + local
+    /// patterns.
+    pub fn explain_graph_stream(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        graph_index: usize,
+        order: Option<&[NodeId]>,
+    ) -> Option<(ExplanationSubgraph, Vec<Graph>)> {
+        StreamStrategy.stream_graph(&self.session(model), g, graph_index, order)
+    }
 
     /// Builds an explanation view for one label group, streaming each
     /// member graph and assembling the maintained patterns into a covering
@@ -421,35 +510,7 @@ impl StreamGvex {
         label: usize,
         group: &[usize],
     ) -> ExplanationView {
-        let mut subgraphs = Vec::new();
-        let mut patterns: Vec<Graph> = Vec::new();
-        for &gi in group {
-            if let Some((sub, local)) = self.explain_graph_stream(model, db.graph(gi), gi, None) {
-                subgraphs.push(sub);
-                for p in local {
-                    if !patterns.iter().any(|q| are_isomorphic(q, &p)) {
-                        patterns.push(p);
-                    }
-                }
-            }
-        }
-        // Completion: cover any remaining nodes with singleton patterns
-        // (streamed pattern maintenance is local to each graph, so cross-
-        // graph gaps are possible).
-        let graphs: Vec<&Graph> = subgraphs.iter().map(|s| &s.subgraph).collect();
-        let (uncovered, _) = coverage_stats(&patterns, &graphs, self.cfg.matching);
-        for (si, v) in uncovered {
-            let t = graphs[si].node_type(v);
-            let mut b = Graph::builder(graphs[si].is_directed());
-            b.add_node(t, &[]);
-            let singleton = b.build();
-            if !patterns.iter().any(|q| are_isomorphic(q, &singleton)) {
-                patterns.push(singleton);
-            }
-        }
-        let (_, edge_loss) = coverage_stats(&patterns, &graphs, self.cfg.matching);
-        let explainability = subgraphs.iter().map(|s| s.explainability).sum();
-        ExplanationView { label, patterns, subgraphs, edge_loss, explainability }
+        StreamStrategy.explain_label_group(&self.session(model), db, label, group)
     }
 
     /// Solves the EVG instance in streaming fashion, one view per label of
@@ -460,14 +521,7 @@ impl StreamGvex {
         db: &GraphDatabase,
         labels_of_interest: &[usize],
     ) -> ExplanationViewSet {
-        gvex_obs::span!("explain_db");
-        let assigned = crate::parallel::predict_all(model, db);
-        let groups = db.label_groups(&assigned);
-        let views = labels_of_interest
-            .iter()
-            .map(|&l| self.explain_label_group(model, db, l, groups.group(l)))
-            .collect();
-        ExplanationViewSet { views }
+        self.session(model).explain(&StreamStrategy, db, labels_of_interest)
     }
 
     /// Like [`Self::explain_label_group`] but summarizing with the batch
@@ -480,13 +534,14 @@ impl StreamGvex {
         label: usize,
         group: &[usize],
     ) -> ExplanationView {
+        let sess = self.session(model);
         let subgraphs: Vec<ExplanationSubgraph> = group
             .iter()
             .filter_map(|&gi| {
-                self.explain_graph_stream(model, db.graph(gi), gi, None).map(|(s, _)| s)
+                StreamStrategy.stream_graph(&sess, db.graph(gi), gi, None).map(|(s, _)| s)
             })
             .collect();
-        summarize(label, subgraphs, &self.cfg)
+        sess.summarize(label, subgraphs)
     }
 }
 
@@ -626,5 +681,19 @@ mod tests {
         let set = sg.explain(&model, &db, &[0, 1]);
         assert_eq!(set.views.len(), 2);
         assert!(set.total_explainability() > 0.0);
+    }
+
+    #[test]
+    fn session_stream_matches_wrapper() {
+        let db = motif_db();
+        let model = trained_model(&db);
+        let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);
+        let sess = ExplainSession::new(&model, cfg.clone()).unwrap();
+        let via_session = sess.explain(&StreamStrategy, &db, &[0, 1]);
+        let via_wrapper = StreamGvex::new(cfg).explain(&model, &db, &[0, 1]);
+        assert_eq!(
+            serde_json::to_string(&via_session).unwrap(),
+            serde_json::to_string(&via_wrapper).unwrap()
+        );
     }
 }

@@ -35,11 +35,11 @@ pub fn everify(model: &GcnModel, g: &Graph, nodes: &[NodeId]) -> EVerdict {
 /// skip the repeated full-graph inference and pay only for the subgraph
 /// and complement passes.
 pub fn everify_with_label(model: &GcnModel, g: &Graph, label: usize, nodes: &[NodeId]) -> EVerdict {
-    let sub = g.induced_subgraph(nodes);
-    let rest = g.remove_nodes(nodes);
+    // both checks run on zero-copy views of `g` (no subgraph clones) —
+    // the single shared implementation of the §2.2 property probes
     EVerdict {
-        consistent: model.predict(&sub.graph) == label,
-        counterfactual: model.predict(&rest.graph) != label,
+        consistent: crate::session::selection_consistent(model, g, label, nodes),
+        counterfactual: crate::session::selection_counterfactual(model, g, label, nodes),
     }
 }
 

@@ -1,0 +1,181 @@
+//! Differential tests for the [`gvex_core::ExplainSession`] refactor: the
+//! legacy free-function entry points are now thin wrappers over session
+//! drivers, and these tests pin the contract that made that refactor safe —
+//! every wrapper's output is **bitwise identical** (compared through
+//! serialized JSON, which preserves every `f64` bit exactly) to the session
+//! running the equivalent strategy, across thread counts and shard counts.
+
+use gvex_core::{
+    explain_database, explain_database_sharded, index_views, verify_view, ApproxGvex,
+    Configuration, ExactStrategy, ExplainSession, GreedyStrategy, StreamGvex, StreamStrategy,
+};
+use gvex_gnn::{trainer, GcnConfig, GcnModel};
+use gvex_graph::{Graph, GraphDatabase};
+
+fn motif_graph(chain: usize) -> Graph {
+    let mut b = Graph::builder(false);
+    for _ in 0..chain {
+        b.add_node(0, &[1.0, 0.0, 0.0]);
+    }
+    let m1 = b.add_node(1, &[0.0, 1.0, 0.0]);
+    let m2 = b.add_node(2, &[0.0, 0.0, 1.0]);
+    for v in 1..chain {
+        b.add_edge(v - 1, v, 0);
+    }
+    b.add_edge(chain - 1, m1, 0);
+    b.add_edge(m1, m2, 0);
+    b.build()
+}
+
+fn plain_graph(chain: usize) -> Graph {
+    let mut b = Graph::builder(false);
+    for _ in 0..chain {
+        b.add_node(0, &[1.0, 0.0, 0.0]);
+    }
+    for v in 1..chain {
+        b.add_edge(v - 1, v, 0);
+    }
+    b.build()
+}
+
+fn motif_db() -> GraphDatabase {
+    let mut db = GraphDatabase::new(vec!["plain".into(), "motif".into()]);
+    for i in 0..6 {
+        db.push(plain_graph(5 + i % 2), 0);
+        db.push(motif_graph(4 + i % 2), 1);
+    }
+    db
+}
+
+fn trained(db: &GraphDatabase) -> GcnModel {
+    let split = trainer::Split {
+        train: (0..db.len()).collect(),
+        val: (0..db.len()).collect(),
+        test: vec![],
+    };
+    let cfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
+    let opts = trainer::TrainOptions { epochs: 60, lr: 0.01, seed: 1, patience: 0 };
+    trainer::train(db, cfg, &split, opts).0
+}
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serializes")
+}
+
+#[test]
+fn approx_wrapper_matches_session_greedy_bitwise() {
+    let db = motif_db();
+    let model = trained(&db);
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);
+    let wrapper = ApproxGvex::new(cfg.clone()).explain(&model, &db, &[0, 1]);
+    let sess = ExplainSession::new(&model, cfg).unwrap();
+    let session = sess.explain(&GreedyStrategy, &db, &[0, 1]);
+    assert_eq!(json(&wrapper), json(&session));
+}
+
+#[test]
+fn stream_wrapper_matches_session_stream_bitwise() {
+    let db = motif_db();
+    let model = trained(&db);
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);
+    let wrapper = StreamGvex::new(cfg.clone()).explain(&model, &db, &[0, 1]);
+    let sess = ExplainSession::new(&model, cfg).unwrap();
+    let session = sess.explain(&StreamStrategy, &db, &[0, 1]);
+    assert_eq!(json(&wrapper), json(&session));
+}
+
+#[test]
+fn parallel_wrapper_matches_session_at_one_and_four_threads() {
+    let db = motif_db();
+    let model = trained(&db);
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);
+    let sess = ExplainSession::new(&model, cfg.clone()).unwrap();
+
+    let sequential = json(&sess.explain(&GreedyStrategy, &db, &[0, 1]));
+    for threads in [1usize, 4] {
+        let wrapper = explain_database(&model, &db, &[0, 1], &cfg, threads);
+        let session = sess.explain_parallel(&GreedyStrategy, &db, &[0, 1], threads);
+        assert_eq!(json(&wrapper), json(&session), "wrapper vs session at {threads} threads");
+        assert_eq!(json(&wrapper), sequential, "{threads}-thread run vs sequential driver");
+    }
+}
+
+#[test]
+fn sharded_wrapper_matches_session_at_one_and_four_shards() {
+    let db = motif_db();
+    let model = trained(&db);
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);
+    let sess = ExplainSession::new(&model, cfg.clone()).unwrap();
+
+    let sequential = sess.explain(&GreedyStrategy, &db, &[0, 1]);
+    for shards in [1usize, 4] {
+        let wrapper = explain_database_sharded(&model, &db, &[0, 1], &cfg, shards);
+        let session = sess.explain_sharded(&GreedyStrategy, &db, &[0, 1], shards);
+        assert_eq!(json(&wrapper), json(&session), "wrapper vs session at {shards} shards");
+        // Psum runs per shard, so the pattern tier may legitimately differ
+        // from the sequential driver's — but the per-graph *selections*
+        // (the expensive, model-dependent part) must be shard-invariant.
+        for (a, b) in wrapper.views.iter().zip(sequential.views.iter()) {
+            let na: Vec<_> = a.subgraphs.iter().map(|s| (s.graph_index, s.nodes.clone())).collect();
+            let nb: Vec<_> = b.subgraphs.iter().map(|s| (s.graph_index, s.nodes.clone())).collect();
+            assert_eq!(na, nb, "selections differ at {shards} shards");
+        }
+    }
+    // shard-count invariance of the full serialized output
+    let one = json(&sess.explain_sharded(&GreedyStrategy, &db, &[0, 1], 1));
+    let four = json(&sess.explain_sharded(&GreedyStrategy, &db, &[0, 1], 4));
+    assert_eq!(one, four);
+}
+
+#[test]
+fn exact_strategy_is_driver_invariant() {
+    let db = motif_db();
+    let model = trained(&db);
+    // tiny upper bound: ExactStrategy enumerates all subsets up to size 3
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);
+    let sess = ExplainSession::new(&model, cfg).unwrap();
+    let seq = json(&sess.explain(&ExactStrategy, &db, &[1]));
+    let par = json(&sess.explain_parallel(&ExactStrategy, &db, &[1], 4));
+    assert_eq!(seq, par, "exact strategy must be thread-count invariant");
+    let views = sess.explain(&ExactStrategy, &db, &[1]);
+    assert!(!views.views[0].subgraphs.is_empty(), "exact strategy found no explanations");
+}
+
+#[test]
+fn query_index_through_session_matches_free_function() {
+    let db = motif_db();
+    let model = trained(&db);
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);
+    let sess = ExplainSession::new(&model, cfg).unwrap();
+    let views = sess.explain(&GreedyStrategy, &db, &[0, 1]);
+
+    let free = index_views(&views);
+    let through_session = sess.index_views(&views);
+    assert_eq!(free.patterns().len(), through_session.patterns().len());
+    for label in [0usize, 1] {
+        assert_eq!(free.patterns_of_label(label), through_session.patterns_of_label(label));
+        assert_eq!(
+            free.discriminative_patterns(label),
+            through_session.discriminative_patterns(label)
+        );
+    }
+    for pid in 0..free.patterns().len() {
+        assert_eq!(free.graphs_matching(pid), through_session.graphs_matching(pid));
+    }
+    // the index answers something non-trivial about the motif class
+    assert!(!through_session.patterns_of_label(1).is_empty());
+}
+
+#[test]
+fn session_verify_matches_free_verify() {
+    let db = motif_db();
+    let model = trained(&db);
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);
+    let sess = ExplainSession::new(&model, cfg.clone()).unwrap();
+    let views = sess.explain(&GreedyStrategy, &db, &[0, 1]);
+    for view in &views.views {
+        let a = sess.verify(&db, view);
+        let b = verify_view(&model, &db, view, &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -58,7 +58,7 @@ impl TraceCache {
 
     /// The forward trace of `g` under `model`, computed on first use.
     pub fn trace(&self, model: &GcnModel, g: &Graph) -> Arc<ForwardTrace> {
-        let key = fingerprint(g);
+        let key = graph_fingerprint(g);
         {
             let mut inner = self.inner.lock().expect("trace cache poisoned");
             if let Some(t) = inner.map.get(&key) {
@@ -145,7 +145,9 @@ impl Clone for TraceCache {
 /// Content fingerprint of a graph: directedness, node types, feature bits,
 /// and typed edges. Collisions would silently alias two graphs, but at 64
 /// bits the chance is negligible for the database sizes GVEX targets.
-fn fingerprint(g: &Graph) -> u64 {
+/// Public because session-level memos (`gvex-core`'s `ExplainSession`) key
+/// their per-graph state by the same fingerprint the trace cache uses.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
     let mut h = DefaultHasher::new();
     g.is_directed().hash(&mut h);
     g.num_nodes().hash(&mut h);

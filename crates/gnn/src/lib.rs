@@ -29,7 +29,7 @@ pub mod node_classify;
 pub mod propagation;
 pub mod trainer;
 
-pub use cache::TraceCache;
+pub use cache::{graph_fingerprint, TraceCache};
 pub use model::{ForwardTrace, GcnConfig, GcnModel, Readout};
 pub use node_classify::{node_accuracy, train_node_classifier, NodeTrainOptions};
 pub use propagation::Aggregation;

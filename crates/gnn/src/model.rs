@@ -1,7 +1,7 @@
 //! The GCN classifier: forward inference, readout, and backward gradients.
 
 use crate::propagation::NormAdj;
-use gvex_graph::Graph;
+use gvex_graph::{Graph, GraphRef};
 use gvex_linalg::{init, ops, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -188,8 +188,9 @@ impl GcnModel {
     }
 
     /// The propagation operator for `g` under this model's aggregation and
-    /// edge gates.
-    pub fn propagation_operator(&self, g: &Graph) -> NormAdj {
+    /// edge gates. Accepts a `&Graph` or a borrowed [`GraphRef`] view.
+    pub fn propagation_operator<'a>(&self, g: impl Into<GraphRef<'a>>) -> NormAdj {
+        let g = g.into();
         match &self.edge_gates {
             Some(gates) => NormAdj::with_typed_edge_weights(g, |t| {
                 let idx = (t as usize).min(gates.cols() - 1);
@@ -242,19 +243,22 @@ impl GcnModel {
         &self.fc_b
     }
 
-    /// Runs a full forward pass on `g`.
+    /// Runs a full forward pass on `g` — a `&Graph` or a borrowed
+    /// [`GraphRef`] view (candidate subgraphs / complements run inference
+    /// without materializing an owned copy).
     ///
     /// The empty graph is well-defined: pooled embedding is zero, so the
     /// logits collapse to the bias — this is what the counterfactual check
     /// `ℳ(G \ G_s)` sees when an explanation covers the whole graph.
-    pub fn forward(&self, g: &Graph) -> ForwardTrace {
-        let adj = self.propagation_operator(g);
-        self.forward_with_adj(g, adj)
+    pub fn forward<'a>(&self, g: impl Into<GraphRef<'a>>) -> ForwardTrace {
+        let g = g.into();
+        let adj = self.propagation_operator(&g);
+        self.forward_with_adj(&g, adj)
     }
 
     /// Forward pass with a caller-provided (possibly soft-masked) adjacency.
-    pub fn forward_with_adj(&self, g: &Graph, adj: NormAdj) -> ForwardTrace {
-        self.forward_from_features(g.features().clone(), adj)
+    pub fn forward_with_adj<'a>(&self, g: impl Into<GraphRef<'a>>, adj: NormAdj) -> ForwardTrace {
+        self.forward_from_features(g.into().features_matrix(), adj)
     }
 
     /// Forward pass from explicit features (the masked path perturbs `X`).
@@ -291,13 +295,13 @@ impl GcnModel {
         ForwardTrace { adj, act, pre, pooled, pool_arg, logits }
     }
 
-    /// Predicted class label for `g`.
-    pub fn predict(&self, g: &Graph) -> usize {
+    /// Predicted class label for `g` (a `&Graph` or a [`GraphRef`] view).
+    pub fn predict<'a>(&self, g: impl Into<GraphRef<'a>>) -> usize {
         self.forward(g).label()
     }
 
-    /// Class probability distribution for `g`.
-    pub fn predict_proba(&self, g: &Graph) -> Vec<f32> {
+    /// Class probability distribution for `g` (a `&Graph` or a view).
+    pub fn predict_proba<'a>(&self, g: impl Into<GraphRef<'a>>) -> Vec<f32> {
         self.forward(g).proba()
     }
 

@@ -8,7 +8,7 @@
 
 use crate::model::GcnModel;
 use crate::propagation::NormAdj;
-use gvex_graph::{Graph, NodeId};
+use gvex_graph::{Graph, GraphRef, NodeId};
 use gvex_linalg::{ops, Adam, Matrix};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -19,7 +19,7 @@ impl GcnModel {
     /// Per-node class logits: the FC head applied to every node's last-layer
     /// embedding (`|V| × |Ł|`). The readout is skipped — this is the node
     /// classification forward pass.
-    pub fn node_logits(&self, g: &Graph) -> Matrix {
+    pub fn node_logits<'a>(&self, g: impl Into<GraphRef<'a>>) -> Matrix {
         let trace = self.forward(g);
         trace
             .embeddings()
@@ -28,12 +28,12 @@ impl GcnModel {
     }
 
     /// Predicted class of node `v` in `g`.
-    pub fn predict_node(&self, g: &Graph, v: NodeId) -> usize {
+    pub fn predict_node<'a>(&self, g: impl Into<GraphRef<'a>>, v: NodeId) -> usize {
         ops::argmax(self.node_logits(g).row(v))
     }
 
     /// Class probabilities of node `v` in `g`.
-    pub fn predict_node_proba(&self, g: &Graph, v: NodeId) -> Vec<f32> {
+    pub fn predict_node_proba<'a>(&self, g: impl Into<GraphRef<'a>>, v: NodeId) -> Vec<f32> {
         let logits = self.node_logits(g);
         ops::softmax(logits.row(v))
     }

@@ -6,7 +6,7 @@
 //! Jacobian computation. Directed graphs (MALNET-style call graphs) are
 //! symmetrized for propagation, matching PyG's default `GCNConv` treatment.
 
-use gvex_graph::Graph;
+use gvex_graph::GraphRef;
 use gvex_linalg::kernels::accumulate_row_sum;
 use gvex_linalg::Matrix;
 use rayon::prelude::*;
@@ -46,17 +46,20 @@ pub struct NormAdj {
 }
 
 impl NormAdj {
-    /// Builds `D̂^{-1/2} (A + Aᵀ + I) D̂^{-1/2}` for `g`.
-    pub fn new(g: &Graph) -> Self {
-        Self::build(g, WeightPolicy::SymNorm(&|_, _| 1.0))
+    /// Builds `D̂^{-1/2} (A + Aᵀ + I) D̂^{-1/2}` for `g` — a `&Graph` or a
+    /// borrowed [`GraphRef`] view (candidate subgraphs and complements build
+    /// their operator straight off the parent adjacency, no owned copy).
+    pub fn new<'a>(g: impl Into<GraphRef<'a>>) -> Self {
+        Self::build(&g.into(), WeightPolicy::SymNorm(&|_, _| 1.0))
     }
 
     /// Builds the propagation operator for the chosen aggregation scheme.
-    pub fn with_aggregation(g: &Graph, aggregation: Aggregation) -> Self {
+    pub fn with_aggregation<'a>(g: impl Into<GraphRef<'a>>, aggregation: Aggregation) -> Self {
+        let g = g.into();
         match aggregation {
-            Aggregation::GcnNorm => Self::new(g),
-            Aggregation::Mean => Self::build(g, WeightPolicy::MeanRow),
-            Aggregation::Sum => Self::build(g, WeightPolicy::UnitSum),
+            Aggregation::GcnNorm => Self::build(&g, WeightPolicy::SymNorm(&|_, _| 1.0)),
+            Aggregation::Mean => Self::build(&g, WeightPolicy::MeanRow),
+            Aggregation::Sum => Self::build(&g, WeightPolicy::UnitSum),
         }
     }
 
@@ -64,8 +67,12 @@ impl NormAdj {
     /// multiplier (self-loops stay unweighted). The substrate for
     /// edge-feature-aware propagation: bond types, call kinds, and other
     /// `L(e)` information modulate message passing.
-    pub fn with_typed_edge_weights(g: &Graph, w: impl Fn(gvex_graph::EdgeTypeId) -> f32) -> Self {
-        let mut adj = Self::new(g);
+    pub fn with_typed_edge_weights<'a>(
+        g: impl Into<GraphRef<'a>>,
+        w: impl Fn(gvex_graph::EdgeTypeId) -> f32,
+    ) -> Self {
+        let g = g.into();
+        let mut adj = Self::build(&g, WeightPolicy::SymNorm(&|_, _| 1.0));
         for u in 0..adj.rows.len() {
             for e in adj.rows[u].iter_mut() {
                 if e.0 == u {
@@ -85,19 +92,22 @@ impl NormAdj {
     /// `w(u, v) ∈ [0, 1]` applied to the *unnormalized* entry, while the
     /// degree normalization stays that of the unmasked graph. This is the
     /// soft-mask semantics the GNNExplainer baseline differentiates through.
-    pub fn with_edge_weights(g: &Graph, w: impl Fn(usize, usize) -> f32) -> Self {
-        Self::build(g, WeightPolicy::SymNorm(&w))
+    pub fn with_edge_weights<'a>(
+        g: impl Into<GraphRef<'a>>,
+        w: impl Fn(usize, usize) -> f32,
+    ) -> Self {
+        Self::build(&g.into(), WeightPolicy::SymNorm(&w))
     }
 
     /// Single construction path: symmetrizes the neighbor sets, then fills
     /// each row with the entry weights the policy dictates.
     #[allow(clippy::needless_range_loop)] // index parallels a second structure; enumerate would obscure it
-    fn build(g: &Graph, policy: WeightPolicy<'_>) -> Self {
+    fn build(g: &GraphRef<'_>, policy: WeightPolicy<'_>) -> Self {
         let n = g.num_nodes();
         // symmetrized neighbor sets (direction ignored for propagation)
         let mut nbrs: Vec<Vec<usize>> = vec![Vec::new(); n];
         for u in 0..n {
-            for &(v, _) in g.neighbors(u) {
+            for (v, _) in g.neighbors(u) {
                 nbrs[u].push(v);
                 if g.is_directed() {
                     nbrs[v].push(u);

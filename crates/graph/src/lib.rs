@@ -10,6 +10,8 @@
 //!   node removal `G \ Gs` ([`Graph::remove_nodes`]), connected components,
 //!   and k-hop neighborhoods — the primitives the explanation algorithms and
 //!   verifiers are built from,
+//! * [`GraphRef`] — borrowed zero-copy views of a node subset, so hot loops
+//!   score candidate subgraphs and complements without materializing them,
 //! * [`GraphDatabase`] — the collection the classifier and explainers run
 //!   over, with label groups `𝒢^l`,
 //! * [`TypeRegistry`] — string interning for human-readable node/edge types
@@ -22,8 +24,10 @@ pub mod db;
 pub mod graph;
 pub mod registry;
 pub mod traversal;
+pub mod view;
 
 pub use bitset::BitSet;
 pub use db::{GlobalNodeId, GraphDatabase, LabelGroups};
 pub use graph::{EdgeTypeId, Graph, GraphBuilder, InducedSubgraph, NodeId, NodeTypeId};
 pub use registry::TypeRegistry;
+pub use view::GraphRef;

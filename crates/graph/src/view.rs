@@ -1,0 +1,358 @@
+//! Borrowed, zero-copy views over a parent [`Graph`]'s node subset.
+//!
+//! The explanation hot loops repeatedly score candidate selections by
+//! running inference on the induced subgraph `G[Vs]` and its complement
+//! `G \ Gs`. Materializing each of those as an owned [`Graph`] copies the
+//! adjacency lists and the feature matrix per candidate; a [`GraphRef`]
+//! instead carries the parent reference plus an id remapping (two `Vec`s of
+//! node ids), and consumers — GCN propagation, the Jacobian entry points,
+//! the match targets — iterate the parent's adjacency through the mapping.
+//!
+//! Ownership rules:
+//!
+//! * a `GraphRef` never outlives its parent (`'a` is the parent borrow);
+//! * the node table is *interned at construction*: duplicates collapse to
+//!   their first occurrence and the selection order defines the view's node
+//!   ids, exactly like [`Graph::induced_subgraph`];
+//! * [`GraphRef::to_graph`] materializes the view through the same builder
+//!   path as `induced_subgraph`, so a materialized view is bitwise
+//!   identical to the owned subgraph it replaces.
+
+use crate::graph::{EdgeTypeId, Graph, NodeId, NodeTypeId};
+use gvex_linalg::Matrix;
+use std::borrow::Cow;
+
+/// A borrowed view of a (sub)set of a parent graph's nodes, with edges
+/// restricted to the retained nodes. Cheap to construct and clone: the
+/// full-graph view holds nothing but the parent reference, and a subset
+/// view holds two id-mapping vectors.
+#[derive(Clone, Debug)]
+pub struct GraphRef<'a> {
+    parent: &'a Graph,
+    sel: Selection,
+}
+
+#[derive(Clone, Debug)]
+enum Selection {
+    /// Every node of the parent, ids unchanged.
+    Full,
+    /// A node subset; selection order defines the view's node ids.
+    Induced {
+        /// `old_of_new[new_id] = old_id` in the parent graph.
+        old_of_new: Vec<NodeId>,
+        /// `new_of_old[old_id] = new_id`, or `usize::MAX` for dropped nodes.
+        new_of_old: Vec<NodeId>,
+    },
+}
+
+impl<'a> GraphRef<'a> {
+    /// The full-graph view (identity mapping, allocation-free).
+    pub fn full(parent: &'a Graph) -> Self {
+        Self { parent, sel: Selection::Full }
+    }
+
+    /// The view induced by `nodes` (order defines the view's ids;
+    /// duplicates are ignored after the first occurrence — the same
+    /// interning as [`Graph::induced_subgraph`]).
+    pub fn induced(parent: &'a Graph, nodes: &[NodeId]) -> Self {
+        let mut old_of_new = Vec::with_capacity(nodes.len());
+        let mut new_of_old = vec![usize::MAX; parent.num_nodes()];
+        for &v in nodes {
+            assert!(v < parent.num_nodes(), "node {v} out of range");
+            if new_of_old[v] == usize::MAX {
+                new_of_old[v] = old_of_new.len();
+                old_of_new.push(v);
+            }
+        }
+        Self { parent, sel: Selection::Induced { old_of_new, new_of_old } }
+    }
+
+    /// The complement view `G \ Gs`: every node *not* in `removed`, in
+    /// ascending id order (the counterfactual test input, mirroring
+    /// [`Graph::remove_nodes`]).
+    pub fn complement(parent: &'a Graph, removed: &[NodeId]) -> Self {
+        let n = parent.num_nodes();
+        let mut new_of_old = vec![0usize; n];
+        for &v in removed {
+            assert!(v < n, "node {v} out of range");
+            new_of_old[v] = usize::MAX;
+        }
+        let mut old_of_new = Vec::with_capacity(n.saturating_sub(removed.len()));
+        for (old, slot) in new_of_old.iter_mut().enumerate() {
+            if *slot != usize::MAX {
+                *slot = old_of_new.len();
+                old_of_new.push(old);
+            }
+        }
+        Self { parent, sel: Selection::Induced { old_of_new, new_of_old } }
+    }
+
+    /// The parent graph this view borrows.
+    #[inline]
+    pub fn parent(&self) -> &'a Graph {
+        self.parent
+    }
+
+    /// True when the view covers every parent node with unchanged ids.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        matches!(self.sel, Selection::Full)
+    }
+
+    /// Number of nodes in the view.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        match &self.sel {
+            Selection::Full => self.parent.num_nodes(),
+            Selection::Induced { old_of_new, .. } => old_of_new.len(),
+        }
+    }
+
+    /// True when the view has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes() == 0
+    }
+
+    /// Whether edges are directed (inherited from the parent).
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.parent.is_directed()
+    }
+
+    /// Feature dimensionality `D` (inherited from the parent).
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.parent.feature_dim()
+    }
+
+    /// Maps a view node id to the parent graph.
+    #[inline]
+    pub fn to_parent(&self, v: NodeId) -> NodeId {
+        match &self.sel {
+            Selection::Full => v,
+            Selection::Induced { old_of_new, .. } => old_of_new[v],
+        }
+    }
+
+    /// Maps a parent node id into the view, if retained.
+    #[inline]
+    pub fn from_parent(&self, old: NodeId) -> Option<NodeId> {
+        match &self.sel {
+            Selection::Full => (old < self.parent.num_nodes()).then_some(old),
+            Selection::Induced { new_of_old, .. } => match new_of_old.get(old) {
+                Some(&v) if v != usize::MAX => Some(v),
+                _ => None,
+            },
+        }
+    }
+
+    /// The type `L(v)` of a view node.
+    #[inline]
+    pub fn node_type(&self, v: NodeId) -> NodeTypeId {
+        self.parent.node_type(self.to_parent(v))
+    }
+
+    /// The feature row of a view node (borrowed from the parent).
+    #[inline]
+    pub fn feature_row(&self, v: NodeId) -> &'a [f32] {
+        self.parent.features().row(self.to_parent(v))
+    }
+
+    /// Out-neighbors of view node `v` in view id space, with edge types.
+    /// For subset views, parent neighbors outside the view are skipped;
+    /// order follows the parent's (old-id-sorted) adjacency.
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        let old = self.to_parent(v);
+        Neighbors { iter: self.parent.neighbors(old).iter(), view: self }
+    }
+
+    /// In-neighbors of view node `v` in view id space, with edge types.
+    pub fn in_neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        let old = self.to_parent(v);
+        Neighbors { iter: self.parent.in_neighbors(old).iter(), view: self }
+    }
+
+    /// Returns the type of the edge `u → v` (view ids) if present.
+    pub fn edge_type(&self, u: NodeId, v: NodeId) -> Option<EdgeTypeId> {
+        self.parent.edge_type(self.to_parent(u), self.to_parent(v))
+    }
+
+    /// The view's feature matrix as an owned `|view| × D` gather of the
+    /// parent rows (a plain clone for the full view). Row contents are
+    /// bitwise copies, so inference over the view reproduces inference over
+    /// the materialized subgraph exactly.
+    pub fn features_matrix(&self) -> Matrix {
+        match &self.sel {
+            Selection::Full => self.parent.features().clone(),
+            Selection::Induced { old_of_new, .. } => {
+                let mut m = Matrix::zeros(old_of_new.len(), self.parent.feature_dim());
+                for (new, &old) in old_of_new.iter().enumerate() {
+                    m.set_row(new, self.parent.features().row(old));
+                }
+                m
+            }
+        }
+    }
+
+    /// Materializes the view as an owned [`Graph`], via the same builder
+    /// path as [`Graph::induced_subgraph`] (bitwise identical result).
+    pub fn to_graph(&self) -> Graph {
+        match &self.sel {
+            Selection::Full => self.parent.clone(),
+            Selection::Induced { old_of_new, .. } => self.parent.induced_subgraph(old_of_new).graph,
+        }
+    }
+
+    /// The view as a possibly-borrowed graph: the full view borrows its
+    /// parent for free, subset views materialize once. Lets code that
+    /// fundamentally needs an owned adjacency (e.g. VF2 match targets)
+    /// accept views without taxing the common full-graph case.
+    pub fn as_graph(&self) -> Cow<'a, Graph> {
+        match &self.sel {
+            Selection::Full => Cow::Borrowed(self.parent),
+            Selection::Induced { .. } => Cow::Owned(self.to_graph()),
+        }
+    }
+}
+
+impl<'a> From<&'a Graph> for GraphRef<'a> {
+    fn from(g: &'a Graph) -> Self {
+        GraphRef::full(g)
+    }
+}
+
+impl<'a> From<&GraphRef<'a>> for GraphRef<'a> {
+    fn from(v: &GraphRef<'a>) -> Self {
+        v.clone()
+    }
+}
+
+/// Iterator over a view node's neighbors, filtering and remapping the
+/// parent adjacency on the fly.
+pub struct Neighbors<'v> {
+    iter: std::slice::Iter<'v, (NodeId, EdgeTypeId)>,
+    view: &'v GraphRef<'v>,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = (NodeId, EdgeTypeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for &(old, t) in self.iter.by_ref() {
+            if let Some(new) = self.view.from_parent(old) {
+                return Some((new, t));
+            }
+        }
+        None
+    }
+}
+
+impl Graph {
+    /// The full-graph zero-copy view of `self`.
+    pub fn view(&self) -> GraphRef<'_> {
+        GraphRef::full(self)
+    }
+
+    /// The zero-copy view induced by `nodes` (see [`GraphRef::induced`]).
+    pub fn view_of(&self, nodes: &[NodeId]) -> GraphRef<'_> {
+        GraphRef::induced(self, nodes)
+    }
+
+    /// The zero-copy complement view `G \ Gs` (see [`GraphRef::complement`]).
+    pub fn view_without(&self, removed: &[NodeId]) -> GraphRef<'_> {
+        GraphRef::complement(self, removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0-1, 0-2, 1-3, 2-3, types 0,1,1,0
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[1.0, 0.0]);
+        b.add_node(1, &[0.0, 1.0]);
+        b.add_node(1, &[0.5, 0.5]);
+        b.add_node(0, &[2.0, 2.0]);
+        b.add_edge(0, 1, 0);
+        b.add_edge(0, 2, 1);
+        b.add_edge(1, 3, 0);
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn full_view_is_identity() {
+        let g = diamond();
+        let v = g.view();
+        assert!(v.is_full());
+        assert_eq!(v.num_nodes(), 4);
+        assert_eq!(v.to_parent(2), 2);
+        assert_eq!(v.from_parent(3), Some(3));
+        let nbrs: Vec<_> = v.neighbors(0).collect();
+        assert_eq!(nbrs, g.neighbors(0).to_vec());
+        assert_eq!(v.features_matrix(), g.features().clone());
+    }
+
+    #[test]
+    fn induced_view_matches_induced_subgraph() {
+        let g = diamond();
+        for sel in [vec![1, 3, 2], vec![0], vec![3, 0], vec![1, 1, 2]] {
+            let view = g.view_of(&sel);
+            let sub = g.induced_subgraph(&sel);
+            assert_eq!(view.num_nodes(), sub.graph.num_nodes());
+            assert_eq!(view.to_graph(), sub.graph, "materialized view differs for {sel:?}");
+            for v in 0..view.num_nodes() {
+                assert_eq!(view.node_type(v), sub.graph.node_type(v));
+                assert_eq!(view.feature_row(v), sub.graph.features().row(v));
+                let mut nbrs: Vec<_> = view.neighbors(v).collect();
+                nbrs.sort_unstable();
+                assert_eq!(nbrs, sub.graph.neighbors(v).to_vec(), "node {v} of {sel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_view_matches_remove_nodes() {
+        let g = diamond();
+        for removed in [vec![], vec![1], vec![0, 3], vec![0, 1, 2, 3]] {
+            let view = g.view_without(&removed);
+            let rest = g.remove_nodes(&removed);
+            assert_eq!(view.to_graph(), rest.graph, "complement differs for {removed:?}");
+            assert_eq!(
+                (0..view.num_nodes()).map(|v| view.to_parent(v)).collect::<Vec<_>>(),
+                rest.old_of_new
+            );
+        }
+    }
+
+    #[test]
+    fn edge_type_goes_through_parent() {
+        let g = diamond();
+        let v = g.view_of(&[0, 2]);
+        assert_eq!(v.edge_type(0, 1), Some(1)); // old edge 0-2 has type 1
+        assert_eq!(v.edge_type(1, 0), Some(1));
+        let lone = g.view_of(&[0, 3]);
+        assert_eq!(lone.edge_type(0, 1), None); // 0-3 not adjacent
+    }
+
+    #[test]
+    fn from_graph_builds_full_view() {
+        let g = diamond();
+        let v: GraphRef = (&g).into();
+        assert!(v.is_full());
+        assert!(matches!(v.as_graph(), Cow::Borrowed(_)));
+        assert!(matches!(g.view_of(&[1]).as_graph(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn empty_selection_is_well_defined() {
+        let g = diamond();
+        let v = g.view_of(&[]);
+        assert!(v.is_empty());
+        assert_eq!(v.to_graph().num_nodes(), 0);
+        assert_eq!(v.features_matrix().rows(), 0);
+    }
+}

@@ -2,7 +2,7 @@
 
 use gvex_gnn::propagation::NormAdj;
 use gvex_gnn::{ForwardTrace, GcnModel};
-use gvex_graph::Graph;
+use gvex_graph::{Graph, GraphRef};
 use gvex_linalg::kernels::accumulate_row_sum;
 use gvex_linalg::Matrix;
 use rand::rngs::SmallRng;
@@ -42,22 +42,26 @@ pub enum InfluenceMode {
 /// (rows of isolated nodes concentrate on the self-loop).
 ///
 /// `rng` is only consulted in [`InfluenceMode::MonteCarlo`].
-pub fn influence_matrix(
+///
+/// `g` is a `&Graph` or a borrowed [`GraphRef`] view; the expected and
+/// realized routes consume the view zero-copy.
+pub fn influence_matrix<'a>(
     model: &GcnModel,
-    g: &Graph,
+    g: impl Into<GraphRef<'a>>,
     mode: InfluenceMode,
     rng: &mut impl Rng,
 ) -> Matrix {
+    let g = g.into();
     let k = model.config().layers;
     match mode {
-        InfluenceMode::Expected => expected(g, k),
-        InfluenceMode::Realized => realized(model, g),
-        InfluenceMode::MonteCarlo { walks } => monte_carlo(g, k, walks, rng),
+        InfluenceMode::Expected => expected(&g, k),
+        InfluenceMode::Realized => realized(model, &g),
+        InfluenceMode::MonteCarlo { walks } => monte_carlo(&g.as_graph(), k, walks, rng),
         InfluenceMode::Auto => {
-            if auto_prefers_realized(model, g) {
-                realized(model, g)
+            if auto_prefers_realized(model, &g) {
+                realized(model, &g)
             } else {
-                expected(g, k)
+                expected(&g, k)
             }
         }
     }
@@ -67,30 +71,31 @@ pub fn influence_matrix(
 /// (its propagation operator and ReLU gates), so call sites that already
 /// ran inference — the explain pipeline always has — don't pay for another
 /// forward pass in the realized-Jacobian modes.
-pub fn influence_matrix_with_trace(
+pub fn influence_matrix_with_trace<'a>(
     model: &GcnModel,
-    g: &Graph,
+    g: impl Into<GraphRef<'a>>,
     trace: &ForwardTrace,
     mode: InfluenceMode,
     rng: &mut impl Rng,
 ) -> Matrix {
+    let g = g.into();
     let k = model.config().layers;
     match mode {
-        InfluenceMode::Expected => expected(g, k),
-        InfluenceMode::Realized => realized_with_trace(model, g, trace),
-        InfluenceMode::MonteCarlo { walks } => monte_carlo(g, k, walks, rng),
+        InfluenceMode::Expected => expected(&g, k),
+        InfluenceMode::Realized => realized_with_trace(model, &g, trace),
+        InfluenceMode::MonteCarlo { walks } => monte_carlo(&g.as_graph(), k, walks, rng),
         InfluenceMode::Auto => {
-            if auto_prefers_realized(model, g) {
-                realized_with_trace(model, g, trace)
+            if auto_prefers_realized(model, &g) {
+                realized_with_trace(model, &g, trace)
             } else {
-                expected(g, k)
+                expected(&g, k)
             }
         }
     }
 }
 
 /// [`InfluenceMode::Auto`]'s switch: the exact Jacobian where affordable.
-fn auto_prefers_realized(model: &GcnModel, g: &Graph) -> bool {
+fn auto_prefers_realized(model: &GcnModel, g: &GraphRef<'_>) -> bool {
     let seeds = g.num_nodes() * model.config().input_dim;
     g.num_nodes() <= 256 && seeds <= 2048
 }
@@ -111,7 +116,7 @@ fn normalize_rows(mut m: Matrix) -> Matrix {
     m
 }
 
-fn expected(g: &Graph, k: usize) -> Matrix {
+fn expected(g: &GraphRef<'_>, k: usize) -> Matrix {
     let n = g.num_nodes();
     let adj = NormAdj::new(g);
     // R = Ã^k computed as k sparse-dense products against I.
@@ -142,8 +147,10 @@ const SEED_BATCH: usize = 32;
 /// the differential property tests), and the result is independent of the
 /// rayon thread count (blocks are single-writer with a fixed per-row
 /// accumulation order).
-pub fn realized(model: &GcnModel, g: &Graph) -> Matrix {
-    realized_with_trace(model, g, &model.forward(g))
+pub fn realized<'a>(model: &GcnModel, g: impl Into<GraphRef<'a>>) -> Matrix {
+    let g = g.into();
+    let trace = model.forward(&g);
+    realized_with_trace(model, &g, &trace)
 }
 
 /// Per-node hop neighbourhoods of the propagation operator:
@@ -180,9 +187,13 @@ fn hop_supports(adj: &NormAdj, k: usize) -> Vec<Vec<Vec<usize>>> {
 }
 
 /// [`realized`] reusing a precomputed forward trace of `g`.
-pub fn realized_with_trace(model: &GcnModel, g: &Graph, trace: &ForwardTrace) -> Matrix {
+pub fn realized_with_trace<'a>(
+    model: &GcnModel,
+    g: impl Into<GraphRef<'a>>,
+    trace: &ForwardTrace,
+) -> Matrix {
     gvex_obs::span!("influence.realized");
-    let n = g.num_nodes();
+    let n = g.into().num_nodes();
     let d = model.config().input_dim;
     if n == 0 || d == 0 {
         return normalize_rows(Matrix::zeros(n, n));

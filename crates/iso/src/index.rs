@@ -17,7 +17,7 @@
 //! Build cost is O(|V|²/64 + |E|) bits of work and O(|V|²/8) bytes of
 //! memory, amortized across all patterns matched against the same target.
 
-use gvex_graph::{BitSet, EdgeTypeId, Graph, NodeId, NodeTypeId};
+use gvex_graph::{BitSet, EdgeTypeId, GraphRef, NodeId, NodeTypeId};
 
 /// Bitset adjacency and candidate rows for one target graph.
 #[derive(Clone, Debug)]
@@ -37,8 +37,11 @@ pub struct MatchIndex {
 }
 
 impl MatchIndex {
-    /// Builds the index for `target`.
-    pub fn build(target: &Graph) -> MatchIndex {
+    /// Builds the index for `target` — a `&Graph` or a borrowed
+    /// [`GraphRef`] view (the bitset rows are filled straight from the
+    /// parent adjacency through the view's id mapping, zero-copy).
+    pub fn build<'a>(target: impl Into<GraphRef<'a>>) -> MatchIndex {
+        let target = target.into();
         let n = target.num_nodes();
         let mut out_rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
         let mut in_rows: Vec<BitSet> = if target.is_directed() {
@@ -49,7 +52,7 @@ impl MatchIndex {
         let mut uniform: Option<EdgeTypeId> = None;
         let mut mixed = false;
         for v in 0..n {
-            for &(u, et) in target.neighbors(v) {
+            for (u, et) in target.neighbors(v) {
                 out_rows[v].insert(u);
                 match uniform {
                     None => uniform = Some(et),
@@ -58,7 +61,7 @@ impl MatchIndex {
                 }
             }
             if target.is_directed() {
-                for &(u, _) in target.in_neighbors(v) {
+                for (u, _) in target.in_neighbors(v) {
                     in_rows[v].insert(u);
                 }
             }
@@ -67,9 +70,10 @@ impl MatchIndex {
         for v in 0..n {
             by_type.entry(target.node_type(v)).or_insert_with(|| BitSet::new(n)).insert(v);
         }
+        let directed = target.is_directed();
         MatchIndex {
             num_nodes: n,
-            directed: target.is_directed(),
+            directed,
             out_rows,
             in_rows,
             type_rows: by_type.into_iter().collect(),
@@ -118,6 +122,7 @@ impl MatchIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gvex_graph::Graph;
 
     fn g(types: &[u32], edges: &[(usize, usize, u32)], directed: bool) -> Graph {
         let mut b = Graph::builder(directed);

@@ -20,7 +20,7 @@
 //! whichever is cheaper for the target at hand.
 
 use crate::index::MatchIndex;
-use gvex_graph::{BitSet, Graph, NodeId};
+use gvex_graph::{BitSet, Graph, GraphRef, NodeId};
 use std::ops::ControlFlow;
 
 /// Matching semantics and search limits.
@@ -527,27 +527,41 @@ pub fn for_each_embedding_anchored(
 /// let emb = find_one(&pattern, &target, MatchOptions::default()).unwrap();
 /// assert_eq!(emb, vec![1, 2]); // pattern node 0 -> target 1, node 1 -> target 2
 /// ```
-pub fn find_one(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Option<Vec<NodeId>> {
+pub fn find_one<'a>(
+    pattern: &Graph,
+    target: impl Into<GraphRef<'a>>,
+    opts: MatchOptions,
+) -> Option<Vec<NodeId>> {
+    let target = target.into();
+    let target = target.as_graph();
     let mut result = None;
-    for_each_embedding(pattern, target, opts, |map| {
+    for_each_embedding(pattern, &target, opts, |map| {
         result = Some(map.to_vec());
         ControlFlow::Break(())
     });
     result
 }
 
-/// All embeddings up to `opts.max_embeddings`.
-pub fn enumerate(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Vec<Vec<NodeId>> {
+/// All embeddings up to `opts.max_embeddings`. The target is a `&Graph` or
+/// a borrowed [`GraphRef`] view; embeddings are reported in the target's
+/// (view) id space.
+pub fn enumerate<'a>(
+    pattern: &Graph,
+    target: impl Into<GraphRef<'a>>,
+    opts: MatchOptions,
+) -> Vec<Vec<NodeId>> {
+    let target = target.into();
+    let target = target.as_graph();
     let mut out = Vec::new();
-    for_each_embedding(pattern, target, opts, |map| {
+    for_each_embedding(pattern, &target, opts, |map| {
         out.push(map.to_vec());
         ControlFlow::Continue(())
     });
     out
 }
 
-/// Whether `pattern` matches anywhere in `target`.
-pub fn matches(pattern: &Graph, target: &Graph, opts: MatchOptions) -> bool {
+/// Whether `pattern` matches anywhere in `target` (a `&Graph` or a view).
+pub fn matches<'a>(pattern: &Graph, target: impl Into<GraphRef<'a>>, opts: MatchOptions) -> bool {
     find_one(pattern, target, opts).is_some()
 }
 

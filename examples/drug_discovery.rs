@@ -63,7 +63,7 @@ fn main() {
     let hits = view
         .patterns
         .iter()
-        .filter(|p| matches(&no2, p, opts) || gvex::iso::are_isomorphic(p, &no2))
+        .filter(|p| matches(&no2, *p, opts) || gvex::iso::are_isomorphic(p, &no2))
         .count();
     println!("\nquery: which patterns contain the NO2 toxicophore? -> {hits} pattern(s)");
 

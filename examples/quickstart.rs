@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gvex::core::{ApproxGvex, Configuration};
+use gvex::core::{Configuration, ExplainSession, GreedyStrategy};
 use gvex::datasets::{DatasetKind, Scale};
 use gvex::gnn::{train, trainer::TrainOptions, GcnConfig, Split};
 
@@ -29,8 +29,12 @@ fn main() {
     // 3. Ask GVEX "why are graphs classified as mutagens?" — an explanation
     //    view for class label 1 with the paper's configuration
     //    (θ, r, γ) = (0.08, 0.25, 0.5) and coverage bound [0, 10].
-    let gvex = ApproxGvex::new(Configuration::paper_mut(10));
-    let views = gvex.explain(&model, &db, &[1]);
+    //    One session owns the forward-trace cache and influence memo;
+    //    plugging in `GreedyStrategy` runs ApproxGVEX (`StreamStrategy`
+    //    would run StreamGVEX against the same shared state).
+    let session = ExplainSession::new(&model, Configuration::paper_mut(10))
+        .expect("paper configuration is valid");
+    let views = session.explain(&GreedyStrategy, &db, &[1]);
     let view = &views.views[0];
 
     println!("\nexplanation view for label 'mutagen':");

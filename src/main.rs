@@ -14,10 +14,11 @@
 //! `--tu-dir <dir> --tu-name <DS>` may replace `--dataset` everywhere to run
 //! on a real TUDataset download instead of a synthetic stand-in.
 
-use gvex::core::verify::verify_view_with;
-use gvex::core::{index_views, ApproxGvex, Configuration, ExplanationViewSet, StreamGvex};
+use gvex::core::{
+    index_views, Configuration, ExplainSession, ExplanationViewSet, GreedyStrategy,
+    SelectionStrategy, StreamStrategy,
+};
 use gvex::datasets::{dataset_stats, read_tu_dataset, write_tu_dataset, DatasetKind, Scale};
-use gvex::gnn::TraceCache;
 use gvex::gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split};
 use gvex::graph::GraphDatabase;
 use std::collections::HashMap;
@@ -170,18 +171,22 @@ fn cmd_explain(flags: &HashMap<String, String>) {
     let upper: usize = flags.get("upper").map_or(10, |s| s.parse().unwrap_or(10));
     let cfg = Configuration::paper_mut(upper);
 
-    let views = if flags.contains_key("stream") {
-        StreamGvex::new(cfg.clone()).explain(&model, &db, &labels)
-    } else {
-        ApproxGvex::new(cfg.clone()).explain(&model, &db, &labels)
-    };
+    // One session owns the model handle, forward-trace cache, and influence
+    // memo; generation and verification below share it, so no graph is
+    // forwarded or differentiated twice.
+    let session = ExplainSession::new(&model, cfg).unwrap_or_else(|e| {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(1);
+    });
+    let strategy: &dyn SelectionStrategy =
+        if flags.contains_key("stream") { &StreamStrategy } else { &GreedyStrategy };
+    let views = session.explain(strategy, &db, &labels);
 
-    // Verify every view against C1–C3 through a shared trace cache: the
-    // member graphs repeat across views, so their full forward passes are
-    // memoized (and the cache's hit/miss counters land in the obs report).
-    let cache = TraceCache::new();
+    // Verify every view against C1–C3 through the session's trace cache:
+    // the member graphs repeat across views, so their full forward passes
+    // are memoized (and the hit/miss counters land in the obs report).
     for view in &views.views {
-        let report = verify_view_with(&cache, &model, &db, view, &cfg);
+        let report = session.verify(&db, view);
         println!(
             "label {}: verification C1={} C2={} C3={} -> {}",
             view.label,
@@ -191,7 +196,7 @@ fn cmd_explain(flags: &HashMap<String, String>) {
             if report.is_valid() { "valid" } else { "INVALID" }
         );
     }
-    let (hits, misses) = cache.stats();
+    let (hits, misses) = session.trace_cache().stats();
     eprintln!("[gvex] verification trace cache: {hits} hits, {misses} misses");
 
     for view in &views.views {
