@@ -58,6 +58,16 @@ if session["speedup"] < 1.5:
 if not session["identical"]:
     raise SystemExit("bench gate: explain_session arms produced different selections")
 
+bforward = bench["batched_forward"]
+if bforward["speedup"] < 2.0:
+    raise SystemExit(f"bench gate: batched forward speedup {bforward['speedup']:.2f}x below the 2x gate")
+if not bforward["identical"]:
+    raise SystemExit("bench gate: batched forward labels differ from the per-graph path")
+
+btrain = bench["batched_train_epoch"]
+if btrain["speedup"] < 1.5:
+    raise SystemExit(f"bench gate: mini-batch training speedup {btrain['speedup']:.2f}x below the 1.5x gate")
+
 # The matching-engine counters are exercised by the bench's obs epilogue
 # (tiny CLI graphs never reach the bitset/truncation/reuse paths).
 counters = json.load(open("OBS_report.json"))["counters"]
@@ -65,7 +75,7 @@ for required in ("iso.vf2.frontier_prunes", "iso.vf2.truncated", "mining.pgen.em
     if counters.get(required, 0) <= 0:
         raise SystemExit(f"bench gate: counter {required!r} missing or zero in OBS_report.json")
 
-print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x — OK")
+print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x, batched forward {bforward['speedup']:.2f}x, mini-batch train {btrain['speedup']:.2f}x — OK")
 PY
 fi
 

@@ -75,12 +75,20 @@ impl GcfExplainer {
                 let mut pool: Vec<NodeId> = (0..n).filter(|v| !deleted.contains(v)).collect();
                 pool.shuffle(&mut rng);
                 pool.truncate(sample);
+                // score the whole candidate sample in one block-diagonal
+                // batch of complement views (no subgraph materialization)
+                let views: Vec<_> = pool
+                    .iter()
+                    .map(|&v| {
+                        let mut trial = deleted.clone();
+                        trial.push(v);
+                        g.view_without(&trial)
+                    })
+                    .collect();
+                let probs = model.predict_proba_batch(&views);
                 let mut candidate: Option<(f64, NodeId)> = None;
-                for &v in &pool {
-                    let mut trial = deleted.clone();
-                    trial.push(v);
-                    let rest = g.remove_nodes(&trial).graph;
-                    let p = model.predict_proba(&rest)[label] as f64;
+                for (&v, p) in pool.iter().zip(&probs) {
+                    let p = p[label] as f64;
                     if candidate.is_none_or(|(bp, _)| p < bp) {
                         candidate = Some((p, v));
                     }
@@ -156,14 +164,21 @@ impl Explainer for GcfExplainer {
                 let label = model.predict(g);
                 let mut deleted = Vec::new();
                 for _ in 0..max_nodes.min(g.num_nodes()) {
+                    let pool: Vec<NodeId> =
+                        (0..g.num_nodes()).filter(|v| !deleted.contains(v)).collect();
+                    // one fused forward over every candidate's complement view
+                    let views: Vec<_> = pool
+                        .iter()
+                        .map(|&v| {
+                            let mut trial = deleted.clone();
+                            trial.push(v);
+                            g.view_without(&trial)
+                        })
+                        .collect();
+                    let probs = model.predict_proba_batch(&views);
                     let mut candidate: Option<(f64, NodeId)> = None;
-                    for v in 0..g.num_nodes() {
-                        if deleted.contains(&v) {
-                            continue;
-                        }
-                        let mut trial = deleted.clone();
-                        trial.push(v);
-                        let p = model.predict_proba(&g.remove_nodes(&trial).graph)[label] as f64;
+                    for (&v, p) in pool.iter().zip(&probs) {
+                        let p = p[label] as f64;
                         if candidate.is_none_or(|(bp, _)| p < bp) {
                             candidate = Some((p, v));
                         }
@@ -218,7 +233,13 @@ mod tests {
             test: vec![],
         };
         let cfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
-        let opts = trainer::TrainOptions { epochs: 80, lr: 0.01, seed: 1, patience: 0 };
+        let opts = trainer::TrainOptions {
+            epochs: 80,
+            lr: 0.01,
+            seed: 1,
+            patience: 0,
+            ..Default::default()
+        };
         trainer::train(db, cfg, &split, opts).0
     }
 

@@ -58,15 +58,24 @@ impl GStarX {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut scores = vec![0.0_f64; n];
         for v in 0..n {
-            let mut total = 0.0;
-            for _ in 0..self.samples_per_node.max(1) {
-                let coalition = self.sample_coalition(g, v, &mut rng);
-                let p_with = prob_of(model, g, &coalition, label);
+            // draw all of v's coalitions first (same RNG stream as the old
+            // one-at-a-time loop), then classify every with/without pair in
+            // one block-diagonal batch of coalition views
+            let samples = self.samples_per_node.max(1);
+            let coalitions: Vec<Vec<NodeId>> =
+                (0..samples).map(|_| self.sample_coalition(g, v, &mut rng)).collect();
+            let mut views = Vec::with_capacity(2 * samples);
+            for coalition in &coalitions {
+                views.push(coalition_view(g, coalition));
                 let without: Vec<NodeId> = coalition.iter().copied().filter(|&u| u != v).collect();
-                let p_without = prob_of(model, g, &without, label);
-                total += p_with - p_without;
+                views.push(coalition_view(g, &without));
             }
-            scores[v] = total / self.samples_per_node.max(1) as f64;
+            let probs = model.predict_proba_batch(&views);
+            let total: f64 = probs
+                .chunks_exact(2)
+                .map(|pair| pair[0][label] as f64 - pair[1][label] as f64)
+                .sum();
+            scores[v] = total / samples as f64;
         }
         scores
     }
@@ -82,12 +91,13 @@ fn neighbors(g: &Graph, v: NodeId) -> Vec<NodeId> {
     out
 }
 
-fn prob_of(model: &GcnModel, g: &Graph, nodes: &[NodeId], label: usize) -> f64 {
+/// Zero-copy view of the coalition's induced subgraph (sorted + deduped
+/// selection, matching what `induced_subgraph` would materialize).
+fn coalition_view<'g>(g: &'g Graph, nodes: &[NodeId]) -> gvex_graph::GraphRef<'g> {
     let mut sorted = nodes.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    let sub = g.induced_subgraph(&sorted);
-    model.predict_proba(&sub.graph)[label] as f64
+    g.view_of(&sorted)
 }
 
 impl Explainer for GStarX {

@@ -19,7 +19,7 @@ fn setup() -> (GraphDatabase, GcnModel, usize) {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 42, patience: 0 };
+    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 42, patience: 0, ..Default::default() };
     let (model, _) = train(&db, cfg, &split, opts);
     let gi = split.test[0];
     (db, model, gi)

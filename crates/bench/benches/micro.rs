@@ -27,7 +27,7 @@ fn setup() -> (GraphDatabase, GcnModel) {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 42, patience: 0 };
+    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 42, patience: 0, ..Default::default() };
     let (model, _) = train(&db, cfg, &split, opts);
     (db, model)
 }

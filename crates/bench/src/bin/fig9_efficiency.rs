@@ -194,7 +194,7 @@ fn prepare_from_with_epochs(
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let opts = TrainOptions { epochs, lr: 0.01, seed: 42, patience: 0 };
+    let opts = TrainOptions { epochs, lr: 0.01, seed: 42, patience: 0, ..Default::default() };
     let (model, _): (GcnModel, _) = train(&db, cfg, &split, opts);
     let all: Vec<usize> = (0..db.len()).collect();
     let acc = gvex_gnn::trainer::accuracy(&model, &db, &all);

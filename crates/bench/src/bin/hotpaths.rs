@@ -33,12 +33,18 @@
 //!    counters are present, verifies the views through a shared
 //!    `TraceCache`, and emits the obs run report (`OBS_report.json`) as
 //!    the phase breakdown for this benchmark.
+//! 6. Block-diagonal batched execution: database-wide inference through
+//!    one fused forward (`GraphBatch` + `forward_batch`) vs per-graph
+//!    passes with the same precomputed operators (target ≥ 2× at batch
+//!    32), and mini-batch training (`batch_size = 16`) vs per-graph
+//!    steps over identical epochs (target ≥ 1.5×).
 
 use gvex_core::exact::{greedy_selection, streaming_selection};
 use gvex_core::verify::verify_view_with;
 use gvex_core::{explain_database, Configuration, ExplainSession};
-use gvex_gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split, TraceCache};
-use gvex_graph::{Graph, GraphDatabase};
+use gvex_gnn::propagation::NormAdj;
+use gvex_gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, GraphBatch, Split, TraceCache};
+use gvex_graph::{Graph, GraphDatabase, GraphRef};
 use gvex_iso::{
     for_each_embedding, for_each_embedding_reference, for_each_embedding_with_index, MatchIndex,
     MatchOptions,
@@ -146,6 +152,39 @@ struct ExplainSessionBench {
     identical: bool,
 }
 
+/// Database-wide inference: one graph at a time through the per-graph
+/// forward vs the whole set packed into one block-diagonal batch. Both arms
+/// reuse precomputed operators (per-graph adjacencies / the packed layout),
+/// so the race isolates the fused-execution win (stacked dense products,
+/// segmented readout, one FC head application) from operator construction.
+#[derive(Serialize)]
+struct BatchedForwardBench {
+    graphs: usize,
+    avg_nodes: f64,
+    /// Min-of-N seconds classifying every graph individually.
+    per_graph_secs: f64,
+    /// Min-of-N seconds classifying the prebuilt batch in one fused pass.
+    batched_secs: f64,
+    speedup: f64,
+    /// Whether both arms assigned identical labels.
+    identical: bool,
+}
+
+/// Mini-batch training epochs: `batch_size = 1` (per-graph steps) vs
+/// `batch_size = 16` (block-diagonal fused steps) over the same database,
+/// epochs, and seed.
+#[derive(Serialize)]
+struct BatchedTrainBench {
+    graphs: usize,
+    epochs: usize,
+    batch_size: usize,
+    /// Min-of-N seconds for the per-graph training run.
+    per_graph_secs: f64,
+    /// Min-of-N seconds for the mini-batch training run.
+    batched_secs: f64,
+    speedup: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     matmul_256: MatmulBench,
@@ -155,6 +194,8 @@ struct Report {
     explain_database: ExplainBench,
     explain_database_large: ExplainScaleBench,
     explain_session: ExplainSessionBench,
+    batched_forward: BatchedForwardBench,
+    batched_train_epoch: BatchedTrainBench,
 }
 
 /// Interleaved min-of-`rounds` timing of two closures: `a` and `b` alternate
@@ -403,7 +444,7 @@ fn bench_explain() -> (ExplainBench, ExplainScaleBench) {
     let split =
         Split { train: (0..db.len()).collect(), val: (0..db.len()).collect(), test: vec![] };
     let gcfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
-    let opts = TrainOptions { epochs: 80, lr: 0.01, seed: 1, patience: 0 };
+    let opts = TrainOptions { epochs: 80, lr: 0.01, seed: 1, patience: 0, ..Default::default() };
     let (model, _) = train(&db, gcfg, &split, opts);
     let labels: Vec<usize> = vec![0, 1];
     let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 4);
@@ -582,6 +623,86 @@ fn bench_explain_session() -> ExplainSessionBench {
     }
 }
 
+fn bench_batched_forward() -> BatchedForwardBench {
+    const K: usize = 32;
+    let cfg = GcnConfig { input_dim: 8, hidden: 32, layers: 3, num_classes: 2 };
+    let model = GcnModel::new(cfg, &mut ChaCha8Rng::seed_from_u64(21));
+    let graphs: Vec<Graph> = (0..K).map(|i| ring_graph(6 + i % 4, 8)).collect();
+    let views: Vec<GraphRef> = graphs.iter().map(|g| g.view()).collect();
+    // shared operators: both arms skip adjacency construction, so the race
+    // measures execution shape only
+    let adjs: Vec<std::sync::Arc<NormAdj>> = graphs
+        .iter()
+        .map(|g| std::sync::Arc::new(NormAdj::with_aggregation(g, model.aggregation())))
+        .collect();
+
+    let per_graph = || -> Vec<usize> {
+        views
+            .iter()
+            .zip(&adjs)
+            .map(|(v, adj)| model.forward_with_adj(v, std::sync::Arc::clone(adj)).label())
+            .collect()
+    };
+    // the packed layout is operator construction too (feature copy +
+    // block-diagonal concatenation) — prebuilt like the per-graph arm's
+    // adjacency operators, so the race is execution shape vs execution shape
+    let batch = GraphBatch::pack_with_operators(&views, &adjs, model.config().input_dim);
+    let batched = || -> Vec<usize> { model.forward_batch(&batch).labels() };
+    let identical = per_graph() == batched();
+    let (per_graph_secs, batched_secs) = race(
+        25,
+        || {
+            black_box(per_graph());
+        },
+        || {
+            black_box(batched());
+        },
+    );
+    let avg_nodes = graphs.iter().map(|g| g.num_nodes() as f64).sum::<f64>() / graphs.len() as f64;
+    BatchedForwardBench {
+        graphs: K,
+        avg_nodes,
+        per_graph_secs,
+        batched_secs,
+        speedup: per_graph_secs / batched_secs,
+        identical,
+    }
+}
+
+fn bench_batched_train() -> BatchedTrainBench {
+    const GRAPHS: usize = 48;
+    const EPOCHS: usize = 4;
+    const BATCH: usize = 16;
+    let mut db = GraphDatabase::new(vec!["even".into(), "odd".into()]);
+    for i in 0..GRAPHS {
+        db.push(ring_graph(8 + i % 6, 8), i % 2);
+    }
+    let split = Split { train: (0..db.len()).collect(), val: vec![0, 1], test: vec![] };
+    let gcfg = GcnConfig { input_dim: 8, hidden: 32, layers: 3, num_classes: 2 };
+    let base = TrainOptions { epochs: EPOCHS, lr: 0.01, seed: 9, patience: 0, batch_size: 1 };
+    let mini = TrainOptions { batch_size: BATCH, ..base };
+    // warm-up: page in both code paths before timing
+    black_box(train(&db, gcfg, &split, base));
+    black_box(train(&db, gcfg, &split, mini));
+    let (per_graph_secs, batched_secs) = race(
+        7,
+        || {
+            black_box(train(&db, gcfg, &split, base));
+        },
+        || {
+            black_box(train(&db, gcfg, &split, mini));
+        },
+    );
+    BatchedTrainBench {
+        graphs: GRAPHS,
+        epochs: EPOCHS,
+        batch_size: BATCH,
+        per_graph_secs,
+        batched_secs,
+        speedup: per_graph_secs / batched_secs,
+    }
+}
+
 fn main() {
     eprintln!("[hotpaths] matmul 256^3 ...");
     let matmul = bench_matmul();
@@ -655,6 +776,33 @@ fn main() {
         if session.identical { "selections identical" } else { "SELECTIONS DIVERGED" }
     );
 
+    eprintln!("[hotpaths] batched block-diagonal forward ...");
+    let batched_forward = bench_batched_forward();
+    eprintln!(
+        "[hotpaths]   {} graphs (avg {:.0} nodes): per-graph {:.5}s, batched {:.5}s, \
+         speedup {:.2}x {} ({})",
+        batched_forward.graphs,
+        batched_forward.avg_nodes,
+        batched_forward.per_graph_secs,
+        batched_forward.batched_secs,
+        batched_forward.speedup,
+        if batched_forward.speedup >= 2.0 { "(>= 2x target met)" } else { "(BELOW 2x target)" },
+        if batched_forward.identical { "labels identical" } else { "LABELS DIVERGED" }
+    );
+
+    eprintln!("[hotpaths] mini-batch training epochs ...");
+    let batched_train = bench_batched_train();
+    eprintln!(
+        "[hotpaths]   {} graphs x {} epochs: batch 1 {:.4}s, batch {} {:.4}s, speedup {:.2}x {}",
+        batched_train.graphs,
+        batched_train.epochs,
+        batched_train.per_graph_secs,
+        batched_train.batch_size,
+        batched_train.batched_secs,
+        batched_train.speedup,
+        if batched_train.speedup >= 1.5 { "(>= 1.5x target met)" } else { "(BELOW 1.5x target)" }
+    );
+
     let report = Report {
         matmul_256: matmul,
         realized_jacobian_128: jac,
@@ -663,6 +811,8 @@ fn main() {
         explain_database: explain,
         explain_database_large: explain_large,
         explain_session: session,
+        batched_forward,
+        batched_train_epoch: batched_train,
     };
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json");
     let text = serde_json::to_string_pretty(&report).expect("serializable report");

@@ -39,7 +39,7 @@ fn train_options(kind: DatasetKind) -> (TrainOptions, usize) {
         DatasetKind::MalnetTiny => (150, 0.01, 16),
         _ => (150, 0.01, 16),
     };
-    (TrainOptions { epochs, lr, seed: 42, patience: 0 }, hidden)
+    (TrainOptions { epochs, lr, seed: 42, patience: 0, ..Default::default() }, hidden)
 }
 
 /// Generates `kind` at `scale` and trains the classifier.

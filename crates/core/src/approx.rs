@@ -337,7 +337,13 @@ mod tests {
             test: vec![],
         };
         let cfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
-        let opts = trainer::TrainOptions { epochs: 80, lr: 0.01, seed: 1, patience: 0 };
+        let opts = trainer::TrainOptions {
+            epochs: 80,
+            lr: 0.01,
+            seed: 1,
+            patience: 0,
+            ..Default::default()
+        };
         let (model, report) = trainer::train(db, cfg, &split, opts);
         assert!(report.best_val_accuracy >= 0.99, "toy model failed to train");
         model

@@ -184,7 +184,13 @@ mod tests {
             test: vec![],
         };
         let gcfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
-        let opts = trainer::TrainOptions { epochs: 80, lr: 0.01, seed: 1, patience: 0 };
+        let opts = trainer::TrainOptions {
+            epochs: 80,
+            lr: 0.01,
+            seed: 1,
+            patience: 0,
+            ..Default::default()
+        };
         let (model, _) = trainer::train(&db, gcfg, &split, opts);
         (db, model, Configuration::uniform(0.05, 0.3, 0.5, 0, 4))
     }

@@ -63,15 +63,20 @@ pub(crate) fn explain_cost(model: &GcnModel, g: &Graph) -> usize {
     n * n * n + forward_cost(model, g)
 }
 
-/// Classifier-assigned labels for every graph of `db`, predicted in
-/// parallel when the database is large enough to pay for the fan-out.
-/// Predictions are independent per graph and collected in index order, so
-/// the result is identical for any worker count.
+/// Classifier-assigned labels for every graph of `db`. Graphs are packed
+/// into block-diagonal batches of [`gvex_gnn::batch::DEFAULT_BATCH`] — one
+/// fused forward per block — and the blocks run in parallel when the
+/// database is large enough to pay for the fan-out. Blocks are collected in
+/// index order, so the result is identical for any worker count.
 pub fn predict_all(model: &GcnModel, db: &GraphDatabase) -> Vec<usize> {
     gvex_obs::span!("predict");
-    let graphs: Vec<&Graph> = db.graphs().iter().collect();
-    let est: usize = graphs.iter().map(|g| forward_cost(model, g)).sum();
-    run_adaptive(graphs, est, |g| model.predict(g))
+    let est: usize = db.graphs().iter().map(|g| forward_cost(model, g)).sum();
+    let blocks: Vec<&[Graph]> = db.graphs().chunks(gvex_gnn::batch::DEFAULT_BATCH).collect();
+    let labels = run_adaptive(blocks, est, |block| {
+        let views: Vec<gvex_graph::GraphRef<'_>> = block.iter().map(|g| g.view()).collect();
+        model.predict_batch(&views)
+    });
+    labels.into_iter().flatten().collect()
 }
 
 /// Generates explanation views for all labels of interest, explaining
@@ -147,7 +152,13 @@ mod tests {
             test: vec![],
         };
         let gcfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
-        let opts = trainer::TrainOptions { epochs: 60, lr: 0.01, seed: 1, patience: 0 };
+        let opts = trainer::TrainOptions {
+            epochs: 60,
+            lr: 0.01,
+            seed: 1,
+            patience: 0,
+            ..Default::default()
+        };
         let (model, _) = trainer::train(&db, gcfg, &split, opts);
 
         let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 3);

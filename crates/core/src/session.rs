@@ -559,7 +559,13 @@ mod tests {
             test: vec![],
         };
         let cfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
-        let opts = trainer::TrainOptions { epochs: 60, lr: 0.01, seed: 1, patience: 0 };
+        let opts = trainer::TrainOptions {
+            epochs: 60,
+            lr: 0.01,
+            seed: 1,
+            patience: 0,
+            ..Default::default()
+        };
         trainer::train(db, cfg, &split, opts).0
     }
 

@@ -13,6 +13,9 @@
 //!   layer-by-layer propagation) and backward gradients, gradient-checked in
 //!   tests,
 //! * [`trainer`] — the Adam training loop with train/val/test splits,
+//! * [`batch`] — block-diagonal batched execution: many graphs through one
+//!   fused forward/backward per layer, powering mini-batch training and
+//!   database-wide inference,
 //! * [`masked`] — an edge/feature *soft-masked* forward pass with gradients
 //!   with respect to the masks, the differentiable substrate the
 //!   GNNExplainer baseline optimizes over.
@@ -22,6 +25,7 @@
 //! reads last-layer embeddings — exactly the "output of the last layer" the
 //! paper's model-agnostic claim rests on.
 
+pub mod batch;
 pub mod cache;
 pub mod masked;
 pub mod model;
@@ -29,6 +33,7 @@ pub mod node_classify;
 pub mod propagation;
 pub mod trainer;
 
+pub use batch::{BatchForwardTrace, GraphBatch};
 pub use cache::{graph_fingerprint, TraceCache};
 pub use model::{ForwardTrace, GcnConfig, GcnModel, Readout};
 pub use node_classify::{node_accuracy, train_node_classifier, NodeTrainOptions};

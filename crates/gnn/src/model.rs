@@ -5,6 +5,7 @@ use gvex_graph::{Graph, GraphRef};
 use gvex_linalg::{init, ops, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Architecture hyperparameters.
 ///
@@ -43,8 +44,10 @@ impl GcnConfig {
 /// the diversity measure `D(V_s)` (Eq. 6).
 #[derive(Clone, Debug)]
 pub struct ForwardTrace {
-    /// Normalized adjacency used for propagation.
-    pub adj: NormAdj,
+    /// Normalized adjacency used for propagation, shared with the caller:
+    /// cached operators are passed as [`Arc`] clones, so retaining them in
+    /// the trace costs a refcount bump instead of a deep copy per step.
+    pub adj: Arc<NormAdj>,
     /// Activations per layer: `act[0] = X`, `act[i] = ReLU(Z_i)`; length `k + 1`.
     pub act: Vec<Matrix>,
     /// Pre-activations `Z_i = Ã · act[i-1] · Θ_i`; length `k`.
@@ -257,13 +260,21 @@ impl GcnModel {
     }
 
     /// Forward pass with a caller-provided (possibly soft-masked) adjacency.
-    pub fn forward_with_adj<'a>(&self, g: impl Into<GraphRef<'a>>, adj: NormAdj) -> ForwardTrace {
+    /// Accepts an owned [`NormAdj`] or an `Arc<NormAdj>` clone of a cached
+    /// operator — the trainer and session loops pass the latter so the
+    /// operator is borrowed by refcount, never deep-cloned per step.
+    pub fn forward_with_adj<'a>(
+        &self,
+        g: impl Into<GraphRef<'a>>,
+        adj: impl Into<Arc<NormAdj>>,
+    ) -> ForwardTrace {
         self.forward_from_features(g.into().features_matrix(), adj)
     }
 
     /// Forward pass from explicit features (the masked path perturbs `X`).
-    pub fn forward_from_features(&self, x: Matrix, adj: NormAdj) -> ForwardTrace {
+    pub fn forward_from_features(&self, x: Matrix, adj: impl Into<Arc<NormAdj>>) -> ForwardTrace {
         gvex_obs::span!("gnn.forward");
+        let adj = adj.into();
         // The empty graph may carry a 0-dim feature matrix; normalize its
         // shape so the layer algebra stays well-typed.
         let x = if x.rows() == 0 { Matrix::zeros(0, self.cfg.input_dim) } else { x };
@@ -288,7 +299,7 @@ impl GcnModel {
         let (pooled, pool_arg) = match self.readout {
             Readout::Max => last.col_max(),
             Readout::Mean => (last.col_mean(), Vec::new()),
-            Readout::Sum => (last.col_mean().scale(last.rows() as f32), Vec::new()),
+            Readout::Sum => (last.col_sum(), Vec::new()),
         };
         let logits_m = pooled.matmul(&self.fc_w).add(&self.fc_b);
         let logits = logits_m.row(0).to_vec();

@@ -79,12 +79,13 @@ pub fn train_node_classifier(
     let mut model = GcnModel::new(cfg, &mut rng);
     let mut adams: Vec<Adam> =
         model.param_shapes().into_iter().map(|(r, c)| Adam::with_lr(r, c, opts.lr)).collect();
-    let adj = NormAdj::with_aggregation(g, model.aggregation());
+    // built once; each epoch shares it by refcount instead of deep-cloning
+    let adj = std::sync::Arc::new(NormAdj::with_aggregation(g, model.aggregation()));
     let mut order = train_nodes.to_vec();
 
     for _ in 0..opts.epochs {
         order.shuffle(&mut rng);
-        let trace = model.forward_with_adj(g, adj.clone());
+        let trace = model.forward_with_adj(g, std::sync::Arc::clone(&adj));
         // node logits + summed CE gradient over the training nodes
         let emb = trace.embeddings();
         let logits = emb.matmul(model.fc_weight());

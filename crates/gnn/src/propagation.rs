@@ -153,6 +153,32 @@ impl NormAdj {
         Self { rows }
     }
 
+    /// Concatenates per-graph operators into one block-diagonal operator:
+    /// part `k`'s sparse rows are appended in order with every column index
+    /// shifted by the running node offset, so `Ã_batch = diag(Ã_0 … Ã_{K-1})`
+    /// without any padding. One [`Self::matmul`] over the stacked feature
+    /// matrix then propagates every graph of the batch at once, and each
+    /// stacked row is computed with exactly the per-graph accumulation
+    /// order (the weights are moved bitwise).
+    pub fn block_diagonal<'p>(parts: impl IntoIterator<Item = &'p NormAdj>) -> Self {
+        let mut rows = Vec::new();
+        let mut offset = 0usize;
+        for part in parts {
+            rows.extend(
+                part.rows
+                    .iter()
+                    .map(|row| row.iter().map(|&(v, w)| (v + offset, w)).collect::<Vec<_>>()),
+            );
+            offset += part.rows.len();
+        }
+        Self { rows }
+    }
+
+    /// Number of stored nonzero entries (diagnostics and cost estimates).
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
     /// Number of rows (= nodes).
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -406,6 +432,35 @@ mod tests {
         for u in 0..2 {
             assert!(adj.row(u).iter().all(|&(_, w)| w == 1.0));
             assert_eq!(adj.row(u).len(), 2); // neighbor + self loop
+        }
+    }
+
+    #[test]
+    fn block_diagonal_concatenates_with_offsets() {
+        let g = edge_pair();
+        let a = NormAdj::new(&g);
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[3.0]);
+        let single = NormAdj::new(&b.build());
+        let empty = NormAdj::block_diagonal([]);
+        assert!(empty.is_empty());
+        let batch = NormAdj::block_diagonal([&a, &empty, &single, &a]);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.nnz(), a.nnz() * 2 + 1);
+        // second copy of `a` lives at row offset 3
+        assert_eq!(batch.row(3), &[(3, a.row(0)[0].1), (4, a.row(0)[1].1)]);
+        // the batched product equals the per-part products, stacked
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[5.0], &[-1.0], &[4.0]]);
+        let got = batch.matmul(&x);
+        let parts = [
+            a.matmul(&Matrix::from_rows(&[&[1.0], &[2.0]])),
+            single.matmul(&Matrix::from_rows(&[&[5.0]])),
+            a.matmul(&Matrix::from_rows(&[&[-1.0], &[4.0]])),
+        ];
+        let stacked: Vec<&[f32]> =
+            parts.iter().flat_map(|p| (0..p.rows()).map(|r| p.row(r))).collect();
+        for (r, want) in stacked.iter().enumerate() {
+            assert_eq!(got.row(r), *want, "row {r}");
         }
     }
 

@@ -1,14 +1,16 @@
 //! Training loop: Adam, per-graph steps, 80/10/10 splits (§6.1).
 
+use crate::batch::{GraphBatch, DEFAULT_BATCH};
 use crate::model::{GcnConfig, GcnModel};
 use crate::propagation::NormAdj;
-use gvex_graph::GraphDatabase;
+use gvex_graph::{GraphDatabase, GraphRef};
 use gvex_linalg::{Adam, Matrix};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Train/validation/test partition of graph indices.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -68,11 +70,21 @@ pub struct TrainOptions {
     /// Stop early once this many epochs pass without val-accuracy improving
     /// (0 disables early stopping).
     pub patience: usize,
+    /// Graphs per optimizer step. `0` or `1` (the default) keeps the
+    /// original per-graph SGD-style schedule bit-for-bit; larger values
+    /// pack each chunk of the shuffled order into a block-diagonal
+    /// [`GraphBatch`], run one fused forward/backward, and apply one Adam
+    /// step on the mean gradient. Ignored (treated as `1`) by edge-gated
+    /// models, whose propagation operator changes every step. Absent from
+    /// serialized options recorded before this field existed; `default`
+    /// keeps those deserializable (as `0`, i.e. the per-graph schedule).
+    #[serde(default)]
+    pub batch_size: usize,
 }
 
 impl Default for TrainOptions {
     fn default() -> Self {
-        Self { epochs: 200, lr: 1e-3, seed: 0, patience: 40 }
+        Self { epochs: 200, lr: 1e-3, seed: 0, patience: 40, batch_size: 1 }
     }
 }
 
@@ -121,11 +133,16 @@ fn train_with_rng(
     // rebuilt per graph below.
     let gated = model.has_edge_gates();
     let mut gate_adam = gated.then(|| Adam::with_lr(1, model.edge_gate_scales().len(), opts.lr));
-    let adj: Vec<NormAdj> = if gated {
+    let adj: Vec<Arc<NormAdj>> = if gated {
         Vec::new()
     } else {
-        db.graphs().iter().map(|g| NormAdj::with_aggregation(g, model.aggregation())).collect()
+        db.graphs()
+            .iter()
+            .map(|g| Arc::new(NormAdj::with_aggregation(g, model.aggregation())))
+            .collect()
     };
+    // edge gates rebuild the operator per step, so batching gains nothing
+    let batched = opts.batch_size > 1 && !gated;
 
     let mut order = split.train.clone();
     let mut best = (0.0_f32, model.clone());
@@ -136,37 +153,69 @@ fn train_with_rng(
     for _epoch in 0..opts.epochs {
         gvex_obs::span!("gnn.train.epoch");
         gvex_obs::counter!("gnn.train.epochs");
+        let epoch_clock = gvex_obs::enabled().then(std::time::Instant::now);
         ran += 1;
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0;
-        for &gi in &order {
-            let g = db.graph(gi);
-            if g.num_nodes() == 0 {
-                continue;
+        if batched {
+            // Mini-batch schedule: each chunk of the shuffled order becomes
+            // one block-diagonal batch, one fused forward/backward, and one
+            // Adam step on the mean gradient.
+            for chunk in order.chunks(opts.batch_size) {
+                let kept: Vec<usize> =
+                    chunk.iter().copied().filter(|&gi| db.graph(gi).num_nodes() > 0).collect();
+                if kept.is_empty() {
+                    continue;
+                }
+                let views: Vec<GraphRef<'_>> = kept.iter().map(|&gi| db.graph(gi).view()).collect();
+                let ops: Vec<Arc<NormAdj>> = kept.iter().map(|&gi| Arc::clone(&adj[gi])).collect();
+                let batch = GraphBatch::pack_with_operators(&views, &ops, model.config().input_dim);
+                let trace = model.forward_batch(&batch);
+                let targets: Vec<usize> = kept.iter().map(|&gi| db.truth()[gi]).collect();
+                let grads = model.backward_batch(&trace, &targets);
+                loss_sum += grads.loss;
+                let inv = 1.0 / kept.len() as f32;
+                let grad_list: Vec<Matrix> =
+                    GcnModel::grads_in_order(&grads).into_iter().map(|g| g.scale(inv)).collect();
+                for ((param, opt), grad) in
+                    model.params_mut().into_iter().zip(&mut adams).zip(&grad_list)
+                {
+                    opt.step(param, grad);
+                }
             }
-            let (grads, gate_grads) = if gated {
-                let trace = model.forward(g); // rebuilds the gated operator
-                let (grads, gate_grads) = model.backward_edge_gates(&trace, g, db.truth()[gi]);
-                (grads, Some(gate_grads))
-            } else {
-                let trace = model.forward_with_adj(g, adj[gi].clone());
-                (model.backward(&trace, db.truth()[gi]), None)
-            };
-            loss_sum += grads.loss;
-            let grad_list: Vec<gvex_linalg::Matrix> =
-                GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
-            for ((param, opt), grad) in
-                model.params_mut().into_iter().zip(&mut adams).zip(&grad_list)
-            {
-                opt.step(param, grad);
-            }
-            if let (Some(gg), Some(opt)) = (gate_grads, gate_adam.as_mut()) {
-                if let Some(gates) = model.edge_gates_mut() {
-                    opt.step(gates, &gg);
+        } else {
+            for &gi in &order {
+                let g = db.graph(gi);
+                if g.num_nodes() == 0 {
+                    continue;
+                }
+                let (grads, gate_grads) = if gated {
+                    let trace = model.forward(g); // rebuilds the gated operator
+                    let (grads, gate_grads) = model.backward_edge_gates(&trace, g, db.truth()[gi]);
+                    (grads, Some(gate_grads))
+                } else {
+                    let trace = model.forward_with_adj(g, Arc::clone(&adj[gi]));
+                    (model.backward(&trace, db.truth()[gi]), None)
+                };
+                loss_sum += grads.loss;
+                let grad_list: Vec<gvex_linalg::Matrix> =
+                    GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
+                for ((param, opt), grad) in
+                    model.params_mut().into_iter().zip(&mut adams).zip(&grad_list)
+                {
+                    opt.step(param, grad);
+                }
+                if let (Some(gg), Some(opt)) = (gate_grads, gate_adam.as_mut()) {
+                    if let Some(gates) = model.edge_gates_mut() {
+                        opt.step(gates, &gg);
+                    }
                 }
             }
         }
         epoch_loss.push(loss_sum / split.train.len().max(1) as f32);
+        if let Some(t0) = epoch_clock {
+            gvex_obs::histogram!("gnn.train.epoch_ms", t0.elapsed().as_millis() as u64);
+        }
 
         let val_acc = accuracy(&model, db, &split.val);
         if val_acc > best.0 {
@@ -212,10 +261,13 @@ pub fn train_parallel(
         model.param_shapes().into_iter().map(|(r, c)| Adam::with_lr(r, c, opts.lr)).collect();
     let gated = model.has_edge_gates();
     let mut gate_adam = gated.then(|| Adam::with_lr(1, model.edge_gate_scales().len(), opts.lr));
-    let adj: Vec<NormAdj> = if gated {
+    let adj: Vec<Arc<NormAdj>> = if gated {
         Vec::new()
     } else {
-        db.graphs().iter().map(|g| NormAdj::with_aggregation(g, model.aggregation())).collect()
+        db.graphs()
+            .iter()
+            .map(|g| Arc::new(NormAdj::with_aggregation(g, model.aggregation())))
+            .collect()
     };
 
     // forward + backward ≈ 3 forward passes per graph; constant across
@@ -235,6 +287,7 @@ pub fn train_parallel(
     for _epoch in 0..opts.epochs {
         gvex_obs::span!("gnn.train.epoch");
         gvex_obs::counter!("gnn.train.epochs");
+        let epoch_clock = gvex_obs::enabled().then(std::time::Instant::now);
         ran += 1;
         order.shuffle(&mut rng);
         // fan the per-graph forward/backward passes across workers — unless
@@ -254,7 +307,7 @@ pub fn train_parallel(
                     GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
                 (grads.loss, list, Some(gate_grads))
             } else {
-                let trace = model.forward_with_adj(g, adj[gi].clone());
+                let trace = model.forward_with_adj(g, Arc::clone(&adj[gi]));
                 let grads = model.backward(&trace, truth);
                 let list: Vec<Matrix> =
                     GcnModel::grads_in_order(&grads).into_iter().cloned().collect();
@@ -295,6 +348,9 @@ pub fn train_parallel(
             }
         }
         epoch_loss.push(loss_sum / split.train.len().max(1) as f32);
+        if let Some(t0) = epoch_clock {
+            gvex_obs::histogram!("gnn.train.epoch_ms", t0.elapsed().as_millis() as u64);
+        }
 
         let val_acc = accuracy(&model, db, &split.val);
         if val_acc > best.0 {
@@ -326,18 +382,29 @@ fn forward_cost(model: &GcnModel, g: &gvex_graph::Graph) -> usize {
 }
 
 /// Fraction of `indices` whose prediction matches the ground truth.
-/// Predictions are independent per graph and fan out across rayon workers
-/// when the split is large enough to pay for the spawns.
+/// Graphs are classified in block-diagonal batches of [`DEFAULT_BATCH`]
+/// (one fused forward per block); the blocks fan out across rayon workers
+/// when the split is large enough to pay for the spawns. Correct counts
+/// are order-independent, so the fan-out cannot change the result.
 pub fn accuracy(model: &GcnModel, db: &GraphDatabase, indices: &[usize]) -> f32 {
     if indices.is_empty() {
         return 0.0;
     }
     let est: usize = indices.iter().map(|&gi| forward_cost(model, db.graph(gi))).sum();
-    let hit = |&&gi: &&usize| model.predict(db.graph(gi)) == db.truth()[gi];
-    let correct = if rayon::should_fan_out(est) {
-        indices.par_iter().filter(hit).count()
+    let hits = |chunk: &&[usize]| -> usize {
+        let views: Vec<GraphRef<'_>> = chunk.iter().map(|&gi| db.graph(gi).view()).collect();
+        model
+            .predict_batch(&views)
+            .into_iter()
+            .zip(chunk.iter())
+            .filter(|&(p, &gi)| p == db.truth()[gi])
+            .count()
+    };
+    let blocks: Vec<&[usize]> = indices.chunks(DEFAULT_BATCH).collect();
+    let correct: usize = if rayon::should_fan_out(est) {
+        blocks.par_iter().map(&hits).sum()
     } else {
-        indices.iter().filter(hit).count()
+        blocks.iter().map(&hits).sum()
     };
     correct as f32 / indices.len() as f32
 }
@@ -394,7 +461,8 @@ mod tests {
         let db = toy_db(10);
         let split = Split::paper(&db, 7);
         let cfg = GcnConfig { input_dim: 2, hidden: 8, layers: 2, num_classes: 2 };
-        let opts = TrainOptions { epochs: 60, lr: 0.01, seed: 7, patience: 0 };
+        let opts =
+            TrainOptions { epochs: 60, lr: 0.01, seed: 7, patience: 0, ..Default::default() };
         let (model, report) = train(&db, cfg, &split, opts);
         assert!(
             report.test_accuracy >= 0.99,
@@ -414,7 +482,8 @@ mod tests {
         let db = toy_db(10);
         let split = Split::paper(&db, 7);
         let cfg = GcnConfig { input_dim: 2, hidden: 8, layers: 2, num_classes: 2 };
-        let opts = TrainOptions { epochs: 150, lr: 0.05, seed: 7, patience: 0 };
+        let opts =
+            TrainOptions { epochs: 150, lr: 0.05, seed: 7, patience: 0, ..Default::default() };
         let narrow = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let (m1, r1) = narrow.install(|| train_parallel(&db, cfg, &split, opts));
         let wide = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
@@ -432,11 +501,47 @@ mod tests {
     }
 
     #[test]
+    fn mini_batch_training_separates_easy_classes() {
+        let db = toy_db(10);
+        let split = Split::paper(&db, 7);
+        let cfg = GcnConfig { input_dim: 2, hidden: 8, layers: 2, num_classes: 2 };
+        let opts = TrainOptions { epochs: 120, lr: 0.02, seed: 7, patience: 0, batch_size: 4 };
+        let (_, report) = train(&db, cfg, &split, opts);
+        assert!(
+            report.test_accuracy >= 0.99,
+            "mini-batch training failed to separate easy classes: {} (val {})",
+            report.test_accuracy,
+            report.best_val_accuracy
+        );
+        let first = report.epoch_loss[0];
+        let last = *report.epoch_loss.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn batch_size_zero_and_one_are_bitwise_identical() {
+        let db = toy_db(8);
+        let split = Split::paper(&db, 5);
+        let cfg = GcnConfig { input_dim: 2, hidden: 6, layers: 2, num_classes: 2 };
+        let base = TrainOptions { epochs: 30, lr: 0.01, seed: 5, patience: 0, batch_size: 1 };
+        let (m1, r1) = train(&db, cfg, &split, base);
+        // 0 is what pre-batching serialized options deserialize to; it must
+        // take the same per-graph path as 1, bit for bit
+        let (m0, r0) = train(&db, cfg, &split, TrainOptions { batch_size: 0, ..base });
+        assert_eq!(r1.epoch_loss, r0.epoch_loss);
+        assert_eq!(r1.test_accuracy, r0.test_accuracy);
+        for gi in 0..db.len() {
+            assert_eq!(m1.predict(db.graph(gi)), m0.predict(db.graph(gi)));
+        }
+    }
+
+    #[test]
     fn early_stopping_stops() {
         let db = toy_db(6);
         let split = Split::paper(&db, 3);
         let cfg = GcnConfig { input_dim: 2, hidden: 4, layers: 2, num_classes: 2 };
-        let opts = TrainOptions { epochs: 500, lr: 0.01, seed: 3, patience: 5 };
+        let opts =
+            TrainOptions { epochs: 500, lr: 0.01, seed: 3, patience: 5, ..Default::default() };
         let (_, report) = train(&db, cfg, &split, opts);
         assert!(report.epochs < 500, "patience never triggered");
     }

@@ -207,7 +207,7 @@ impl InfluenceAnalysis {
 /// ¼-approximation (Theorem 5.1).
 #[derive(Clone, Debug)]
 pub struct StreamingInfluence {
-    adj: NormAdj,
+    adj: std::sync::Arc<NormAdj>,
     embeddings: Matrix,
     theta: f32,
     r: f32,

@@ -198,7 +198,7 @@ pub fn realized_with_trace<'a>(
     if n == 0 || d == 0 {
         return normalize_rows(Matrix::zeros(n, n));
     }
-    let adj = &trace.adj;
+    let adj = &*trace.adj;
     let k = model.config().layers;
     let hops = hop_supports(adj, k);
     // membership[l][u] = bool mask of hops[l][u]; filters neighbour gathers
@@ -347,7 +347,7 @@ pub fn realized_reference(model: &GcnModel, g: &Graph) -> Matrix {
     let n = g.num_nodes();
     let d = model.config().input_dim;
     let trace = model.forward(g);
-    let adj = &trace.adj;
+    let adj = &*trace.adj;
     let k = model.config().layers;
 
     // ReLU gate masks per layer.

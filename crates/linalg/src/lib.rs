@@ -10,6 +10,8 @@
 //!   propagation and batched-Jacobian hot paths,
 //! * [`ops`] — element-wise activations, row-wise softmax, and the
 //!   cross-entropy loss with its gradient,
+//! * [`segmented`] — per-segment column reductions over row-stacked
+//!   matrices (the readout of the block-diagonal batched GNN engine),
 //! * [`init`] — Xavier/Glorot and uniform initializers,
 //! * [`adam::Adam`] — the Adam optimizer used to train the classifier
 //!   (Kingma & Ba, ICLR'15), matching the paper's training setup (§6.1).
@@ -22,6 +24,7 @@ pub mod init;
 pub mod kernels;
 pub mod matrix;
 pub mod ops;
+pub mod segmented;
 
 pub use adam::Adam;
 pub use matrix::Matrix;

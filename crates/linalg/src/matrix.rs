@@ -394,6 +394,19 @@ impl Matrix {
         (out, arg)
     }
 
+    /// Column-wise sum over rows as a `1 × cols` matrix (zeros if no rows).
+    /// One accumulation pass in row order — the Sum readout uses this
+    /// directly instead of un-scaling a mean.
+    pub fn col_sum(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for i in 0..self.rows {
+            for (o, &v) in out.row_mut(0).iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
     /// Column-wise mean over rows as a `1 × cols` matrix (zeros if no rows).
     pub fn col_mean(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
@@ -661,6 +674,13 @@ mod tests {
     fn col_mean_averages_rows() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 6.0]]);
         assert_eq!(a.col_mean(), Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn col_sum_adds_rows() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 6.0]]);
+        assert_eq!(a.col_sum(), Matrix::from_rows(&[&[4.0, 8.0]]));
+        assert_eq!(Matrix::zeros(0, 2).col_sum(), Matrix::zeros(1, 2));
     }
 
     #[test]

@@ -22,8 +22,12 @@ fn main() {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let (model, report) =
-        train(&db, cfg, &split, TrainOptions { epochs: 150, lr: 0.01, seed: 7, patience: 0 });
+    let (model, report) = train(
+        &db,
+        cfg,
+        &split,
+        TrainOptions { epochs: 150, lr: 0.01, seed: 7, patience: 0, ..Default::default() },
+    );
     println!("classifier test accuracy: {:.3}", report.test_accuracy);
 
     let gvex = ApproxGvex::new(Configuration::paper_mut(10));

@@ -22,8 +22,12 @@ fn main() {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let (model, report) =
-        train(&db, cfg, &split, TrainOptions { epochs: 120, lr: 0.01, seed: 42, patience: 0 });
+    let (model, report) = train(
+        &db,
+        cfg,
+        &split,
+        TrainOptions { epochs: 120, lr: 0.01, seed: 42, patience: 0, ..Default::default() },
+    );
     println!("classifier test accuracy: {:.3}", report.test_accuracy);
 
     // 3. Ask GVEX "why are graphs classified as mutagens?" — an explanation

@@ -20,8 +20,12 @@ fn main() {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let (model, report) =
-        train(&db, cfg, &split, TrainOptions { epochs: 200, lr: 0.01, seed: 5, patience: 0 });
+    let (model, report) = train(
+        &db,
+        cfg,
+        &split,
+        TrainOptions { epochs: 200, lr: 0.01, seed: 5, patience: 0, ..Default::default() },
+    );
     println!("classifier test accuracy: {:.3}", report.test_accuracy);
 
     let gi = split.test[0];

@@ -38,6 +38,8 @@ fn usage() -> ! {
          stats    print the Table-3 row for the dataset\n\
          export   --out <dir>: write the dataset in TU format\n\
          train    --model-out <file>: train the GCN and save it as JSON\n\
+                  [--batch-size <n>]: graphs per optimizer step; n > 1 packs\n\
+                  each step into one block-diagonal batched forward/backward\n\
          explain  --model <file> --labels <l0,l1,..> --upper <n>\n\
                   [--stream] [--views-out <file>]: generate explanation views\n\
          query    --views <file> [--label <l>] [--discriminative <l>]"
@@ -135,13 +137,15 @@ fn trained_model(flags: &HashMap<String, String>, db: &GraphDatabase) -> (GcnMod
     }
     let epochs: usize = flags.get("epochs").map_or(150, |s| s.parse().unwrap_or(150));
     let lr: f32 = flags.get("lr").map_or(0.01, |s| s.parse().unwrap_or(0.01));
+    let batch_size: usize = flags.get("batch-size").map_or(1, |s| s.parse().unwrap_or(1));
     let cfg = GcnConfig {
         input_dim: db.feature_dim().max(1),
         hidden: flags.get("hidden").map_or(16, |s| s.parse().unwrap_or(16)),
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let (model, report) = train(db, cfg, &split, TrainOptions { epochs, lr, seed, patience: 0 });
+    let (model, report) =
+        train(db, cfg, &split, TrainOptions { epochs, lr, seed, patience: 0, batch_size });
     eprintln!(
         "trained: val accuracy {:.3}, test accuracy {:.3} ({} epochs)",
         report.best_val_accuracy, report.test_accuracy, report.epochs

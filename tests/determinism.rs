@@ -53,7 +53,7 @@ fn explain_database_identical_across_thread_counts() {
     let split =
         Split { train: (0..db.len()).collect(), val: (0..db.len()).collect(), test: vec![] };
     let gcfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
-    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 1, patience: 0 };
+    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 1, patience: 0, ..Default::default() };
     let (model, _) = train(&db, gcfg, &split, opts);
     let labels = vec![0usize, 1];
     let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 4);
@@ -74,7 +74,7 @@ fn explain_database_identical_with_observation_enabled() {
     let split =
         Split { train: (0..db.len()).collect(), val: (0..db.len()).collect(), test: vec![] };
     let gcfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
-    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 1, patience: 0 };
+    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 1, patience: 0, ..Default::default() };
     let (model, _) = train(&db, gcfg, &split, opts);
     let labels = vec![0usize, 1];
     let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 4);
@@ -100,6 +100,47 @@ fn explain_database_identical_with_observation_enabled() {
         assert!(
             spans.iter().any(|s| s.path.starts_with("explain_db")),
             "no explain_db span recorded: {spans:?}"
+        );
+    }
+}
+
+/// The batched engine under observation: mini-batch training and batched
+/// database classification must be bitwise identical with spans, counters,
+/// and histograms (including the per-epoch wall-clock histogram) recording.
+#[test]
+fn batched_execution_identical_with_observation_enabled() {
+    let db = toy_database();
+    let split =
+        Split { train: (0..db.len()).collect(), val: (0..db.len()).collect(), test: vec![] };
+    let gcfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
+    let opts = TrainOptions { epochs: 40, lr: 0.01, seed: 1, patience: 0, batch_size: 4 };
+
+    let (baseline_model, baseline_report) = train(&db, gcfg, &split, opts);
+    let baseline_labels = baseline_model.classify_database(&db, 0);
+
+    // Only ever *enable* — the toggle is process-global (see above).
+    gvex::obs::set_enabled(true);
+    let (observed_model, observed_report) = train(&db, gcfg, &split, opts);
+    let observed_labels = observed_model.classify_database(&db, 0);
+
+    assert_eq!(
+        baseline_report.epoch_loss, observed_report.epoch_loss,
+        "observation perturbed mini-batch training"
+    );
+    assert_eq!(baseline_labels, observed_labels, "observation perturbed batched inference");
+    // chunk size must not change labels either, observed or not
+    assert_eq!(observed_labels, observed_model.classify_database(&db, 3));
+    if gvex::obs::enabled() {
+        let counters = gvex::obs::metrics::counters();
+        for name in ["gnn.batch.graphs", "gnn.batch.nodes"] {
+            assert!(
+                counters.iter().any(|(n, v)| n == name && *v > 0),
+                "missing batch counter {name}: {counters:?}"
+            );
+        }
+        assert!(
+            gvex::obs::metrics::histograms().iter().any(|(n, _)| n == "gnn.train.epoch_ms"),
+            "missing per-epoch wall-clock histogram"
         );
     }
 }

@@ -38,7 +38,7 @@ fn train_variant(db: &GraphDatabase, gated: bool) -> (GcnModel, f32) {
     let cfg = GcnConfig { input_dim: 2, hidden: 8, layers: 2, num_classes: 2 };
     let base = GcnModel::new(cfg, &mut ChaCha8Rng::seed_from_u64(3));
     let base = if gated { base.with_edge_gates(2) } else { base };
-    let opts = TrainOptions { epochs: 150, lr: 0.02, seed: 3, patience: 0 };
+    let opts = TrainOptions { epochs: 150, lr: 0.02, seed: 3, patience: 0, ..Default::default() };
     let (model, _) = train_model(db, base, &split, opts);
     let all: Vec<usize> = (0..db.len()).collect();
     let acc = gvex::gnn::trainer::accuracy(&model, db, &all);

@@ -22,7 +22,7 @@ fn gvex_explains_every_message_passing_variant() {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let opts = TrainOptions { epochs: 100, lr: 0.01, seed: 13, patience: 0 };
+    let opts = TrainOptions { epochs: 100, lr: 0.01, seed: 13, patience: 0, ..Default::default() };
 
     for (aggregation, readout) in [
         (Aggregation::GcnNorm, Readout::Max), // the paper's classifier

@@ -16,8 +16,12 @@ fn model_json_round_trip_preserves_predictions() {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let (model, _) =
-        train(&db, cfg, &split, TrainOptions { epochs: 60, lr: 0.01, seed: 21, patience: 0 });
+    let (model, _) = train(
+        &db,
+        cfg,
+        &split,
+        TrainOptions { epochs: 60, lr: 0.01, seed: 21, patience: 0, ..Default::default() },
+    );
     let json = serde_json::to_string(&model).expect("model serializes");
     let back: GcnModel = serde_json::from_str(&json).expect("model parses");
     for g in db.graphs().iter().take(10) {
@@ -35,8 +39,12 @@ fn views_json_round_trip_is_queryable() {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let (model, _) =
-        train(&db, cfg, &split, TrainOptions { epochs: 60, lr: 0.01, seed: 22, patience: 0 });
+    let (model, _) = train(
+        &db,
+        cfg,
+        &split,
+        TrainOptions { epochs: 60, lr: 0.01, seed: 22, patience: 0, ..Default::default() },
+    );
     let views = ApproxGvex::new(Configuration::paper_mut(8)).explain(&model, &db, &[1]);
     let json = serde_json::to_string(&views).expect("views serialize");
     let back: ExplanationViewSet = serde_json::from_str(&json).expect("views parse");
@@ -68,8 +76,12 @@ fn tu_round_trip_preserves_classifier_behavior() {
         layers: 2,
         num_classes: db.num_classes(),
     };
-    let (model, _) =
-        train(&db, cfg, &split, TrainOptions { epochs: 40, lr: 0.01, seed: 23, patience: 0 });
+    let (model, _) = train(
+        &db,
+        cfg,
+        &split,
+        TrainOptions { epochs: 40, lr: 0.01, seed: 23, patience: 0, ..Default::default() },
+    );
     for (a, b) in db.graphs().iter().zip(back.graphs()).take(12) {
         assert_eq!(model.predict(a), model.predict(b));
     }

@@ -18,7 +18,7 @@ fn trained() -> (GraphDatabase, gvex::gnn::GcnModel, Split) {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let opts = TrainOptions { epochs: 120, lr: 0.01, seed: 7, patience: 0 };
+    let opts = TrainOptions { epochs: 120, lr: 0.01, seed: 7, patience: 0, ..Default::default() };
     let (model, _) = train(&db, cfg, &split, opts);
     (db, model, split)
 }

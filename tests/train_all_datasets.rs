@@ -14,7 +14,7 @@ fn train_kind(kind: DatasetKind, epochs: usize, lr: f32) -> f32 {
         layers: 3,
         num_classes: db.num_classes(),
     };
-    let opts = TrainOptions { epochs, lr, seed: 42, patience: 0 };
+    let opts = TrainOptions { epochs, lr, seed: 42, patience: 0, ..Default::default() };
     let (model, report) = train(&db, cfg, &split, opts);
     // evaluate on everything (small sets make held-out test noisy)
     let all: Vec<usize> = (0..db.len()).collect();
