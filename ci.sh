@@ -26,6 +26,15 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --workspace --release
 
+# The whole test suite again under each pinned kernel backend: the default
+# run above exercises auto-dispatch; these two prove every suite holds under
+# either backend (the differential suites compare them from the inside).
+echo "==> cargo test (GVEX_BACKEND=scalar)"
+GVEX_BACKEND=scalar cargo test -q --workspace --release
+
+echo "==> cargo test (GVEX_BACKEND=simd)"
+GVEX_BACKEND=simd cargo test -q --workspace --release
+
 if [[ "${1:-}" != "--fast" ]]; then
     echo "==> bench smoke (writes BENCH_hotpaths.json + OBS_report.json)"
     cargo run -q --release -p gvex-bench --bin hotpaths
@@ -68,6 +77,23 @@ btrain = bench["batched_train_epoch"]
 if btrain["speedup"] < 1.5:
     raise SystemExit(f"bench gate: mini-batch training speedup {btrain['speedup']:.2f}x below the 1.5x gate")
 
+# Kernel-backend races: the simd backend must beat the scalar reference
+# at the shapes the trainer actually runs.
+for section, floor in (("simd_matmul", 1.5), ("simd_spmm", 1.5), ("simd_segmented", 1.2)):
+    kb = bench[section]
+    if kb["speedup"] < floor:
+        raise SystemExit(f"bench gate: {section} speedup {kb['speedup']:.2f}x below the {floor}x gate ({kb['shape']})")
+
+parity = bench["backend_parity"]
+if not parity["selections_identical"]:
+    raise SystemExit("bench gate: explain selections differ between kernel backends")
+if not parity["labels_identical"]:
+    raise SystemExit("bench gate: predicted labels differ between kernel backends")
+if parity["max_proba_diff"] > 1e-5:
+    raise SystemExit(f"bench gate: backend probability divergence {parity['max_proba_diff']:.2e} above 1e-5")
+if parity["max_grad_diff"] > 1e-5:
+    raise SystemExit(f"bench gate: backend gradient divergence {parity['max_grad_diff']:.2e} above 1e-5")
+
 # The matching-engine counters are exercised by the bench's obs epilogue
 # (tiny CLI graphs never reach the bitset/truncation/reuse paths).
 counters = json.load(open("OBS_report.json"))["counters"]
@@ -75,7 +101,7 @@ for required in ("iso.vf2.frontier_prunes", "iso.vf2.truncated", "mining.pgen.em
     if counters.get(required, 0) <= 0:
         raise SystemExit(f"bench gate: counter {required!r} missing or zero in OBS_report.json")
 
-print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x, batched forward {bforward['speedup']:.2f}x, mini-batch train {btrain['speedup']:.2f}x — OK")
+print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x, batched forward {bforward['speedup']:.2f}x, mini-batch train {btrain['speedup']:.2f}x, backends {bench['simd_matmul']['speedup']:.2f}x/{bench['simd_spmm']['speedup']:.2f}x/{bench['simd_segmented']['speedup']:.2f}x — OK")
 PY
 fi
 
@@ -103,6 +129,11 @@ if not any(name.startswith("gnn.trace_cache.") for name in counters):
     sys.exit("obs smoke: no gnn.trace_cache.* counters recorded")
 if not any(name.startswith("linalg.matmul.dispatch.") for name in counters):
     sys.exit("obs smoke: no linalg.matmul.dispatch.* counters recorded")
+if not any(name.startswith("linalg.backend.dispatch.") for name in counters):
+    sys.exit("obs smoke: no linalg.backend.dispatch.* counters recorded")
+selected = [name for name in counters if name.startswith("linalg.backend.selected.")]
+if len(selected) != 1:
+    sys.exit(f"obs smoke: expected exactly one linalg.backend.selected.* counter, got {selected}")
 
 print(f"obs smoke: {len(paths)} span paths, {len(counters)} counters — OK")
 PY

@@ -38,6 +38,15 @@
 //!    passes with the same precomputed operators (target ≥ 2× at batch
 //!    32), and mini-batch training (`batch_size = 16`) vs per-graph
 //!    steps over identical epochs (target ≥ 1.5×).
+//! 7. Kernel-backend races (`gvex_linalg::backend`): the same call sites
+//!    run under `GVEX_BACKEND=scalar` (reference loops) and `simd`
+//!    (autovectorized lane kernels) via `set_active`, switched inside each
+//!    race arm — 256³ dense matmul, block-diagonal SpMM on a packed
+//!    operator, and the segmented column-sum readout (targets ≥ 1.5×,
+//!    ≥ 1.5×, ≥ 1.2×). A final parity section trains a model, then checks
+//!    the two backends agree end to end: explain-view node selections
+//!    identical, predicted labels identical, class probabilities and
+//!    training gradients within 1e-5.
 
 use gvex_core::exact::{greedy_selection, streaming_selection};
 use gvex_core::verify::verify_view_with;
@@ -49,6 +58,7 @@ use gvex_iso::{
     for_each_embedding, for_each_embedding_reference, for_each_embedding_with_index, MatchIndex,
     MatchOptions,
 };
+use gvex_linalg::backend::{self, BackendKind};
 use gvex_linalg::Matrix;
 use gvex_mining::MiningConfig;
 use rand::{Rng, SeedableRng};
@@ -185,6 +195,34 @@ struct BatchedTrainBench {
     speedup: f64,
 }
 
+/// One hot kernel raced through its normal call site under the `scalar`
+/// and `simd` backends (switched with `backend::set_active` inside each
+/// race arm, restored from the environment afterwards).
+#[derive(Serialize)]
+struct BackendKernelBench {
+    /// Human-readable problem shape, e.g. `"256x256x256"`.
+    shape: String,
+    backend_scalar_secs: f64,
+    backend_simd_secs: f64,
+    speedup: f64,
+}
+
+/// End-to-end agreement between the two kernel backends on a trained
+/// model: explanation selections and labels must be identical; class
+/// probabilities and training gradients within the 1e-5 pin.
+#[derive(Serialize)]
+struct BackendParityBench {
+    graphs: usize,
+    /// Explain-view node selections (per label, per graph) are identical.
+    selections_identical: bool,
+    /// Predicted labels over the whole database are identical.
+    labels_identical: bool,
+    /// Max |Δ| across all per-graph class probabilities.
+    max_proba_diff: f32,
+    /// Max |Δ| across one batched backward's gradient matrices.
+    max_grad_diff: f32,
+}
+
 #[derive(Serialize)]
 struct Report {
     matmul_256: MatmulBench,
@@ -196,6 +234,10 @@ struct Report {
     explain_session: ExplainSessionBench,
     batched_forward: BatchedForwardBench,
     batched_train_epoch: BatchedTrainBench,
+    simd_matmul: BackendKernelBench,
+    simd_spmm: BackendKernelBench,
+    simd_segmented: BackendKernelBench,
+    backend_parity: BackendParityBench,
 }
 
 /// Interleaved min-of-`rounds` timing of two closures: `a` and `b` alternate
@@ -703,6 +745,202 @@ fn bench_batched_train() -> BatchedTrainBench {
     }
 }
 
+/// Races one closure pair where each arm pins its kernel backend first:
+/// the store is an atomic write, negligible against the kernels measured
+/// here, and interleaving keeps drift from biasing either backend.
+fn race_backends<F: FnMut(), G: FnMut()>(rounds: usize, mut scalar: F, mut simd: G) -> (f64, f64) {
+    let out = race(
+        rounds,
+        || {
+            backend::set_active(BackendKind::Scalar);
+            scalar();
+        },
+        || {
+            backend::set_active(BackendKind::Simd);
+            simd();
+        },
+    );
+    backend::refresh_from_env();
+    out
+}
+
+fn bench_simd_matmul() -> BackendKernelBench {
+    const N: usize = 256;
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let a = random_matrix(N, N, &mut rng);
+    let b = random_matrix(N, N, &mut rng);
+    // one output scratch per arm (reused across rounds, like the trainer)
+    let mut out_s = Matrix::zeros(0, 0);
+    let mut out_v = Matrix::zeros(0, 0);
+    backend::set_active(BackendKind::Scalar);
+    a.matmul_into(&b, &mut out_s);
+    backend::set_active(BackendKind::Simd);
+    a.matmul_into(&b, &mut out_v);
+    let (scalar_secs, simd_secs) = race_backends(
+        7,
+        || {
+            a.matmul_into(black_box(&b), &mut out_s);
+            black_box(&out_s);
+        },
+        || {
+            a.matmul_into(black_box(&b), &mut out_v);
+            black_box(&out_v);
+        },
+    );
+    BackendKernelBench {
+        shape: format!("{N}x{N}x{N}"),
+        backend_scalar_secs: scalar_secs,
+        backend_simd_secs: simd_secs,
+        speedup: scalar_secs / simd_secs,
+    }
+}
+
+fn bench_simd_spmm() -> BackendKernelBench {
+    // a training-shaped workload: 24 medium graphs packed into one
+    // block-diagonal operator, propagated against hidden-width features
+    const BLOCKS: usize = 24;
+    const COLS: usize = 64;
+    let graphs: Vec<Graph> = (0..BLOCKS).map(|i| ring_graph(60 + i % 9, 4)).collect();
+    let adjs: Vec<NormAdj> = graphs.iter().map(NormAdj::new).collect();
+    let block = NormAdj::block_diagonal(adjs.iter());
+    let total = block.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let x = random_matrix(total, COLS, &mut rng);
+    let mut out_s = Matrix::zeros(0, 0);
+    let mut out_v = Matrix::zeros(0, 0);
+    backend::set_active(BackendKind::Scalar);
+    block.matmul_into(&x, &mut out_s);
+    backend::set_active(BackendKind::Simd);
+    block.matmul_into(&x, &mut out_v);
+    let (scalar_secs, simd_secs) = race_backends(
+        15,
+        || {
+            block.matmul_into(black_box(&x), &mut out_s);
+            black_box(&out_s);
+        },
+        || {
+            block.matmul_into(black_box(&x), &mut out_v);
+            black_box(&out_v);
+        },
+    );
+    BackendKernelBench {
+        shape: format!("{BLOCKS} blocks, {total}x{COLS}"),
+        backend_scalar_secs: scalar_secs,
+        backend_simd_secs: simd_secs,
+        speedup: scalar_secs / simd_secs,
+    }
+}
+
+fn bench_simd_segmented() -> BackendKernelBench {
+    // readout-shaped: many small segments over a cache-resident stacked
+    // matrix. The allocation the public wrapper performs per call would
+    // drown the kernel at this size, so the race goes through the static
+    // backend handles with preallocated outputs, repeated enough times per
+    // round to rise above timer noise.
+    const ROWS: usize = 4096;
+    const COLS: usize = 32;
+    const REPS: usize = 40;
+    let mut rng = ChaCha8Rng::seed_from_u64(37);
+    let x = random_matrix(ROWS, COLS, &mut rng);
+    let mut offsets = vec![0usize];
+    while *offsets.last().expect("nonempty") < ROWS {
+        let next = (offsets.last().expect("nonempty") + rng.gen_range(8..48)).min(ROWS);
+        offsets.push(next);
+    }
+    let segments = offsets.len() - 1;
+    let scalar = backend::backend(BackendKind::Scalar);
+    let simd = backend::backend(BackendKind::Simd);
+    let mut out_s = Matrix::zeros(segments, COLS);
+    let mut out_v = Matrix::zeros(segments, COLS);
+    scalar.segmented_col_sum(&x, &offsets, &mut out_s);
+    simd.segmented_col_sum(&x, &offsets, &mut out_v);
+    let (scalar_secs, simd_secs) = race(
+        25,
+        || {
+            for _ in 0..REPS {
+                scalar.segmented_col_sum(black_box(&x), &offsets, &mut out_s);
+            }
+            black_box(&out_s);
+        },
+        || {
+            for _ in 0..REPS {
+                simd.segmented_col_sum(black_box(&x), &offsets, &mut out_v);
+            }
+            black_box(&out_v);
+        },
+    );
+    BackendKernelBench {
+        shape: format!("{ROWS}x{COLS}, {segments} segments"),
+        backend_scalar_secs: scalar_secs / REPS as f64,
+        backend_simd_secs: simd_secs / REPS as f64,
+        speedup: scalar_secs / simd_secs,
+    }
+}
+
+/// One view's selections: its label plus each subgraph's
+/// `(graph_index, node ids)`.
+type ViewSignature = (usize, Vec<(usize, Vec<usize>)>);
+
+/// The explain-view selections as comparable data.
+fn selection_signature(set: &gvex_core::ExplanationViewSet) -> Vec<ViewSignature> {
+    set.views
+        .iter()
+        .map(|v| (v.label, v.subgraphs.iter().map(|s| (s.graph_index, s.nodes.clone())).collect()))
+        .collect()
+}
+
+fn bench_backend_parity() -> BackendParityBench {
+    // same recipe as the end-to-end explain bench: a motif-vs-plain
+    // database and a model trained to tell them apart (under the default
+    // backend)
+    let mut db = GraphDatabase::new(vec!["plain".into(), "motif".into()]);
+    for i in 0..8 {
+        db.push(plain_graph(6 + i % 3), 0);
+        db.push(motif_graph(5 + i % 3), 1);
+    }
+    let split =
+        Split { train: (0..db.len()).collect(), val: (0..db.len()).collect(), test: vec![] };
+    let gcfg = GcnConfig { input_dim: 3, hidden: 8, layers: 2, num_classes: 2 };
+    let opts = TrainOptions { epochs: 60, lr: 0.01, seed: 3, patience: 0, ..Default::default() };
+    let (model, _) = train(&db, gcfg, &split, opts);
+    let labels: Vec<usize> = vec![0, 1];
+    let cfg = Configuration::uniform(0.05, 0.3, 0.5, 0, 4);
+    let views: Vec<GraphRef> = db.graphs().iter().map(|g| g.view()).collect();
+    let targets: Vec<usize> = db.truth().to_vec();
+
+    let run = || {
+        let explained = explain_database(&model, &db, &labels, &cfg, 1);
+        let predicted = model.predict_batch(&views);
+        let probas = model.predict_proba_batch(&views);
+        let batch = GraphBatch::pack(&model, &views);
+        let grads = model.backward_batch(&model.forward_batch(&batch), &targets);
+        (selection_signature(&explained), predicted, probas, grads)
+    };
+    backend::set_active(BackendKind::Scalar);
+    let (sel_s, lab_s, proba_s, grads_s) = run();
+    backend::set_active(BackendKind::Simd);
+    let (sel_v, lab_v, proba_v, grads_v) = run();
+    backend::refresh_from_env();
+
+    let max_proba_diff = proba_s
+        .iter()
+        .flatten()
+        .zip(proba_v.iter().flatten())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let grad_pairs = grads_s.conv.iter().zip(&grads_v.conv).chain([(&grads_s.fc_w, &grads_v.fc_w)]);
+    let max_grad_diff = grad_pairs
+        .flat_map(|(a, b)| a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()))
+        .fold(0.0f32, f32::max);
+    BackendParityBench {
+        graphs: db.len(),
+        selections_identical: sel_s == sel_v,
+        labels_identical: lab_s == lab_v,
+        max_proba_diff,
+        max_grad_diff,
+    }
+}
+
 fn main() {
     eprintln!("[hotpaths] matmul 256^3 ...");
     let matmul = bench_matmul();
@@ -803,6 +1041,51 @@ fn main() {
         if batched_train.speedup >= 1.5 { "(>= 1.5x target met)" } else { "(BELOW 1.5x target)" }
     );
 
+    eprintln!("[hotpaths] backend race: dense matmul ...");
+    let simd_matmul = bench_simd_matmul();
+    eprintln!(
+        "[hotpaths]   {}: scalar {:.4}s, simd {:.4}s, speedup {:.2}x {}",
+        simd_matmul.shape,
+        simd_matmul.backend_scalar_secs,
+        simd_matmul.backend_simd_secs,
+        simd_matmul.speedup,
+        if simd_matmul.speedup >= 1.5 { "(>= 1.5x target met)" } else { "(BELOW 1.5x target)" }
+    );
+
+    eprintln!("[hotpaths] backend race: block-diagonal spmm ...");
+    let simd_spmm = bench_simd_spmm();
+    eprintln!(
+        "[hotpaths]   {}: scalar {:.4}s, simd {:.4}s, speedup {:.2}x {}",
+        simd_spmm.shape,
+        simd_spmm.backend_scalar_secs,
+        simd_spmm.backend_simd_secs,
+        simd_spmm.speedup,
+        if simd_spmm.speedup >= 1.5 { "(>= 1.5x target met)" } else { "(BELOW 1.5x target)" }
+    );
+
+    eprintln!("[hotpaths] backend race: segmented readout ...");
+    let simd_segmented = bench_simd_segmented();
+    eprintln!(
+        "[hotpaths]   {}: scalar {:.4}s, simd {:.4}s, speedup {:.2}x {}",
+        simd_segmented.shape,
+        simd_segmented.backend_scalar_secs,
+        simd_segmented.backend_simd_secs,
+        simd_segmented.speedup,
+        if simd_segmented.speedup >= 1.2 { "(>= 1.2x target met)" } else { "(BELOW 1.2x target)" }
+    );
+
+    eprintln!("[hotpaths] backend parity: explain + train under both backends ...");
+    let backend_parity = bench_backend_parity();
+    eprintln!(
+        "[hotpaths]   {} graphs: selections {}, labels {}, \
+         max proba diff {:.2e}, max grad diff {:.2e}",
+        backend_parity.graphs,
+        if backend_parity.selections_identical { "identical" } else { "DIVERGED" },
+        if backend_parity.labels_identical { "identical" } else { "DIVERGED" },
+        backend_parity.max_proba_diff,
+        backend_parity.max_grad_diff
+    );
+
     let report = Report {
         matmul_256: matmul,
         realized_jacobian_128: jac,
@@ -813,6 +1096,10 @@ fn main() {
         explain_session: session,
         batched_forward,
         batched_train_epoch: batched_train,
+        simd_matmul,
+        simd_spmm,
+        simd_segmented,
+        backend_parity,
     };
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json");
     let text = serde_json::to_string_pretty(&report).expect("serializable report");

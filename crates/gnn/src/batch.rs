@@ -22,7 +22,8 @@
 //! [`GcnModel::classify_database`] database-wide inference.
 //!
 //! Per-graph rows of the batched SpMM are bitwise identical to the
-//! per-graph [`NormAdj::matmul`]; the *dense* products may tile differently
+//! per-graph [`NormAdj::matmul`] (both run the same
+//! [`gvex_linalg::backend`] kernel); the *dense* products may tile differently
 //! at batch shapes, so batched logits agree with the per-graph path to
 //! FP rounding (≪ 1e-5, pinned by `tests/batched.rs`), not bitwise. The
 //! per-graph path itself is untouched — `batch_size = 1` training and
@@ -183,8 +184,10 @@ impl GcnModel {
         let mut act = Vec::with_capacity(layers + 1);
         let mut pre = Vec::with_capacity(layers);
         act.push(batch.features.clone());
+        // one propagation scratch reused across layers (reshaped in place)
+        let mut propagated = Matrix::zeros(0, 0);
         for i in 0..layers {
-            let propagated = batch.adj.matmul(act.last().expect("nonempty"));
+            batch.adj.matmul_into(act.last().expect("nonempty"), &mut propagated);
             let z = propagated.matmul(self.conv_weight(i));
             act.push(ops::relu(&z));
             pre.push(z);
@@ -286,9 +289,10 @@ impl GcnModel {
         // sweep, over stacked activations: every transpose-matmul sums the
         // whole batch's contribution to the layer's weight gradient.
         let mut conv_grads = vec![Matrix::zeros(0, 0); cfg.layers];
+        let mut propagated = Matrix::zeros(0, 0);
         for i in (0..cfg.layers).rev() {
             let g_z = ops::relu_backward(&trace.pre[i], &g_h);
-            let propagated = trace.adj.matmul(&trace.act[i]);
+            trace.adj.matmul_into(&trace.act[i], &mut propagated);
             conv_grads[i] = propagated.transpose().matmul(&g_z);
             let g_prop = g_z.matmul(&self.conv_weight(i).transpose());
             g_h = trace.adj.matmul_transpose(&g_prop);

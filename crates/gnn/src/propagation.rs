@@ -7,7 +7,7 @@
 //! symmetrized for propagation, matching PyG's default `GCNConv` treatment.
 
 use gvex_graph::GraphRef;
-use gvex_linalg::kernels::accumulate_row_sum;
+use gvex_linalg::backend::{self, Kernel};
 use gvex_linalg::Matrix;
 use rayon::prelude::*;
 
@@ -196,17 +196,18 @@ impl NormAdj {
 
     /// Dense product `Ã · X`.
     pub fn matmul(&self, x: &Matrix) -> Matrix {
-        assert_eq!(self.rows.len(), x.rows(), "NormAdj/matrix shape mismatch");
-        let mut out = Matrix::zeros(x.rows(), x.cols());
-        for (u, row) in self.rows.iter().enumerate() {
-            let out_row = out.row_mut(u);
-            for &(v, w) in row {
-                for (o, &xv) in out_row.iter_mut().zip(x.row(v)) {
-                    *o += w * xv;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(x, &mut out);
         out
+    }
+
+    /// [`Self::matmul`] writing into a caller-owned output matrix (reshaped
+    /// with its allocation reused), dispatched through the active
+    /// [`gvex_linalg::backend`]. The layer loops of the batched trainer use
+    /// this to reuse one propagation scratch across epochs.
+    pub fn matmul_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows.len(), x.rows(), "NormAdj/matrix shape mismatch");
+        backend::dispatch(Kernel::Spmm).spmm_into(&self.rows, x, out);
     }
 
     /// Dense product `(I_B ⊗ Ã) · X`: applies `Ã` independently to each of
@@ -215,9 +216,10 @@ impl NormAdj {
     /// forward-mode seed in one call. Blocks fan out across rayon workers;
     /// each output row has exactly one writer with a fixed accumulation
     /// order, so results are bitwise independent of the thread count. The
-    /// inner kernel accumulates neighbour contributions in registers with
-    /// `mul_add`, so entries can differ from [`Self::matmul`] by FMA
-    /// rounding (≪ 1e-6 relative).
+    /// per-row inner kernel is the active backend's (the default `simd`
+    /// backend accumulates neighbour contributions in registers with
+    /// `mul_add`), so entries can differ from a `scalar`-backend
+    /// [`Self::matmul`] by FMA rounding (≪ 1e-6 relative).
     pub fn matmul_blocks(&self, x: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(0, 0);
         self.matmul_blocks_into(x, &mut out);
@@ -248,6 +250,7 @@ impl NormAdj {
             return;
         }
         let src = x.as_slice();
+        let kernel = backend::dispatch(Kernel::SpmmBlocks);
         let run_block = |(b, chunk): (usize, &mut [f32])| {
             let x_block = &src[b * block_len..(b + 1) * block_len];
             let live_in: Vec<bool> = (0..n)
@@ -261,7 +264,7 @@ impl NormAdj {
                     continue; // output row stays zero
                 }
                 let out_row = &mut chunk[u * cols..(u + 1) * cols];
-                accumulate_row_sum(out_row, x_block, &filtered, cols);
+                kernel.spmm_row(out_row, x_block, &filtered, cols);
             }
         };
         // blocks × nnz × cols multiply-adds, assuming every row live
@@ -281,16 +284,8 @@ impl NormAdj {
     /// masked variant can be asymmetric, so backprop uses this explicitly.
     pub fn matmul_transpose(&self, x: &Matrix) -> Matrix {
         assert_eq!(self.rows.len(), x.rows(), "NormAdj/matrix shape mismatch");
-        let mut out = Matrix::zeros(x.rows(), x.cols());
-        for (u, row) in self.rows.iter().enumerate() {
-            let x_row = x.row(u);
-            for &(v, w) in row {
-                let out_row = out.row_mut(v);
-                for (o, &xu) in out_row.iter_mut().zip(x_row) {
-                    *o += w * xu;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        backend::dispatch(Kernel::SpmmTranspose).spmm_transpose_into(&self.rows, x, &mut out);
         out
     }
 

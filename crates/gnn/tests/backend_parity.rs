@@ -1,0 +1,110 @@
+//! End-to-end backend parity: the whole GCN stack — propagation, dense
+//! products, activations, readout, loss, backward — run once per kernel
+//! backend must select the same labels and agree on every float to ≤ 1e-5.
+//!
+//! This is the model-level counterpart of the per-kernel differential suite
+//! in `gvex-linalg/tests/backend.rs`: it exercises the *composition* of the
+//! dispatched kernels (FMA rounding compounding across layers) instead of
+//! each kernel in isolation.
+//!
+//! The backend override is process-global, so everything lives in a single
+//! `#[test]` — this file must not grow concurrent tests that race
+//! `set_active`.
+
+use gvex_gnn::batch::GraphBatch;
+use gvex_gnn::model::{GcnConfig, GcnModel, Readout};
+use gvex_graph::{Graph, GraphRef};
+use gvex_linalg::backend::{self, BackendKind};
+use gvex_linalg::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn ring(n: usize, dim: usize, tag: f32) -> Graph {
+    let mut b = Graph::builder(false);
+    for v in 0..n {
+        let mut f = vec![0.1 * tag; dim];
+        f[v % dim] = 1.0 + tag;
+        b.add_node((v % 3) as u32, &f);
+    }
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n, 0);
+    }
+    b.build()
+}
+
+fn max_matrix_diff(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape());
+    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max)
+}
+
+struct Outcome {
+    labels: Vec<usize>,
+    logits: Matrix,
+    conv_grads: Vec<Matrix>,
+    fc_w_grad: Matrix,
+    stepped: Vec<Matrix>,
+}
+
+/// One full pass — batched forward, backward, and an optimizer step — on a
+/// fixed model and batch, under whichever backend is currently active.
+fn run_stack(model: &GcnModel, views: &[GraphRef<'_>], targets: &[usize]) -> Outcome {
+    let batch = GraphBatch::pack(model, views);
+    let trace = model.forward_batch(&batch);
+    let grads = model.backward_batch(&trace, targets);
+    // a few Adam steps over the first conv weight exercise the update kernel
+    let mut param = model.conv_weight(0).clone();
+    let mut opt = gvex_linalg::Adam::with_lr(param.rows(), param.cols(), 1e-2);
+    for _ in 0..3 {
+        opt.step(&mut param, &grads.conv[0]);
+    }
+    Outcome {
+        labels: trace.labels(),
+        logits: trace.logits.clone(),
+        conv_grads: grads.conv,
+        fc_w_grad: grads.fc_w,
+        stepped: vec![param],
+    }
+}
+
+#[test]
+fn scalar_and_simd_backends_agree_end_to_end() {
+    let graphs: Vec<Graph> =
+        vec![ring(7, 5, 0.0), ring(3, 5, 0.5), ring(12, 5, 1.0), ring(4, 5, 1.5), ring(9, 5, 2.0)];
+    let views: Vec<GraphRef<'_>> = graphs.iter().map(|g| g.view()).collect();
+    let targets = [0usize, 1, 0, 1, 1];
+
+    for readout in [Readout::Max, Readout::Mean, Readout::Sum] {
+        let cfg = GcnConfig { input_dim: 5, hidden: 8, layers: 2, num_classes: 2 };
+        let model = GcnModel::new(cfg, &mut ChaCha8Rng::seed_from_u64(11)).with_readout(readout);
+
+        backend::set_active(BackendKind::Scalar);
+        let scalar = run_stack(&model, &views, &targets);
+        backend::set_active(BackendKind::Simd);
+        let simd = run_stack(&model, &views, &targets);
+        backend::refresh_from_env();
+
+        // selections must be identical — never just "close"
+        assert_eq!(scalar.labels, simd.labels, "{readout:?}: labels diverged across backends");
+        assert!(
+            max_matrix_diff(&scalar.logits, &simd.logits) < 1e-5,
+            "{readout:?}: logits diverged beyond the 1e-5 pin"
+        );
+        for (i, (a, b)) in scalar.conv_grads.iter().zip(&simd.conv_grads).enumerate() {
+            assert!(max_matrix_diff(a, b) < 1e-5, "{readout:?}: conv grad {i} diverged");
+        }
+        assert!(max_matrix_diff(&scalar.fc_w_grad, &simd.fc_w_grad) < 1e-5, "{readout:?}: fc_w");
+        for (a, b) in scalar.stepped.iter().zip(&simd.stepped) {
+            // Adam itself is bitwise; the bound is the gradient difference
+            // feeding it plus three compounding steps
+            assert!(max_matrix_diff(a, b) < 1e-4, "{readout:?}: stepped weights diverged");
+        }
+
+        // per-graph (non-batched) path under both backends, same contract
+        backend::set_active(BackendKind::Scalar);
+        let single_scalar: Vec<usize> = graphs.iter().map(|g| model.predict(g)).collect();
+        backend::set_active(BackendKind::Simd);
+        let single_simd: Vec<usize> = graphs.iter().map(|g| model.predict(g)).collect();
+        backend::refresh_from_env();
+        assert_eq!(single_scalar, single_simd, "{readout:?}: per-graph labels diverged");
+    }
+}

@@ -5,6 +5,7 @@
 //! correction. One [`Adam`] instance tracks first/second-moment state for one
 //! parameter matrix.
 
+use crate::backend::{self, AdamParams, Kernel};
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -49,25 +50,29 @@ impl Adam {
     }
 
     /// Applies one Adam update to `param` given gradient `grad`.
+    ///
+    /// The element-wise update runs on the active [`crate::backend`]; the
+    /// per-element formula is fixed, so every backend produces bitwise
+    /// identical parameters.
     pub fn step(&mut self, param: &mut Matrix, grad: &Matrix) {
         assert_eq!(param.shape(), self.m.shape(), "Adam shape mismatch");
         assert_eq!(param.shape(), grad.shape(), "Adam gradient shape mismatch");
         self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
-        for ((p, m), (v, g)) in param
-            .as_mut_slice()
-            .iter_mut()
-            .zip(self.m.as_mut_slice())
-            .zip(self.v.as_mut_slice().iter_mut().zip(grad.as_slice()))
-        {
-            *m = b1 * *m + (1.0 - b1) * g;
-            *v = b2 * *v + (1.0 - b2) * g * g;
-            let m_hat = *m / b1t;
-            let v_hat = *v / b2t;
-            *p -= lr * m_hat / (v_hat.sqrt() + eps);
-        }
+        let hp = AdamParams {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            bias1: 1.0 - self.beta1.powi(self.t as i32),
+            bias2: 1.0 - self.beta2.powi(self.t as i32),
+            eps: self.eps,
+        };
+        backend::dispatch(Kernel::Adam).adam_update(
+            param.as_mut_slice(),
+            grad.as_slice(),
+            self.m.as_mut_slice(),
+            self.v.as_mut_slice(),
+            &hp,
+        );
     }
 }
 

@@ -1,0 +1,745 @@
+//! Runtime-dispatched kernel backends.
+//!
+//! Every hot kernel in the numeric stack — dense matmul, the sparse
+//! propagation products, segmented readout reductions, activations, and the
+//! Adam update — is reachable through exactly one [`KernelBackend`], so the
+//! whole compute stack can be re-pointed at a different kernel family
+//! without touching a call site. Two implementations exist today:
+//!
+//! * [`ScalarBackend`] — the plain reference loops. This is the
+//!   *differential pin*: simple enough to audit by eye, bitwise-stable, and
+//!   what every other backend is property-tested against
+//!   (`crates/linalg/tests/backend.rs`).
+//! * [`SimdBackend`] — tiled / register-blocked lane kernels built on safe
+//!   fixed-width chunking (`chunks_exact` + `f32::mul_add`), which the
+//!   compiler autovectorizes; no `unsafe`, no intrinsics, no new
+//!   dependencies. This is the default.
+//!
+//! The active backend is chosen once per process from `GVEX_BACKEND`
+//! (`auto` | `scalar` | `simd`, parsed by [`gvex_obs::env::choice`]) and
+//! cached in an atomic, mirroring the `GVEX_OBS` toggle; [`set_active`]
+//! overrides it in process for benches and differential tests. `auto`
+//! resolves to [`SimdBackend`]: the lane kernels are safe Rust on every
+//! target, so there is no feature detection to do — the indirection exists
+//! for pinning, for differential testing, and for the mixed-precision /
+//! accelerator backends the roadmap plans.
+//!
+//! # Tolerance policy
+//!
+//! `relu` / `relu_backward`, the segmented reductions (including argmax
+//! ties), and the Adam update are **bitwise identical** across backends:
+//! their lane kernels keep the per-element operation and per-column
+//! accumulation order unchanged. The matmuls, sparse products, and softmax
+//! normalization reassociate sums or fuse multiply-adds, so they agree with
+//! the scalar backend to ≤ 1e-5 absolute on unit-scale inputs (pinned by
+//! the differential suite). Selections and labels must never differ — the
+//! parity section of `BENCH_hotpaths.json` gates that end to end.
+
+use crate::matrix::Matrix;
+use crate::{matrix, ops};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// Identity of a kernel backend (the census label and `GVEX_BACKEND` value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Plain reference loops — the differential pin.
+    Scalar,
+    /// Tiled / register-blocked lane kernels (the default).
+    Simd,
+}
+
+impl BackendKind {
+    /// The census / `GVEX_BACKEND` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Simd => "simd",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            BackendKind::Scalar => 1,
+            BackendKind::Simd => 2,
+        }
+    }
+}
+
+/// Hyper-parameters of one Adam update step, bias-correction terms
+/// precomputed by the caller (`bias1 = 1 - β₁ᵗ`, `bias2 = 1 - β₂ᵗ`).
+#[derive(Clone, Copy, Debug)]
+pub struct AdamParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// `1 - β₁ᵗ` at the current step.
+    pub bias1: f32,
+    /// `1 - β₂ᵗ` at the current step.
+    pub bias2: f32,
+    /// Denominator stabilizer ε.
+    pub eps: f32,
+}
+
+/// The hot-kernel surface of the numeric stack. Orchestration (shape
+/// checks, sparsity censuses, rayon fan-out decisions) stays with the
+/// callers; implementations provide the inner arithmetic.
+pub trait KernelBackend: Send + Sync {
+    /// Which backend this is (drives the dispatch census labels).
+    fn kind(&self) -> BackendKind;
+
+    /// Dense product `lhs · rhs` into `out` (reshaped and overwritten,
+    /// allocation reused). Shapes are validated by the caller.
+    fn matmul_into(&self, lhs: &Matrix, rhs: &Matrix, out: &mut Matrix);
+
+    /// Sparse × dense product: `out[u] = Σ_{(v, w) ∈ rows[u]} w · x[v]`,
+    /// with `out` reshaped to `x`'s shape and overwritten.
+    fn spmm_into(&self, rows: &[Vec<(usize, f32)>], x: &Matrix, out: &mut Matrix);
+
+    /// The per-row primitive of the block-diagonal SpMM: overwrites
+    /// `out_row` (length `cols`) with `Σ (r, s) ∈ terms: s · src_row(r)`
+    /// where `src_row(r) = src[r·cols .. (r+1)·cols]`. Empty `terms` writes
+    /// zeros.
+    fn spmm_row(&self, out_row: &mut [f32], src: &[f32], terms: &[(usize, f32)], cols: usize);
+
+    /// Transposed sparse × dense product: scatters `w · x[u]` into
+    /// `out[v]` for every `(v, w) ∈ rows[u]`; `out` is reshaped to `x`'s
+    /// shape and overwritten.
+    fn spmm_transpose_into(&self, rows: &[Vec<(usize, f32)>], x: &Matrix, out: &mut Matrix);
+
+    /// Per-segment column sums into the pre-shaped `K × cols` matrix `out`
+    /// (zeroed by the caller; empty segments stay zero). Offsets are
+    /// validated by the caller.
+    fn segmented_col_sum(&self, x: &Matrix, offsets: &[usize], out: &mut Matrix);
+
+    /// Per-segment column means: sums like [`Self::segmented_col_sum`],
+    /// then scales each segment row by `1 / len` — the same sum-then-scale
+    /// order as `Matrix::col_mean`, shared across backends.
+    fn segmented_col_mean(&self, x: &Matrix, offsets: &[usize], out: &mut Matrix) {
+        self.segmented_col_sum(x, offsets, out);
+        for k in 0..out.rows() {
+            let len = offsets[k + 1] - offsets[k];
+            if len > 0 {
+                let inv = 1.0 / len as f32;
+                for v in out.row_mut(k) {
+                    *v *= inv;
+                }
+            }
+        }
+    }
+
+    /// Per-segment column max with global argmax rows into the pre-shaped
+    /// `out` / `arg` (entry `k·cols + j`). Ties break toward the lower row;
+    /// empty segments yield a zero row with argmax pinned to `offsets[k]`.
+    /// Bitwise identical across backends (comparison order per column is
+    /// fixed).
+    fn segmented_col_max(&self, x: &Matrix, offsets: &[usize], out: &mut Matrix, arg: &mut [usize]);
+
+    /// In-place ReLU. Bitwise identical across backends.
+    fn relu(&self, x: &mut [f32]);
+
+    /// In-place ReLU VJP: zeroes `grad` wherever the pre-activation was
+    /// `<= 0`. Bitwise identical across backends.
+    fn relu_backward(&self, pre: &[f32], grad: &mut [f32]);
+
+    /// In-place numerically-stable softmax of one row. All backends share
+    /// the stable-exp core (`ops::stable_exp_in_place`); only the sum /
+    /// normalization may reassociate.
+    fn softmax_row(&self, row: &mut [f32]);
+
+    /// One Adam update over flattened parameter / gradient / moment slices
+    /// (equal lengths, validated by the caller). Bitwise identical across
+    /// backends — the per-element formula is fixed.
+    fn adam_update(
+        &self,
+        param: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        hp: &AdamParams,
+    );
+}
+
+/// Which kernel a dispatch census event is for (one counter per kernel per
+/// backend, mirroring the `LhsMode` census of the tiled matmul).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Dense `matmul_into`.
+    Matmul,
+    /// Whole-operator sparse product (`NormAdj::matmul`).
+    Spmm,
+    /// Block-diagonal sparse product (`NormAdj::matmul_blocks_into`).
+    SpmmBlocks,
+    /// Transposed sparse product (`NormAdj::matmul_transpose`).
+    SpmmTranspose,
+    /// Segmented column sum.
+    SegmentedSum,
+    /// Segmented column mean.
+    SegmentedMean,
+    /// Segmented column max.
+    SegmentedMax,
+    /// ReLU forward.
+    Relu,
+    /// ReLU backward.
+    ReluBackward,
+    /// Row softmax (both the matrix and single-slice entry points).
+    Softmax,
+    /// Adam update step.
+    Adam,
+}
+
+/// Counter name for one `(kernel, backend)` census cell — a closed literal
+/// table so the hot path never formats a string.
+fn dispatch_counter(kernel: Kernel, kind: BackendKind) -> &'static str {
+    use BackendKind::{Scalar, Simd};
+    match (kernel, kind) {
+        (Kernel::Matmul, Scalar) => "linalg.backend.dispatch.matmul.scalar",
+        (Kernel::Matmul, Simd) => "linalg.backend.dispatch.matmul.simd",
+        (Kernel::Spmm, Scalar) => "linalg.backend.dispatch.spmm.scalar",
+        (Kernel::Spmm, Simd) => "linalg.backend.dispatch.spmm.simd",
+        (Kernel::SpmmBlocks, Scalar) => "linalg.backend.dispatch.spmm_blocks.scalar",
+        (Kernel::SpmmBlocks, Simd) => "linalg.backend.dispatch.spmm_blocks.simd",
+        (Kernel::SpmmTranspose, Scalar) => "linalg.backend.dispatch.spmm_transpose.scalar",
+        (Kernel::SpmmTranspose, Simd) => "linalg.backend.dispatch.spmm_transpose.simd",
+        (Kernel::SegmentedSum, Scalar) => "linalg.backend.dispatch.segmented_sum.scalar",
+        (Kernel::SegmentedSum, Simd) => "linalg.backend.dispatch.segmented_sum.simd",
+        (Kernel::SegmentedMean, Scalar) => "linalg.backend.dispatch.segmented_mean.scalar",
+        (Kernel::SegmentedMean, Simd) => "linalg.backend.dispatch.segmented_mean.simd",
+        (Kernel::SegmentedMax, Scalar) => "linalg.backend.dispatch.segmented_max.scalar",
+        (Kernel::SegmentedMax, Simd) => "linalg.backend.dispatch.segmented_max.simd",
+        (Kernel::Relu, Scalar) => "linalg.backend.dispatch.relu.scalar",
+        (Kernel::Relu, Simd) => "linalg.backend.dispatch.relu.simd",
+        (Kernel::ReluBackward, Scalar) => "linalg.backend.dispatch.relu_backward.scalar",
+        (Kernel::ReluBackward, Simd) => "linalg.backend.dispatch.relu_backward.simd",
+        (Kernel::Softmax, Scalar) => "linalg.backend.dispatch.softmax.scalar",
+        (Kernel::Softmax, Simd) => "linalg.backend.dispatch.softmax.simd",
+        (Kernel::Adam, Scalar) => "linalg.backend.dispatch.adam.scalar",
+        (Kernel::Adam, Simd) => "linalg.backend.dispatch.adam.simd",
+    }
+}
+
+/// All kernels, for census-table tests.
+#[cfg(test)]
+const ALL_KERNELS: [Kernel; 11] = [
+    Kernel::Matmul,
+    Kernel::Spmm,
+    Kernel::SpmmBlocks,
+    Kernel::SpmmTranspose,
+    Kernel::SegmentedSum,
+    Kernel::SegmentedMean,
+    Kernel::SegmentedMax,
+    Kernel::Relu,
+    Kernel::ReluBackward,
+    Kernel::Softmax,
+    Kernel::Adam,
+];
+
+/// 0 = uninitialised (consult `GVEX_BACKEND`), otherwise a
+/// [`BackendKind::code`]. The same cached-atomic shape as the `GVEX_OBS`
+/// runtime toggle: one relaxed load on the dispatch path after first use.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the one-shot `linalg.backend.selected.*` counter has been
+/// emitted (only while observation is on, so an enabled run always reports
+/// the backend it actually dispatched to).
+static SELECTED_REPORTED: AtomicBool = AtomicBool::new(false);
+
+fn kind_from_env() -> BackendKind {
+    match gvex_obs::env::choice("GVEX_BACKEND", &["auto", "scalar", "simd"]) {
+        Some("scalar") => BackendKind::Scalar,
+        // `auto`, `simd`, unset, and typos (warned once) all resolve to the
+        // lane kernels: safe Rust everywhere, nothing to feature-detect.
+        _ => BackendKind::Simd,
+    }
+}
+
+/// The statically-known backend for `kind` (differential tests race both
+/// sides through these handles without touching the process-global choice).
+pub fn backend(kind: BackendKind) -> &'static dyn KernelBackend {
+    match kind {
+        BackendKind::Scalar => &ScalarBackend,
+        BackendKind::Simd => &SimdBackend,
+    }
+}
+
+/// The process-wide active backend. First use reads `GVEX_BACKEND`;
+/// afterwards this is a single relaxed atomic load.
+pub fn active() -> &'static dyn KernelBackend {
+    let kind = match ACTIVE.load(Ordering::Relaxed) {
+        1 => BackendKind::Scalar,
+        2 => BackendKind::Simd,
+        _ => {
+            let kind = kind_from_env();
+            ACTIVE.store(kind.code(), Ordering::Relaxed);
+            kind
+        }
+    };
+    backend(kind)
+}
+
+/// Overrides the active backend in process — benches race backends with
+/// this, and tests pin one side. Takes effect on the next [`active`] call.
+pub fn set_active(kind: BackendKind) {
+    ACTIVE.store(kind.code(), Ordering::Relaxed);
+}
+
+/// Re-reads `GVEX_BACKEND` and restores the environment-selected backend
+/// (undoes [`set_active`]).
+pub fn refresh_from_env() {
+    ACTIVE.store(kind_from_env().code(), Ordering::Relaxed);
+}
+
+/// The active backend for `kernel`, with the per-kernel / per-backend
+/// dispatch census updated — the one call every kernel wrapper goes
+/// through. The first observed dispatch also records which backend the
+/// process selected (`linalg.backend.selected.<name>`), so `OBS_report.json`
+/// names the backend a run executed on.
+pub fn dispatch(kernel: Kernel) -> &'static dyn KernelBackend {
+    let b = active();
+    if gvex_obs::enabled() {
+        let kind = b.kind();
+        gvex_obs::counter!(dispatch_counter(kernel, kind));
+        if !SELECTED_REPORTED.swap(true, Ordering::Relaxed) {
+            gvex_obs::counter!(match kind {
+                BackendKind::Scalar => "linalg.backend.selected.scalar",
+                BackendKind::Simd => "linalg.backend.selected.simd",
+            });
+        }
+    }
+    b
+}
+
+/// The plain reference loops: element-at-a-time arithmetic in a fixed
+/// order, with the exact per-element zero skip of the original kernels.
+/// Every other backend is differentially pinned against this one.
+pub struct ScalarBackend;
+
+impl KernelBackend for ScalarBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Scalar
+    }
+
+    fn matmul_into(&self, lhs: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+        matrix::matmul_into_scalar(lhs, rhs, out);
+    }
+
+    fn spmm_into(&self, rows: &[Vec<(usize, f32)>], x: &Matrix, out: &mut Matrix) {
+        let cols = x.cols();
+        out.reset_zeroed(x.rows(), cols);
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        for (u, row) in rows.iter().enumerate() {
+            let out_row = &mut dst[u * cols..(u + 1) * cols];
+            for &(v, w) in row {
+                for (o, &xv) in out_row.iter_mut().zip(&src[v * cols..(v + 1) * cols]) {
+                    *o += w * xv;
+                }
+            }
+        }
+    }
+
+    fn spmm_row(&self, out_row: &mut [f32], src: &[f32], terms: &[(usize, f32)], cols: usize) {
+        out_row.fill(0.0);
+        for &(r, s) in terms {
+            for (o, &xv) in out_row.iter_mut().zip(&src[r * cols..(r + 1) * cols]) {
+                *o += s * xv;
+            }
+        }
+    }
+
+    fn spmm_transpose_into(&self, rows: &[Vec<(usize, f32)>], x: &Matrix, out: &mut Matrix) {
+        let cols = x.cols();
+        out.reset_zeroed(x.rows(), cols);
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        for (u, row) in rows.iter().enumerate() {
+            let x_row = &src[u * cols..(u + 1) * cols];
+            for &(v, w) in row {
+                let out_row = &mut dst[v * cols..(v + 1) * cols];
+                for (o, &xu) in out_row.iter_mut().zip(x_row) {
+                    *o += w * xu;
+                }
+            }
+        }
+    }
+
+    fn segmented_col_sum(&self, x: &Matrix, offsets: &[usize], out: &mut Matrix) {
+        for k in 0..out.rows() {
+            for i in offsets[k]..offsets[k + 1] {
+                let src = x.row(i);
+                for (o, &v) in out.row_mut(k).iter_mut().zip(src) {
+                    *o += v;
+                }
+            }
+        }
+    }
+
+    fn segmented_col_max(
+        &self,
+        x: &Matrix,
+        offsets: &[usize],
+        out: &mut Matrix,
+        arg: &mut [usize],
+    ) {
+        let cols = x.cols();
+        for k in 0..out.rows() {
+            let (lo, hi) = (offsets[k], offsets[k + 1]);
+            let arg_row = &mut arg[k * cols..(k + 1) * cols];
+            arg_row.fill(lo);
+            if lo == hi {
+                continue;
+            }
+            out.row_mut(k).copy_from_slice(x.row(lo));
+            for i in lo + 1..hi {
+                let src = x.row(i);
+                let dst = out.row_mut(k);
+                for j in 0..cols {
+                    if src[j] > dst[j] {
+                        dst[j] = src[j];
+                        arg_row[j] = i;
+                    }
+                }
+            }
+        }
+    }
+
+    fn relu(&self, x: &mut [f32]) {
+        for v in x {
+            *v = v.max(0.0);
+        }
+    }
+
+    fn relu_backward(&self, pre: &[f32], grad: &mut [f32]) {
+        for (g, &p) in grad.iter_mut().zip(pre) {
+            if p <= 0.0 {
+                *g = 0.0;
+            }
+        }
+    }
+
+    fn softmax_row(&self, row: &mut [f32]) {
+        let (_, sum) = ops::stable_exp_in_place(row);
+        // sum >= 1 because exp(max - max) = 1 contributes, so no div-by-zero.
+        for v in row {
+            *v /= sum;
+        }
+    }
+
+    fn adam_update(
+        &self,
+        param: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        hp: &AdamParams,
+    ) {
+        for (((p, g), mi), vi) in param.iter_mut().zip(grad).zip(m).zip(v) {
+            adam_one(p, *g, mi, vi, hp);
+        }
+    }
+}
+
+/// Tiled / register-blocked lane kernels: fixed-width chunks (`[f32; W]`
+/// blocks via `chunks_exact`) accumulated in registers with `f32::mul_add`,
+/// which the compiler lowers to vector FMA under `-C target-cpu=native`.
+/// Safe Rust only — bounds-checked slices, no intrinsics.
+pub struct SimdBackend;
+
+impl KernelBackend for SimdBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Simd
+    }
+
+    fn matmul_into(&self, lhs: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+        matrix::matmul_into_tiled(lhs, rhs, out);
+    }
+
+    fn spmm_into(&self, rows: &[Vec<(usize, f32)>], x: &Matrix, out: &mut Matrix) {
+        let cols = x.cols();
+        // every output row is fully overwritten below, so skip the memset
+        out.reset_reused(x.rows(), cols);
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        for (u, row) in rows.iter().enumerate() {
+            let out_row = &mut dst[u * cols..(u + 1) * cols];
+            crate::kernels::accumulate_row_sum(out_row, src, row, cols);
+        }
+    }
+
+    fn spmm_row(&self, out_row: &mut [f32], src: &[f32], terms: &[(usize, f32)], cols: usize) {
+        crate::kernels::accumulate_row_sum(out_row, src, terms, cols);
+    }
+
+    fn spmm_transpose_into(&self, rows: &[Vec<(usize, f32)>], x: &Matrix, out: &mut Matrix) {
+        let cols = x.cols();
+        out.reset_zeroed(x.rows(), cols);
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        for (u, row) in rows.iter().enumerate() {
+            let x_row = &src[u * cols..(u + 1) * cols];
+            for &(v, w) in row {
+                let out_row = &mut dst[v * cols..(v + 1) * cols];
+                axpy_row(out_row, x_row, w);
+            }
+        }
+    }
+
+    fn segmented_col_sum(&self, x: &Matrix, offsets: &[usize], out: &mut Matrix) {
+        let cols = x.cols();
+        let src = x.as_slice();
+        for k in 0..out.rows() {
+            let (lo, hi) = (offsets[k], offsets[k + 1]);
+            if lo == hi {
+                continue;
+            }
+            let out_row = out.row_mut(k);
+            let mut c = seg_sum_chunk::<16>(src, cols, lo, hi, out_row, 0);
+            c = seg_sum_chunk::<4>(src, cols, lo, hi, out_row, c);
+            while c < cols {
+                let mut acc = 0.0f32;
+                for i in lo..hi {
+                    acc += src[i * cols + c];
+                }
+                out_row[c] = acc;
+                c += 1;
+            }
+        }
+    }
+
+    fn segmented_col_max(
+        &self,
+        x: &Matrix,
+        offsets: &[usize],
+        out: &mut Matrix,
+        arg: &mut [usize],
+    ) {
+        let cols = x.cols();
+        let src = x.as_slice();
+        for k in 0..out.rows() {
+            let (lo, hi) = (offsets[k], offsets[k + 1]);
+            let arg_row = &mut arg[k * cols..(k + 1) * cols];
+            arg_row.fill(lo);
+            if lo == hi {
+                continue;
+            }
+            let out_row = out.row_mut(k);
+            let mut c = seg_max_chunk::<8>(src, cols, lo, hi, out_row, arg_row, 0);
+            while c < cols {
+                let mut best = src[lo * cols + c];
+                let mut best_i = lo;
+                for i in lo + 1..hi {
+                    let v = src[i * cols + c];
+                    if v > best {
+                        best = v;
+                        best_i = i;
+                    }
+                }
+                out_row[c] = best;
+                arg_row[c] = best_i;
+                c += 1;
+            }
+        }
+    }
+
+    fn relu(&self, x: &mut [f32]) {
+        let mut chunks = x.chunks_exact_mut(16);
+        for chunk in &mut chunks {
+            for v in chunk {
+                *v = v.max(0.0);
+            }
+        }
+        for v in chunks.into_remainder() {
+            *v = v.max(0.0);
+        }
+    }
+
+    fn relu_backward(&self, pre: &[f32], grad: &mut [f32]) {
+        let mut g_chunks = grad.chunks_exact_mut(16);
+        let mut p_chunks = pre.chunks_exact(16);
+        for (gc, pc) in (&mut g_chunks).zip(&mut p_chunks) {
+            for (g, &p) in gc.iter_mut().zip(pc) {
+                // branchless select so the lanes stay independent
+                *g = if p > 0.0 { *g } else { 0.0 };
+            }
+        }
+        for (g, &p) in g_chunks.into_remainder().iter_mut().zip(p_chunks.remainder()) {
+            *g = if p > 0.0 { *g } else { 0.0 };
+        }
+    }
+
+    fn softmax_row(&self, row: &mut [f32]) {
+        // the stable-exp core is shared with the scalar backend (and the
+        // row max is order-independent, so the shift is bitwise identical);
+        // only the normalization differs: one reciprocal, lane multiplies
+        let (_, _) = ops::stable_exp_in_place(row);
+        let mut acc = [0.0f32; 8];
+        let mut chunks = row.chunks_exact(8);
+        for chunk in &mut chunks {
+            for (a, &v) in acc.iter_mut().zip(chunk) {
+                *a += v;
+            }
+        }
+        let mut sum: f32 = acc.iter().sum();
+        for &v in chunks.remainder() {
+            sum += v;
+        }
+        let inv = 1.0 / sum;
+        for v in row {
+            *v *= inv;
+        }
+    }
+
+    fn adam_update(
+        &self,
+        param: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        hp: &AdamParams,
+    ) {
+        let n = param.len();
+        let mut c = 0;
+        while c + 8 <= n {
+            for i in c..c + 8 {
+                adam_one(&mut param[i], grad[i], &mut m[i], &mut v[i], hp);
+            }
+            c += 8;
+        }
+        for i in c..n {
+            adam_one(&mut param[i], grad[i], &mut m[i], &mut v[i], hp);
+        }
+    }
+}
+
+/// One Adam parameter update — the exact per-element formula, shared by
+/// both backends so they stay bitwise identical.
+#[inline(always)]
+fn adam_one(p: &mut f32, g: f32, m: &mut f32, v: &mut f32, hp: &AdamParams) {
+    *m = hp.beta1 * *m + (1.0 - hp.beta1) * g;
+    *v = hp.beta2 * *v + (1.0 - hp.beta2) * g * g;
+    let m_hat = *m / hp.bias1;
+    let v_hat = *v / hp.bias2;
+    *p -= hp.lr * m_hat / (v_hat.sqrt() + hp.eps);
+}
+
+/// `out_row += w · x_row`, accumulated in 8-wide register chunks with
+/// `mul_add` (the transpose-SpMM scatter step).
+#[inline]
+fn axpy_row(out_row: &mut [f32], x_row: &[f32], w: f32) {
+    let mut o_chunks = out_row.chunks_exact_mut(8);
+    let mut x_chunks = x_row.chunks_exact(8);
+    for (oc, xc) in (&mut o_chunks).zip(&mut x_chunks) {
+        for (o, &xv) in oc.iter_mut().zip(xc) {
+            *o = xv.mul_add(w, *o);
+        }
+    }
+    for (o, &xv) in o_chunks.into_remainder().iter_mut().zip(x_chunks.remainder()) {
+        *o = xv.mul_add(w, *o);
+    }
+}
+
+/// One segmented-sum pass at chunk width `W`: `W` column accumulators stay
+/// in registers across the whole segment, storing each output chunk once.
+/// Per-column accumulation order is unchanged (ascending rows), so results
+/// are bitwise equal to the scalar loop.
+#[inline]
+fn seg_sum_chunk<const W: usize>(
+    src: &[f32],
+    cols: usize,
+    lo: usize,
+    hi: usize,
+    out_row: &mut [f32],
+    mut c: usize,
+) -> usize {
+    while c + W <= cols {
+        let mut acc = [0.0f32; W];
+        for i in lo..hi {
+            let chunk = &src[i * cols + c..i * cols + c + W];
+            for (a, &v) in acc.iter_mut().zip(chunk) {
+                *a += v;
+            }
+        }
+        out_row[c..c + W].copy_from_slice(&acc);
+        c += W;
+    }
+    c
+}
+
+/// One segmented-max pass at chunk width `W`, tracking per-lane argmax.
+/// Same strict-`>` comparison per column in ascending row order as the
+/// scalar loop, so values *and* tie-broken argmax rows are bitwise equal.
+#[inline]
+fn seg_max_chunk<const W: usize>(
+    src: &[f32],
+    cols: usize,
+    lo: usize,
+    hi: usize,
+    out_row: &mut [f32],
+    arg_row: &mut [usize],
+    mut c: usize,
+) -> usize {
+    while c + W <= cols {
+        let mut best = [0.0f32; W];
+        best.copy_from_slice(&src[lo * cols + c..lo * cols + c + W]);
+        let mut best_i = [lo; W];
+        for i in lo + 1..hi {
+            let chunk = &src[i * cols + c..i * cols + c + W];
+            for ((b, bi), &v) in best.iter_mut().zip(best_i.iter_mut()).zip(chunk) {
+                if v > *b {
+                    *b = v;
+                    *bi = i;
+                }
+            }
+        }
+        out_row[c..c + W].copy_from_slice(&best);
+        arg_row[c..c + W].copy_from_slice(&best_i);
+        c += W;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn census_table_names_are_unique_and_well_formed() {
+        let mut seen = BTreeSet::new();
+        for &kernel in &ALL_KERNELS {
+            for kind in [BackendKind::Scalar, BackendKind::Simd] {
+                let name = dispatch_counter(kernel, kind);
+                assert!(name.starts_with("linalg.backend.dispatch."), "{name}");
+                assert!(name.ends_with(kind.name()), "{name}");
+                assert!(seen.insert(name), "duplicate census counter {name}");
+            }
+        }
+        assert_eq!(seen.len(), 2 * ALL_KERNELS.len());
+    }
+
+    #[test]
+    fn set_active_round_trips_and_env_refresh_restores() {
+        // exercise the override used by benches / differential tests; the
+        // suite's other tests pass under either backend, so a transient
+        // override is safe
+        set_active(BackendKind::Scalar);
+        assert_eq!(active().kind(), BackendKind::Scalar);
+        set_active(BackendKind::Simd);
+        assert_eq!(active().kind(), BackendKind::Simd);
+        refresh_from_env();
+        // GVEX_BACKEND is unset (or explicit) in the test environment;
+        // whatever it says, the cached choice must now match a fresh parse
+        let want = kind_from_env();
+        assert_eq!(active().kind(), want);
+    }
+
+    #[test]
+    fn backend_handles_report_their_kind() {
+        assert_eq!(backend(BackendKind::Scalar).kind(), BackendKind::Scalar);
+        assert_eq!(backend(BackendKind::Simd).kind(), BackendKind::Simd);
+        assert_eq!(BackendKind::Scalar.name(), "scalar");
+        assert_eq!(BackendKind::Simd.name(), "simd");
+    }
+}

@@ -6,6 +6,9 @@
 //!
 //! * [`Matrix`] — a row-major dense `f32` matrix with the handful of BLAS-like
 //!   operations a message-passing GNN needs (matmul, transpose, row ops),
+//! * [`backend`] — the runtime-dispatched kernel backends every hot kernel
+//!   routes through (`GVEX_BACKEND`: scalar reference loops vs. the default
+//!   autovectorized lane kernels),
 //! * [`kernels`] — shared register-accumulating row kernels for the sparse
 //!   propagation and batched-Jacobian hot paths,
 //! * [`ops`] — element-wise activations, row-wise softmax, and the
@@ -20,6 +23,7 @@
 //! generators and experiment harness rely on.
 
 pub mod adam;
+pub mod backend;
 pub mod init;
 pub mod kernels;
 pub mod matrix;

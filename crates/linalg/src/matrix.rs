@@ -210,85 +210,32 @@ impl Matrix {
     /// reshaped (allocation reused where possible) and overwritten. Hot loops
     /// that multiply in place every iteration — the batched Jacobian above
     /// all — use this to avoid re-faulting fresh zero pages per product.
+    ///
+    /// Dispatches through the active [`crate::backend`]: the default `simd`
+    /// backend runs the tiled micro-kernel described on [`Self::matmul`],
+    /// the `scalar` backend the reference loops of
+    /// [`Self::matmul_reference`].
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        out.reset_zeroed(self.rows, rhs.cols);
-        if self.rows == 0 || self.cols == 0 || rhs.cols == 0 {
-            return;
-        }
-        // Sparsity census: one pass over the LHS (the cost of reading it
-        // once, which the product pays many times over anyway).
-        let mut nnz = 0usize;
-        let mut row_live = vec![false; self.rows];
-        for (i, live) in row_live.iter_mut().enumerate() {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let row_nnz = row.iter().filter(|&&v| v != 0.0).count();
-            nnz += row_nnz;
-            *live = row_nnz != 0;
-        }
-        let live_rows = row_live.iter().filter(|&&l| l).count();
-        if live_rows == 0 {
-            return;
-        }
-        let mode = if nnz * ELEM_SKIP_DEN <= live_rows * self.cols {
-            LhsMode::ElemSkip
-        } else if (self.rows - live_rows) * ROW_SKIP_DEN >= self.rows {
-            LhsMode::RowSkip(&row_live)
-        } else {
-            LhsMode::Dense
-        };
-        gvex_obs::span!("linalg.matmul");
-        gvex_obs::counter!(match mode {
-            LhsMode::ElemSkip => "linalg.matmul.dispatch.elem_skip",
-            LhsMode::RowSkip(_) => "linalg.matmul.dispatch.row_skip",
-            LhsMode::Dense => "linalg.matmul.dispatch.dense",
-        });
-        let macs = self.rows * self.cols * rhs.cols;
-        let threads = rayon::current_num_threads();
-        if macs >= PAR_MACS_THRESHOLD && threads > 1 {
-            gvex_obs::counter!("linalg.matmul.dispatch.parallel");
-            // Whole-row chunks: each worker owns a contiguous row block, so
-            // every output row has a single writer and a serial-identical
-            // accumulation order.
-            let rows_per_chunk = self.rows.div_ceil(threads).max(1);
-            out.data.par_chunks_mut(rows_per_chunk * rhs.cols).enumerate().for_each(
-                |(ci, chunk)| {
-                    matmul_span(self, rhs, ci * rows_per_chunk, chunk, mode);
-                },
-            );
-        } else {
-            matmul_span(self, rhs, 0, &mut out.data, mode);
-        }
+        crate::backend::dispatch(crate::backend::Kernel::Matmul).matmul_into(self, rhs, out);
     }
-
     /// The original naive i-k-j triple loop with a per-element zero skip.
     ///
     /// Retained as the ground truth for differential tests and as the
-    /// baseline the `BENCH_hotpaths` speedup numbers are measured against.
+    /// baseline the `BENCH_hotpaths` speedup numbers are measured against;
+    /// this is also exactly the kernel the `scalar` backend runs.
     pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue; // feature matrices are often one-hot / sparse
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        matmul_into_scalar(self, rhs, &mut out);
         out
     }
 
@@ -435,6 +382,79 @@ impl Matrix {
     /// True if any entry is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// The reference product — naive i-k-j loops with the per-element zero
+/// skip — written into `out` (reshaped, allocation reused). This is the
+/// `scalar` backend's matmul and the ground truth the differential suite
+/// pins every other backend against. Shapes are validated by the callers.
+pub(crate) fn matmul_into_scalar(lhs: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+    out.reset_zeroed(lhs.rows, rhs.cols);
+    for i in 0..lhs.rows {
+        let a_row = lhs.row(i);
+        let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue; // feature matrices are often one-hot / sparse
+            }
+            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+/// The tiled / register-blocked product behind the `simd` backend: the
+/// one-pass sparsity census, mode selection, and rayon row fan-out
+/// documented on [`Matrix::matmul`], writing into `out` (reshaped,
+/// allocation reused). Shapes are validated by the callers.
+pub(crate) fn matmul_into_tiled(lhs: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+    out.reset_zeroed(lhs.rows, rhs.cols);
+    if lhs.rows == 0 || lhs.cols == 0 || rhs.cols == 0 {
+        return;
+    }
+    // Sparsity census: one pass over the LHS (the cost of reading it
+    // once, which the product pays many times over anyway).
+    let mut nnz = 0usize;
+    let mut row_live = vec![false; lhs.rows];
+    for (i, live) in row_live.iter_mut().enumerate() {
+        let row = &lhs.data[i * lhs.cols..(i + 1) * lhs.cols];
+        let row_nnz = row.iter().filter(|&&v| v != 0.0).count();
+        nnz += row_nnz;
+        *live = row_nnz != 0;
+    }
+    let live_rows = row_live.iter().filter(|&&l| l).count();
+    if live_rows == 0 {
+        return;
+    }
+    let mode = if nnz * ELEM_SKIP_DEN <= live_rows * lhs.cols {
+        LhsMode::ElemSkip
+    } else if (lhs.rows - live_rows) * ROW_SKIP_DEN >= lhs.rows {
+        LhsMode::RowSkip(&row_live)
+    } else {
+        LhsMode::Dense
+    };
+    gvex_obs::span!("linalg.matmul");
+    gvex_obs::counter!(match mode {
+        LhsMode::ElemSkip => "linalg.matmul.dispatch.elem_skip",
+        LhsMode::RowSkip(_) => "linalg.matmul.dispatch.row_skip",
+        LhsMode::Dense => "linalg.matmul.dispatch.dense",
+    });
+    let macs = lhs.rows * lhs.cols * rhs.cols;
+    let threads = rayon::current_num_threads();
+    if macs >= PAR_MACS_THRESHOLD && threads > 1 {
+        gvex_obs::counter!("linalg.matmul.dispatch.parallel");
+        // Whole-row chunks: each worker owns a contiguous row block, so
+        // every output row has a single writer and a serial-identical
+        // accumulation order.
+        let rows_per_chunk = lhs.rows.div_ceil(threads).max(1);
+        out.data.par_chunks_mut(rows_per_chunk * rhs.cols).enumerate().for_each(|(ci, chunk)| {
+            matmul_span(lhs, rhs, ci * rows_per_chunk, chunk, mode);
+        });
+    } else {
+        matmul_span(lhs, rhs, 0, &mut out.data, mode);
     }
 }
 

@@ -4,11 +4,29 @@
 //! forward operation comes with the matching backward (VJP) used by the
 //! trainer and by the mask-learning baseline explainers.
 
+use crate::backend::{self, Kernel};
 use crate::matrix::Matrix;
+
+/// The stable-exp core shared by every softmax in the crate (and the fused
+/// cross-entropy): shifts `row` by its maximum and exponentiates in place,
+/// returning `(max, sum)`. The shift and the left-to-right sum order are
+/// fixed, so all callers agree bitwise on the exponentials; only how they
+/// normalize afterwards may differ.
+pub(crate) fn stable_exp_in_place(row: &mut [f32]) -> (f32, f32) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    (max, sum)
+}
 
 /// ReLU applied element-wise, returning a new matrix.
 pub fn relu(x: &Matrix) -> Matrix {
-    x.map(|v| v.max(0.0))
+    let mut out = x.clone();
+    backend::dispatch(Kernel::Relu).relu(out.as_mut_slice());
+    out
 }
 
 /// Backward pass of ReLU: `grad_in = grad_out ⊙ 1[x > 0]`.
@@ -17,29 +35,16 @@ pub fn relu(x: &Matrix) -> Matrix {
 pub fn relu_backward(x: &Matrix, grad_out: &Matrix) -> Matrix {
     assert_eq!(x.shape(), grad_out.shape(), "relu_backward shape mismatch");
     let mut g = grad_out.clone();
-    for (gi, &xi) in g.as_mut_slice().iter_mut().zip(x.as_slice()) {
-        if xi <= 0.0 {
-            *gi = 0.0;
-        }
-    }
+    backend::dispatch(Kernel::ReluBackward).relu_backward(x.as_slice(), g.as_mut_slice());
     g
 }
 
 /// Numerically-stable row-wise softmax.
 pub fn softmax_rows(x: &Matrix) -> Matrix {
     let mut out = x.clone();
+    let b = backend::dispatch(Kernel::Softmax);
     for r in 0..out.rows() {
-        let row = out.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        // sum >= 1 because exp(max - max) = 1 contributes, so no div-by-zero.
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
+        b.softmax_row(out.row_mut(r));
     }
     out
 }
@@ -47,25 +52,27 @@ pub fn softmax_rows(x: &Matrix) -> Matrix {
 /// Cross-entropy loss of a single logit row against a target class.
 ///
 /// Returns `(loss, grad_logits)` where `grad_logits = softmax(z) - onehot(y)`
-/// — the standard fused softmax/cross-entropy gradient.
+/// — the standard fused softmax/cross-entropy gradient. Uses the shared
+/// [`stable_exp_in_place`] core, so its probabilities match the scalar
+/// softmax bitwise.
 pub fn cross_entropy_with_grad(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
     assert!(target < logits.len(), "target class out of range");
-    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
+    let mut grad = logits.to_vec();
+    let (max, sum) = stable_exp_in_place(&mut grad);
     let log_sum = sum.ln() + max;
     let loss = log_sum - logits[target];
-    let mut grad: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    for e in &mut grad {
+        *e /= sum;
+    }
     grad[target] -= 1.0;
     (loss, grad)
 }
 
 /// Softmax over a single slice (probability distribution over classes).
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
-    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    let mut out = logits.to_vec();
+    backend::dispatch(Kernel::Softmax).softmax_row(&mut out);
+    out
 }
 
 /// Index of the maximum element; ties break toward the lower index.

@@ -13,6 +13,7 @@
 //! Empty segments (zero-node graphs riding in a batch) reduce to a zero
 //! row, matching what the per-graph readout produces for the empty graph.
 
+use crate::backend::{self, Kernel};
 use crate::matrix::Matrix;
 
 /// Validates the offsets table against the stacked matrix: monotone
@@ -35,41 +36,15 @@ pub fn segmented_col_max(x: &Matrix, offsets: &[usize]) -> (Matrix, Vec<usize>) 
     let cols = x.cols();
     let mut out = Matrix::zeros(segments, cols);
     let mut arg = vec![0usize; segments * cols];
-    for k in 0..segments {
-        let (lo, hi) = (offsets[k], offsets[k + 1]);
-        let arg_row = &mut arg[k * cols..(k + 1) * cols];
-        arg_row.fill(lo);
-        if lo == hi {
-            continue;
-        }
-        out.row_mut(k).copy_from_slice(x.row(lo));
-        for i in lo + 1..hi {
-            let src = x.row(i);
-            let dst = out.row_mut(k);
-            for j in 0..cols {
-                if src[j] > dst[j] {
-                    dst[j] = src[j];
-                    arg_row[j] = i;
-                }
-            }
-        }
-    }
+    backend::dispatch(Kernel::SegmentedMax).segmented_col_max(x, offsets, &mut out, &mut arg);
     (out, arg)
 }
 
 /// Per-segment column sum as a `K × cols` matrix (empty segments are zero).
 pub fn segmented_col_sum(x: &Matrix, offsets: &[usize]) -> Matrix {
     let segments = check_offsets(x, offsets);
-    let cols = x.cols();
-    let mut out = Matrix::zeros(segments, cols);
-    for k in 0..segments {
-        for i in offsets[k]..offsets[k + 1] {
-            let src = x.row(i);
-            for (o, &v) in out.row_mut(k).iter_mut().zip(src) {
-                *o += v;
-            }
-        }
-    }
+    let mut out = Matrix::zeros(segments, x.cols());
+    backend::dispatch(Kernel::SegmentedSum).segmented_col_sum(x, offsets, &mut out);
     out
 }
 
@@ -78,16 +53,9 @@ pub fn segmented_col_sum(x: &Matrix, offsets: &[usize]) -> Matrix {
 /// row by `1 / segment_len` — the same sum-then-scale order as
 /// [`Matrix::col_mean`].
 pub fn segmented_col_mean(x: &Matrix, offsets: &[usize]) -> Matrix {
-    let mut out = segmented_col_sum(x, offsets);
-    for k in 0..out.rows() {
-        let len = offsets[k + 1] - offsets[k];
-        if len > 0 {
-            let inv = 1.0 / len as f32;
-            for v in out.row_mut(k) {
-                *v *= inv;
-            }
-        }
-    }
+    let segments = check_offsets(x, offsets);
+    let mut out = Matrix::zeros(segments, x.cols());
+    backend::dispatch(Kernel::SegmentedMean).segmented_col_mean(x, offsets, &mut out);
     out
 }
 

@@ -126,6 +126,29 @@ pub fn par_threshold() -> usize {
     }
 }
 
+/// Parses an enumerated setting against a closed list of spellings,
+/// returning the matching entry of `allowed` (comparison is trimmed and
+/// case-insensitive, so `GVEX_BACKEND=Simd` selects `"simd"`). Unset reads
+/// as `None`; an unrecognized value warns once and also reads as `None`, so
+/// a typo falls back to the caller's default instead of failing the run.
+pub fn choice(var: &str, allowed: &'static [&'static str]) -> Option<&'static str> {
+    let raw = string(var)?;
+    let lower = raw.trim().to_ascii_lowercase();
+    match allowed.iter().find(|&&a| a == lower) {
+        Some(&hit) => Some(hit),
+        None => {
+            warn_once(
+                var,
+                &format!(
+                    "invalid {var}={raw:?}: expected one of {}; treating as unset",
+                    allowed.join("/")
+                ),
+            );
+            None
+        }
+    }
+}
+
 static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
 
 /// Prints `msg` to stderr the first time `var` misparses in this process;
@@ -174,6 +197,16 @@ mod tests {
         }
         std::env::set_var("GVEX_OBS_TEST_FLAG_BAD", "maybe");
         assert!(!flag("GVEX_OBS_TEST_FLAG_BAD"));
+    }
+
+    #[test]
+    fn choice_matches_case_insensitively_and_falls_back() {
+        const ALLOWED: &[&str] = &["auto", "scalar", "simd"];
+        std::env::set_var("GVEX_OBS_TEST_CHOICE", " Simd ");
+        assert_eq!(choice("GVEX_OBS_TEST_CHOICE", ALLOWED), Some("simd"));
+        std::env::set_var("GVEX_OBS_TEST_CHOICE_BAD", "avx9000");
+        assert_eq!(choice("GVEX_OBS_TEST_CHOICE_BAD", ALLOWED), None);
+        assert_eq!(choice("GVEX_OBS_TEST_CHOICE_UNSET", ALLOWED), None);
     }
 
     #[test]
