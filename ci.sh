@@ -77,6 +77,12 @@ btrain = bench["batched_train_epoch"]
 if btrain["speedup"] < 1.5:
     raise SystemExit(f"bench gate: mini-batch training speedup {btrain['speedup']:.2f}x below the 1.5x gate")
 
+# The trace ring must stay in the noise next to the observed kernel: an
+# obs-on run with the ring recording may cost at most 2x the obs-on run.
+obs_over = bench["obs_overhead"]
+if obs_over["trace_ring_ratio"] > 2.0:
+    raise SystemExit(f"bench gate: trace ring ratio {obs_over['trace_ring_ratio']:.3f} above the 2x gate")
+
 # Kernel-backend races: the simd backend must beat the scalar reference
 # at the shapes the trainer actually runs.
 for section, floor in (("simd_matmul", 1.5), ("simd_spmm", 1.5), ("simd_segmented", 1.2)):
@@ -105,17 +111,23 @@ print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}
 PY
 fi
 
-echo "==> obs smoke (GVEX_OBS=1 explain run, validates OBS_report.json)"
+echo "==> obs smoke (GVEX_OBS=1 explain run, validates OBS_report.json + chrome trace)"
 obs_report="$(mktemp -t gvex_obs_report.XXXXXX.json)"
-trap 'rm -f "$obs_report"' EXIT
-GVEX_OBS=1 GVEX_OBS_JSON="$obs_report" \
+obs_trace="$(mktemp -t gvex_obs_trace.XXXXXX.json)"
+obs_regressed="$(mktemp -t gvex_obs_regressed.XXXXXX.json)"
+trap 'rm -f "$obs_report" "$obs_trace" "$obs_regressed"' EXIT
+# GVEX_THREADS pinned to the baseline's thread count: per-worker counters
+# (and the diff gate below) only compare across runs with the same fan-out.
+GVEX_THREADS=2 GVEX_OBS=1 GVEX_OBS_JSON="$obs_report" GVEX_OBS_TRACE="$obs_trace" \
     cargo run -q --release -- explain --dataset MUT --scale small --upper 4 >/dev/null
-python3 - "$obs_report" <<'PY'
+python3 - "$obs_report" "$obs_trace" <<'PY'
 import json, sys
 
 with open(sys.argv[1]) as fh:
     report = json.load(fh)
 
+if report["schema_version"] != 2:
+    sys.exit(f"obs smoke: expected schema_version 2, got {report['schema_version']}")
 if report["open_spans"] != 0:
     sys.exit(f"obs smoke: {report['open_spans']} span(s) left open at exit")
 
@@ -123,6 +135,21 @@ paths = {span["path"] for span in report["spans"]}
 for required in ("explain_db", "explain_db/predict", "explain_db/summarize"):
     if required not in paths:
         sys.exit(f"obs smoke: mandatory span {required!r} missing from {sorted(paths)}")
+for span in report["spans"]:
+    for field in ("p50_ms", "p90_ms", "p99_ms", "p999_ms"):
+        if field not in span:
+            sys.exit(f"obs smoke: span {span['path']!r} missing v2 field {field!r}")
+    if span["p50_ms"] > span["p999_ms"]:
+        sys.exit(f"obs smoke: span {span['path']!r} has p50 > p999")
+
+requests = report["requests"]
+for required in ("session.explain", "session.verify"):
+    if required not in requests:
+        sys.exit(f"obs smoke: request {required!r} missing from {sorted(requests)}")
+    if requests[required]["count"] < 1:
+        sys.exit(f"obs smoke: request {required!r} recorded zero completions")
+if not requests["session.explain"]["spans"]:
+    sys.exit("obs smoke: session.explain attributed no spans")
 
 counters = report["counters"]
 if not any(name.startswith("gnn.trace_cache.") for name in counters):
@@ -134,8 +161,58 @@ if not any(name.startswith("linalg.backend.dispatch.") for name in counters):
 selected = [name for name in counters if name.startswith("linalg.backend.selected.")]
 if len(selected) != 1:
     sys.exit(f"obs smoke: expected exactly one linalg.backend.selected.* counter, got {selected}")
+for required in ("gnn.trace_cache.evictions", "core.session.influence_misses"):
+    if required not in counters:
+        sys.exit(f"obs smoke: counter {required!r} missing (registered-at-zero expected)")
 
-print(f"obs smoke: {len(paths)} span paths, {len(counters)} counters — OK")
+if not report["trace"]["active"]:
+    sys.exit("obs smoke: trace section says the ring was inactive")
+
+# The flushed chrome trace parses, and every begin/end is matched per track.
+with open(sys.argv[2]) as fh:
+    trace = json.load(fh)
+events = trace["traceEvents"]
+if not events:
+    sys.exit("obs smoke: chrome trace is empty")
+open_by_tid = {}
+for e in events:
+    if e["ph"] == "B":
+        open_by_tid[e["tid"]] = open_by_tid.get(e["tid"], 0) + 1
+    elif e["ph"] == "E":
+        open_by_tid[e["tid"]] = open_by_tid.get(e["tid"], 0) - 1
+        if open_by_tid[e["tid"]] < 0:
+            sys.exit(f"obs smoke: end before begin on tid {e['tid']}")
+    else:
+        sys.exit(f"obs smoke: unexpected ph {e['ph']!r}")
+unmatched = {tid: n for tid, n in open_by_tid.items() if n != 0}
+if unmatched:
+    sys.exit(f"obs smoke: unmatched begin/end events per tid: {unmatched}")
+
+print(f"obs smoke: {len(paths)} span paths, {len(counters)} counters, "
+      f"{len(requests)} requests, {len(events)} trace events — OK")
 PY
+
+echo "==> obs diff gate (vs committed OBS_baseline.json)"
+# Generous thresholds: wall-clock varies across machines, counters are
+# near-deterministic for the pinned workload — the gate catches gross
+# regressions, not jitter.
+cargo run -q --release -- obs diff OBS_baseline.json "$obs_report" \
+    --span-pct 900 --counter-pct 200 --p99-pct 1900
+
+# And the gate must actually fire: a doctored report with one big counter
+# tripled has to make the diff exit nonzero under strict thresholds.
+python3 - "$obs_report" "$obs_regressed" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+name = max(report["counters"], key=report["counters"].get)
+report["counters"][name] = report["counters"][name] * 3 + 1000
+json.dump(report, open(sys.argv[2], "w"))
+PY
+if cargo run -q --release -- obs diff "$obs_report" "$obs_regressed" \
+    --counter-pct 50 --min-counter 1 >/dev/null; then
+    echo "obs diff gate: doctored regression was NOT detected" >&2
+    exit 1
+fi
+echo "obs diff gate: clean pass + doctored regression detected — OK"
 
 echo "==> CI green"

@@ -106,6 +106,14 @@ struct ObsOverheadBench {
     /// Direct amortized cost of one disabled span! + counter! + histogram!
     /// set, in nanoseconds.
     disabled_macro_set_ns: f64,
+    /// Min-of-N seconds with observation *enabled* (span + counter +
+    /// histogram live, trace ring off).
+    obs_on_secs: f64,
+    /// Same with the trace ring also recording a begin/end pair per span.
+    obs_on_trace_secs: f64,
+    /// `obs_on_trace / obs_on`; CI gates this at ≤ 2× — the ring write must
+    /// stay in the noise next to the observed kernel.
+    trace_ring_ratio: f64,
 }
 
 #[derive(Serialize)]
@@ -383,12 +391,45 @@ fn bench_obs_overhead() -> ObsOverheadBench {
     }
     let disabled_macro_set_ns = t.elapsed().as_nanos() as f64 / REPS as f64;
 
+    // Enabled-path cost, raced with and without the trace ring. Each arm
+    // sets the trace mode itself (one relaxed store) so the alternation
+    // stays symmetric; a bench-scoped request tags the recorded spans so
+    // this block also exercises per-request attribution under load.
+    gvex_obs::set_enabled(true);
+    let (obs_on_secs, obs_on_trace_secs) = race(
+        15,
+        || {
+            gvex_obs::trace::force_active(false);
+            let _req = gvex_obs::context::ReqScope::begin("bench.obs_overhead");
+            gvex_obs::span!("obs_overhead.matmul_on");
+            gvex_obs::counter!("obs_overhead.calls_on");
+            black_box(a.matmul(black_box(&b)));
+        },
+        || {
+            gvex_obs::trace::force_active(true);
+            let _req = gvex_obs::context::ReqScope::begin("bench.obs_overhead");
+            gvex_obs::span!("obs_overhead.matmul_trace");
+            gvex_obs::counter!("obs_overhead.calls_trace");
+            black_box(a.matmul(black_box(&b)));
+        },
+    );
+    // Leave no residue for the explain bench's emitted report: wipe the
+    // ring and every registry this block populated, and restore both
+    // toggles to off.
+    gvex_obs::trace::force_active(false);
+    gvex_obs::trace::clear();
+    gvex_obs::reset();
+    gvex_obs::set_enabled(false);
+
     ObsOverheadBench {
         size: N,
         baseline_secs,
         instrumented_secs,
         overhead_ratio: instrumented_secs / baseline_secs,
         disabled_macro_set_ns,
+        obs_on_secs,
+        obs_on_trace_secs,
+        trace_ring_ratio: obs_on_trace_secs / obs_on_secs,
     }
 }
 
@@ -968,6 +1009,13 @@ fn main() {
         "[hotpaths]   ratio {:.4} (baseline {:.4}s vs instrumented {:.4}s), \
          disabled macro set {:.2} ns/op",
         obs.overhead_ratio, obs.baseline_secs, obs.instrumented_secs, obs.disabled_macro_set_ns
+    );
+    eprintln!(
+        "[hotpaths]   obs on {:.4}s, obs on + trace ring {:.4}s, ratio {:.4} {}",
+        obs.obs_on_secs,
+        obs.obs_on_trace_secs,
+        obs.trace_ring_ratio,
+        if obs.trace_ring_ratio <= 2.0 { "(<= 2x gate met)" } else { "(ABOVE 2x gate)" }
     );
 
     eprintln!("[hotpaths] vf2 subgraph matching, 192-node target ...");

@@ -131,9 +131,11 @@ where
         (ra, rb)
     } else {
         let base_path = gvex_obs::span::current_path();
+        let req_tag = gvex_obs::context::current();
         std::thread::scope(|s| {
             let hb = s.spawn(move || {
                 let _adopted = gvex_obs::span::adopt(&base_path);
+                let _req = gvex_obs::context::adopt(req_tag);
                 b()
             });
             let ra = a();
@@ -160,10 +162,13 @@ where
     results.resize_with(len, || None);
     let mut items = items;
     // Workers adopt the launching thread's span path so spans opened inside
-    // parallel closures nest under the phase that launched them; per-worker
-    // item counts expose chunking imbalance. All of it is inert unless
-    // observation is on — the fan-out itself is unchanged either way.
+    // parallel closures nest under the phase that launched them, and the
+    // launching thread's request tag so per-request attribution survives the
+    // fan-out; per-worker item counts expose chunking imbalance. All of it is
+    // inert unless observation is on — the fan-out itself is unchanged
+    // either way.
     let base_path = gvex_obs::span::current_path();
+    let req_tag = gvex_obs::context::current();
     gvex_obs::counter!("rayon.parallel_calls");
     std::thread::scope(|s| {
         let f = &f;
@@ -189,6 +194,7 @@ where
             } else {
                 s.spawn(move || {
                     let _adopted = gvex_obs::span::adopt(base_path);
+                    let _req = gvex_obs::context::adopt(req_tag);
                     for (slot, item) in out.iter_mut().zip(part) {
                         *slot = Some(f(item));
                     }

@@ -214,6 +214,7 @@ impl<'m> ExplainSession<'m> {
             }
         }
         gvex_obs::counter!("core.session.influence_misses");
+        gvex_obs::counter!("core.session.influence_evictions", 0);
         // Compute outside the lock so concurrent misses on different graphs
         // don't serialize; a racing duplicate for the same key is dropped in
         // favor of the first insert (both are bitwise identical anyway).
@@ -236,6 +237,7 @@ impl<'m> ExplainSession<'m> {
         if memo.map.len() >= memo.capacity {
             if let Some(oldest) = memo.order.pop_front() {
                 memo.map.remove(&oldest);
+                gvex_obs::counter!("core.session.influence_evictions");
             }
         }
         memo.order.push_back(key);
@@ -277,6 +279,7 @@ impl<'m> ExplainSession<'m> {
     /// Verifies a view against constraints C1–C3 through the session's
     /// shared trace cache.
     pub fn verify(&self, db: &GraphDatabase, view: &ExplanationView) -> VerificationReport {
+        let _req = gvex_obs::context::ReqScope::begin("session.verify");
         crate::verify::verify_view_with(self.trace_cache(), self.model, db, view, &self.cfg)
     }
 
@@ -294,6 +297,10 @@ impl<'m> ExplainSession<'m> {
         db: &GraphDatabase,
         labels_of_interest: &[usize],
     ) -> ExplanationViewSet {
+        // request scope first, span second: locals drop in reverse order, so
+        // the span guard closes while the request tag is still active and the
+        // request's attributed-span table sees `explain_db`
+        let _req = gvex_obs::context::ReqScope::begin("session.explain");
         gvex_obs::span!("explain_db");
         let assigned = crate::parallel::predict_all(self.model, db);
         let groups = db.label_groups(&assigned);
@@ -320,6 +327,7 @@ impl<'m> ExplainSession<'m> {
             .build()
             .expect("failed to build rayon pool");
         pool.install(|| {
+            let _req = gvex_obs::context::ReqScope::begin("session.explain");
             gvex_obs::span!("explain_db");
             let assigned = crate::parallel::predict_all(self.model, db);
             let groups = db.label_groups(&assigned);
@@ -374,6 +382,7 @@ impl<'m> ExplainSession<'m> {
         shards: usize,
     ) -> ExplanationViewSet {
         let shards = shards.max(1);
+        let _req = gvex_obs::context::ReqScope::begin("session.explain");
         let assigned = crate::parallel::predict_all(self.model, db);
         let groups = db.label_groups(&assigned);
 
@@ -388,7 +397,9 @@ impl<'m> ExplainSession<'m> {
                 let hi = ((shard_id + 1) * per_shard).min(n);
                 let tx = tx.clone();
                 let groups = &groups;
+                let req_tag = gvex_obs::context::current();
                 scope.spawn(move || {
+                    let _req = gvex_obs::context::adopt(req_tag);
                     for &label in labels_of_interest {
                         // this shard's members of the label group
                         let members: Vec<usize> = groups

@@ -100,6 +100,7 @@ impl GraphBatch {
         }
         gvex_obs::counter!("gnn.batch.graphs", graphs.len() as u64);
         gvex_obs::counter!("gnn.batch.nodes", total as u64);
+        gvex_obs::histogram!("gnn.batch.graphs_per_batch", graphs.len() as u64);
         Self { offsets, features, adj: Arc::new(block) }
     }
 
@@ -326,6 +327,7 @@ impl GcnModel {
     /// database classification pass used by the trainer's accuracy
     /// evaluation and the explain pipeline.
     pub fn classify_database(&self, db: &GraphDatabase, batch_size: usize) -> Vec<usize> {
+        let _req = gvex_obs::context::ReqScope::begin("gnn.classify_db");
         let chunk = if batch_size == 0 { DEFAULT_BATCH } else { batch_size };
         let mut out = Vec::with_capacity(db.len());
         let graphs = db.graphs();

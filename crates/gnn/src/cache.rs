@@ -74,6 +74,7 @@ impl TraceCache {
         // hit-rate is computable even when one side stays at zero
         gvex_obs::counter!("gnn.trace_cache.misses");
         gvex_obs::counter!("gnn.trace_cache.hits", 0);
+        gvex_obs::counter!("gnn.trace_cache.evictions", 0);
         // compute outside the lock: a concurrent miss on the same graph
         // duplicates work instead of serializing every other lookup
         let trace = Arc::new(model.forward(g));
@@ -83,6 +84,7 @@ impl TraceCache {
                 match inner.order.pop_front() {
                     Some(old) => {
                         inner.map.remove(&old);
+                        gvex_obs::counter!("gnn.trace_cache.evictions");
                     }
                     None => break,
                 }

@@ -270,10 +270,12 @@ impl<'a> FrontierCtx<'a> {
             }
         }
         if gvex_obs::enabled() {
-            let pruned = before.saturating_sub(frontier.count());
+            let after = frontier.count();
+            let pruned = before.saturating_sub(after);
             if pruned > 0 {
                 gvex_obs::counter!("iso.vf2.frontier_prunes", pruned as u64);
             }
+            gvex_obs::histogram!("iso.vf2.frontier_size", after as u64);
         }
     }
 

@@ -23,11 +23,28 @@
 //!
 //! At the end of a run, [`report::emit`] renders the span tree to stderr and
 //! writes machine-readable `OBS_report.json` (path override: `GVEX_OBS_JSON`).
+//!
+//! On top of the primitives sit four telemetry layers (all inert when
+//! observation is off):
+//!
+//! - [`context`] — explicit [`context::ReqScope`] request handles tagging
+//!   every span/counter recorded under them, propagated across the rayon
+//!   stand-in like span paths, reported with per-request p50/p90/p99/p999;
+//! - [`latency`] — the hand-rolled HDR-style histogram behind those
+//!   percentiles, also recorded per span path;
+//! - [`trace`] — a bounded ring of span begin/end events, flushed to a
+//!   `chrome://tracing` JSON when `GVEX_OBS_TRACE=path` is set;
+//! - [`diff`] — a backward-compatible `OBS_report.json` reader and the
+//!   regression comparison behind `gvex obs diff`.
 
+pub mod context;
+pub mod diff;
 pub mod env;
+pub mod latency;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 #[cfg(feature = "enabled")]
 mod state {
@@ -82,11 +99,14 @@ pub fn set_enabled(on: bool) {
 #[inline(always)]
 pub fn set_enabled(_on: bool) {}
 
-/// Clears all recorded spans, counters, and histograms (the enable state is
-/// untouched). Benches call this between measured and instrumented runs.
+/// Clears all recorded spans, counters, histograms, and request records
+/// (the enable state and the trace ring are untouched — see
+/// [`trace::clear`]). Benches call this between measured and instrumented
+/// runs.
 pub fn reset() {
     span::reset();
     metrics::reset();
+    context::reset();
 }
 
 /// Opens a wall-clock span until the end of the enclosing scope:

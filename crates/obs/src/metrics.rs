@@ -53,18 +53,25 @@ mod imp {
     static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
     static HISTOGRAMS: Mutex<BTreeMap<String, HistogramSnapshot>> = Mutex::new(BTreeMap::new());
 
-    /// Adds `n` to the counter `name` (no-op when observation is off).
+    /// Adds `n` to the counter `name` (no-op when observation is off). When
+    /// a request scope is active on this thread, the increment is also
+    /// mirrored into that request's counter table.
     pub fn counter_add(name: &str, n: u64) {
         if !crate::enabled() {
             return;
         }
-        let mut counters = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
-        // `get_mut` first: the common case must not allocate a key String.
-        if let Some(total) = counters.get_mut(name) {
-            *total = total.saturating_add(n);
-            return;
+        {
+            let mut counters = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+            // `get_mut` first: the common case must not allocate a key String.
+            if let Some(total) = counters.get_mut(name) {
+                *total = total.saturating_add(n);
+            } else {
+                counters.insert(name.to_string(), n);
+            }
         }
-        counters.insert(name.to_string(), n);
+        if let Some(tag) = crate::context::current() {
+            crate::context::attribute_counter(tag, name, n);
+        }
     }
 
     /// Records `value` into the histogram `name` (no-op when observation is

@@ -10,7 +10,13 @@ use crate::span::SpanRecord;
 use std::path::PathBuf;
 
 /// Schema version stamped into `OBS_report.json`.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 (this version) adds per-span `p50_ms`/`p90_ms`/`p99_ms`/`p999_ms`
+/// percentile fields, a top-level `requests` object (per-[`crate::context`]
+/// ReqScope counts, latency percentiles, attributed spans/counters), and a
+/// top-level `trace` object (ring occupancy and drop counter). All v1
+/// fields are unchanged; [`crate::diff`] reads both versions.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Default report file name, relative to the working directory; override
 /// with `GVEX_OBS_JSON=/path/to/file.json`.
@@ -27,7 +33,7 @@ pub fn emit() -> Option<PathBuf> {
     let path = PathBuf::from(
         crate::env::string("GVEX_OBS_JSON").unwrap_or_else(|| DEFAULT_JSON_PATH.into()),
     );
-    match std::fs::write(&path, render_json()) {
+    let written = match std::fs::write(&path, render_json()) {
         Ok(()) => {
             eprintln!("[gvex-obs] wrote {}", path.display());
             Some(path)
@@ -36,7 +42,26 @@ pub fn emit() -> Option<PathBuf> {
             eprintln!("[gvex-obs] failed to write {}: {err}", path.display());
             None
         }
+    };
+    // With GVEX_OBS_TRACE=path set, flush the span event ring as a
+    // chrome://tracing document alongside the report.
+    if crate::trace::active() {
+        if let Some(trace_path) = crate::env::string("GVEX_OBS_TRACE") {
+            let trace_path = PathBuf::from(trace_path);
+            match crate::trace::write_chrome_trace(&trace_path) {
+                Ok(()) => eprintln!(
+                    "[gvex-obs] wrote {} ({} events, {} dropped)",
+                    trace_path.display(),
+                    crate::trace::events().len(),
+                    crate::trace::dropped()
+                ),
+                Err(err) => {
+                    eprintln!("[gvex-obs] failed to write {}: {err}", trace_path.display())
+                }
+            }
+        }
     }
+    written
 }
 
 /// The human-readable report: an indented span tree (count, total, mean per
@@ -48,16 +73,31 @@ pub fn render_text() -> String {
     if spans.is_empty() {
         out.push_str("[gvex-obs] no spans recorded\n");
     } else {
-        out.push_str("[gvex-obs] spans (count · total · mean):\n");
+        out.push_str("[gvex-obs] spans (count · total · mean · p50 · p99):\n");
         for s in &spans {
             let depth = s.path.matches('/').count();
             let name = s.path.rsplit('/').next().unwrap_or(&s.path);
             let label = format!("{}{}", "  ".repeat(depth), name);
             let total = s.total_ns as f64 / 1e6;
             let mean = total / s.count.max(1) as f64;
+            let p50 = s.latency.quantile_ns(0.50) as f64 / 1e6;
+            let p99 = s.latency.quantile_ns(0.99) as f64 / 1e6;
             out.push_str(&format!(
-                "[gvex-obs]   {label:<40} {:>7} · {total:>10.2}ms · {mean:>9.3}ms\n",
+                "[gvex-obs]   {label:<40} {:>7} · {total:>10.2}ms · {mean:>9.3}ms · {p50:>8.3}ms · {p99:>8.3}ms\n",
                 s.count
+            ));
+        }
+    }
+    let requests = crate::context::snapshot();
+    if !requests.is_empty() {
+        out.push_str("[gvex-obs] requests (count · total · p50 · p99):\n");
+        for r in &requests {
+            let total = r.total_ns as f64 / 1e6;
+            let p50 = r.latency.quantile_ns(0.50) as f64 / 1e6;
+            let p99 = r.latency.quantile_ns(0.99) as f64 / 1e6;
+            out.push_str(&format!(
+                "[gvex-obs]   {:<40} {:>7} · {total:>10.2}ms · {p50:>8.3}ms · {p99:>8.3}ms\n",
+                r.name, r.count
             ));
         }
     }
@@ -98,17 +138,65 @@ pub fn render_json() -> String {
     out.push_str("  \"spans\": [\n");
     let spans = crate::span::snapshot();
     for (i, s) in spans.iter().enumerate() {
+        let (p50, p90, p99, p999) = s.latency.percentiles_ns();
         out.push_str(&format!(
-            "    {{\"path\": \"{}\", \"count\": {}, \"total_ms\": {}, \"min_ms\": {}, \"max_ms\": {}}}{}\n",
+            "    {{\"path\": \"{}\", \"count\": {}, \"total_ms\": {}, \"min_ms\": {}, \"max_ms\": {}, \
+             \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}}}{}\n",
             escape(&s.path),
             s.count,
             fmt_ms(s.total_ns),
             fmt_ms(s.min_ns),
             fmt_ms(s.max_ns),
+            fmt_ms(p50 as u128),
+            fmt_ms(p90 as u128),
+            fmt_ms(p99 as u128),
+            fmt_ms(p999 as u128),
             comma(i, spans.len()),
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"requests\": {\n");
+    let requests = crate::context::snapshot();
+    for (i, r) in requests.iter().enumerate() {
+        let (p50, p90, p99, p999) = r.latency.percentiles_ns();
+        out.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"total_ms\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \
+             \"p99_ms\": {}, \"p999_ms\": {},\n",
+            escape(&r.name),
+            r.count,
+            fmt_ms(r.total_ns),
+            fmt_ms(p50 as u128),
+            fmt_ms(p90 as u128),
+            fmt_ms(p99 as u128),
+            fmt_ms(p999 as u128),
+        ));
+        out.push_str("      \"spans\": {");
+        for (j, (path, count, total_ns)) in r.spans.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\"{}\": {{\"count\": {count}, \"total_ms\": {}}}",
+                if j == 0 { "" } else { ", " },
+                escape(path),
+                fmt_ms(*total_ns),
+            ));
+        }
+        out.push_str("},\n      \"counters\": {");
+        for (j, (name, value)) in r.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\"{}\": {value}",
+                if j == 0 { "" } else { ", " },
+                escape(name),
+            ));
+        }
+        out.push_str(&format!("}}}}{}\n", comma(i, requests.len())));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"trace\": {{\"active\": {}, \"events\": {}, \"dropped\": {}, \"capacity\": {}}},\n",
+        crate::trace::active(),
+        crate::trace::events().len(),
+        crate::trace::dropped(),
+        crate::trace::capacity(),
+    ));
     out.push_str("  \"counters\": {\n");
     let counters = crate::metrics::counters();
     for (i, (name, value)) in counters.iter().enumerate() {
@@ -155,8 +243,9 @@ fn u64_array(values: &[u64]) -> String {
 }
 
 /// Escapes a string for a JSON literal. Metric names are ASCII identifiers
-/// in practice; this keeps the output valid even if one is not.
-fn escape(s: &str) -> String {
+/// in practice; this keeps the output valid even if one is not. Shared with
+/// the trace writer.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -201,7 +290,9 @@ mod tests {
         // still be well-formed.
         let json = render_json();
         assert!(json.starts_with("{\n"));
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(json.contains("\"requests\""));
+        assert!(json.contains("\"trace\""));
         assert!(json.trim_end().ends_with('}'));
     }
 }

@@ -28,6 +28,8 @@ pub struct SpanRecord {
     pub min_ns: u128,
     /// Slowest single completion.
     pub max_ns: u128,
+    /// Per-completion latency distribution (p50/p90/p99/p999 source).
+    pub latency: crate::latency::Hist,
 }
 
 #[cfg(feature = "enabled")]
@@ -39,12 +41,13 @@ mod imp {
     use std::sync::Mutex;
     use std::time::Instant;
 
-    #[derive(Clone, Copy, Default)]
+    #[derive(Clone, Default)]
     struct Stat {
         count: u64,
         total_ns: u128,
         min_ns: u128,
         max_ns: u128,
+        latency: crate::latency::Hist,
     }
 
     static REGISTRY: Mutex<BTreeMap<String, Stat>> = Mutex::new(BTreeMap::new());
@@ -66,11 +69,16 @@ mod imp {
     }
 
     /// Opens a span named `name` under the current thread path. Inert (no
-    /// clock read, no path change) when observation is off.
-    pub fn enter(name: &'static str) -> SpanGuard {
+    /// clock read, no path change) when observation is off. Accepts any
+    /// `&str` (the request layer pushes formatted names); nothing outlives
+    /// the call but the path bytes.
+    pub fn enter(name: &str) -> SpanGuard {
         if !crate::enabled() {
             return SpanGuard { armed: None };
         }
+        // Fix the trace epoch before reading the clock, so the very first
+        // span's begin timestamp can never precede the epoch.
+        let _ = crate::trace::active();
         let prev_len = PATH.with(|p| {
             let mut p = p.borrow_mut();
             let prev_len = p.len();
@@ -87,22 +95,44 @@ mod imp {
     impl Drop for SpanGuard {
         fn drop(&mut self) {
             let Some((prev_len, start)) = self.armed.take() else { return };
-            let elapsed = start.elapsed().as_nanos();
+            let end = Instant::now();
+            let elapsed = end.duration_since(start).as_nanos();
             let path = PATH.with(|p| {
                 let mut p = p.borrow_mut();
                 let full = p.clone();
                 p.truncate(prev_len);
                 full
             });
-            let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-            let stat = reg.entry(path).or_default();
-            stat.count += 1;
-            stat.total_ns += elapsed;
-            stat.min_ns = if stat.count == 1 { elapsed } else { stat.min_ns.min(elapsed) };
-            stat.max_ns = stat.max_ns.max(elapsed);
-            drop(reg);
+            {
+                let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+                // get_mut first: the steady state must not clone the path
+                match reg.get_mut(&path) {
+                    Some(stat) => fold(stat, elapsed),
+                    None => {
+                        let mut stat = Stat::default();
+                        fold(&mut stat, elapsed);
+                        reg.insert(path.clone(), stat);
+                    }
+                }
+            }
             OPEN.fetch_sub(1, Ordering::Relaxed);
+            // request attribution and trace events happen outside the
+            // registry lock; both only read the clock values captured above
+            if let Some(tag) = crate::context::current() {
+                crate::context::attribute_span(tag, &path, elapsed);
+            }
+            if crate::trace::active() {
+                crate::trace::record_pair(&path, start, end);
+            }
         }
+    }
+
+    fn fold(stat: &mut Stat, elapsed: u128) {
+        stat.count += 1;
+        stat.total_ns += elapsed;
+        stat.min_ns = if stat.count == 1 { elapsed } else { stat.min_ns.min(elapsed) };
+        stat.max_ns = stat.max_ns.max(elapsed);
+        stat.latency.record(elapsed.min(u64::MAX as u128) as u64);
     }
 
     /// The calling thread's current span path (empty when off or at root).
@@ -148,6 +178,7 @@ mod imp {
                 total_ns: s.total_ns,
                 min_ns: s.min_ns,
                 max_ns: s.max_ns,
+                latency: s.latency.clone(),
             })
             .collect()
     }
@@ -184,7 +215,7 @@ mod noop {
 
     /// No-op: the `enabled` feature is compiled out.
     #[inline(always)]
-    pub fn enter(_name: &'static str) -> SpanGuard {
+    pub fn enter(_name: &str) -> SpanGuard {
         SpanGuard
     }
 

@@ -27,7 +27,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gvex <stats|export|train|explain|query> [options]\n\
+        "usage: gvex <stats|export|train|explain|query|obs> [options]\n\
          \n\
          common options:\n\
            --dataset <MUT|RED|ENZ|MAL|PCQ|PRO|SYN>   synthetic stand-in\n\
@@ -42,7 +42,11 @@ fn usage() -> ! {
                   each step into one block-diagonal batched forward/backward\n\
          explain  --model <file> --labels <l0,l1,..> --upper <n>\n\
                   [--stream] [--views-out <file>]: generate explanation views\n\
-         query    --views <file> [--label <l>] [--discriminative <l>]"
+         query    --views <file> [--label <l>] [--discriminative <l>]\n\
+         obs      diff <old.json> <new.json>: compare two OBS_report.json\n\
+                  files (schema v1 or v2) and exit 1 on a perf regression\n\
+                  [--span-pct <n>] [--counter-pct <n>] [--p99-pct <n>]\n\
+                  [--min-span-ms <x>] [--min-counter <n>]"
     );
     std::process::exit(2)
 }
@@ -271,11 +275,104 @@ fn cmd_query(flags: &HashMap<String, String>) {
     }
 }
 
+/// `gvex obs diff old.json new.json [threshold flags]` — the perf-regression
+/// gate. Takes positional file arguments, so it parses its own argv instead
+/// of going through [`parse_flags`].
+fn cmd_obs(rest: &[String]) -> ExitCode {
+    use gvex::obs::diff::{compare, parse_report, Thresholds};
+    let Some((sub, rest)) = rest.split_first() else {
+        usage();
+    };
+    if sub != "diff" {
+        eprintln!("unknown obs subcommand: {sub}");
+        usage();
+    }
+    let (files, flag_args): (Vec<&String>, Vec<&String>) = {
+        let mut files = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            if rest[i].starts_with("--") {
+                flags.push(&rest[i]);
+                if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                    flags.push(&rest[i + 1]);
+                    i += 1;
+                }
+            } else {
+                files.push(&rest[i]);
+            }
+            i += 1;
+        }
+        (files, flags)
+    };
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("obs diff takes exactly two report files");
+        usage();
+    };
+    let mut thr = Thresholds::default();
+    let mut i = 0;
+    while i < flag_args.len() {
+        let key = flag_args[i].as_str();
+        let val = flag_args.get(i + 1).map(|s| s.as_str());
+        let parsed_f64 = val.and_then(|v| v.parse::<f64>().ok());
+        match key {
+            "--span-pct" => thr.span_pct = parsed_f64.unwrap_or_else(|| usage()),
+            "--counter-pct" => thr.counter_pct = parsed_f64.unwrap_or_else(|| usage()),
+            "--p99-pct" => thr.p99_pct = parsed_f64.unwrap_or_else(|| usage()),
+            "--min-span-ms" => thr.min_span_ms = parsed_f64.unwrap_or_else(|| usage()),
+            "--min-counter" => {
+                thr.min_counter = val.and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| usage())
+            }
+            other => {
+                eprintln!("unknown obs diff flag: {other}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("failed to parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    println!(
+        "comparing {old_path} (schema v{}) -> {new_path} (schema v{})",
+        old.schema_version, new.schema_version
+    );
+    let regressions = compare(&old, &new, &thr);
+    if regressions.is_empty() {
+        println!(
+            "no regressions ({} spans, {} counters compared)",
+            old.spans.len(),
+            old.counters.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("{} regression(s):", regressions.len());
+        for r in &regressions {
+            println!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
+    // `obs` takes positional arguments; dispatch it before the flag parser
+    // (which rejects positionals) sees them.
+    if cmd == "obs" {
+        return cmd_obs(rest);
+    }
     let flags = parse_flags(rest);
     match cmd.as_str() {
         "stats" => cmd_stats(&flags),

@@ -83,8 +83,11 @@ fn explain_database_identical_with_observation_enabled() {
         .expect("serializable views");
 
     // Only ever *enable* — the toggle is process-global and other tests in
-    // this binary run concurrently with observation assumed off-or-on.
+    // this binary run concurrently with observation assumed off-or-on. The
+    // trace ring records alongside: every span drop appends a begin/end
+    // pair, and that too must leave the views untouched.
     gvex::obs::set_enabled(true);
+    gvex::obs::trace::force_active(true);
     let observed_1 = serde_json::to_string(&explain_database(&model, &db, &labels, &cfg, 1))
         .expect("serializable views");
     let observed_4 = serde_json::to_string(&explain_database(&model, &db, &labels, &cfg, 4))
@@ -101,6 +104,30 @@ fn explain_database_identical_with_observation_enabled() {
             spans.iter().any(|s| s.path.starts_with("explain_db")),
             "no explain_db span recorded: {spans:?}"
         );
+        // Both drivers ran inside a `session.explain` request scope, so the
+        // request registry attributes the work (counts, spans, counters).
+        let requests = gvex::obs::context::snapshot();
+        let explain = requests
+            .iter()
+            .find(|r| r.name == "session.explain")
+            .expect("session.explain request recorded");
+        assert!(explain.count >= 2, "both observed runs counted: {}", explain.count);
+        assert!(explain.total_ns > 0);
+        assert!(
+            explain.spans.iter().any(|(path, _, _)| path.starts_with("explain_db")),
+            "explain_db attributed to the request: {:?}",
+            explain.spans
+        );
+        // The ring recorded the observed runs. (The strict matched-pair
+        // assertion lives in `tests/obs_trace.rs` — its own process — and
+        // in ci.sh's flushed-file check: here sibling tests may have pairs
+        // mid-write while we snapshot, so only coarse balance is stable.)
+        let events = gvex::obs::trace::events();
+        assert!(!events.is_empty(), "trace ring recorded the observed runs");
+        let begins = events.iter().filter(|e| e.begin).count() as i64;
+        let ends = events.len() as i64 - begins;
+        assert!((begins - ends).abs() <= 64, "ring wildly unbalanced: {begins} B vs {ends} E");
+        assert_eq!(gvex::obs::trace::dropped() % 2, 0, "drops are counted in pairs");
     }
 }
 

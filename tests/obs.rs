@@ -112,6 +112,82 @@ fn report_json_parses_and_carries_schema() {
         arr_len(hist.get_field("counts").unwrap()),
         "bounds and counts must stay aligned"
     );
+
+    // Schema v2: every span row carries latency percentiles, and the
+    // document has the requests and trace sections.
+    let seeded = spans
+        .iter()
+        .find(|s| s.get_field("path") == Some(&serde_json::Value::Str("obs_it.report_span".into())))
+        .unwrap();
+    for key in ["p50_ms", "p90_ms", "p99_ms", "p999_ms"] {
+        assert!(seeded.get_field(key).is_some(), "span row missing v2 field {key}");
+    }
+    let _requests = field("requests"); // present even when no scope closed yet
+    let trace = field("trace");
+    for key in ["active", "events", "dropped", "capacity"] {
+        assert!(trace.get_field(key).is_some(), "trace section missing {key}");
+    }
+}
+
+/// A request scope tags the spans and counters recorded under it — on the
+/// opening thread and across the rayon stand-in's workers — and the v2
+/// report carries the attribution.
+#[test]
+fn request_scope_attributes_across_the_pool() {
+    if !obs_on() {
+        return;
+    }
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+    {
+        let _req = obs::context::ReqScope::begin("obs_it.request");
+        let _outer = obs::span::enter("obs_it.req_outer");
+        let items: Vec<usize> = (0..24).collect();
+        pool.install(|| {
+            items.par_iter().for_each(|_| {
+                let _s = obs::span::enter("obs_it.req_worker");
+                obs::metrics::counter_add("obs_it.req_counter", 1);
+            });
+        });
+    }
+    let req = obs::context::snapshot()
+        .into_iter()
+        .find(|r| r.name == "obs_it.request")
+        .expect("request recorded at scope close");
+    assert_eq!(req.count, 1);
+    assert!(req.total_ns > 0);
+    assert!(
+        req.spans.iter().any(|(path, _, _)| path.ends_with("obs_it.req_outer")),
+        "opening thread's span attributed: {:?}",
+        req.spans
+    );
+    assert!(
+        req.spans.iter().any(|(path, count, _)| path.ends_with("obs_it.req_worker") && *count > 0),
+        "worker spans attributed across the fan-out: {:?}",
+        req.spans
+    );
+    let (_, attributed) = req
+        .counters
+        .iter()
+        .find(|(name, _)| name == "obs_it.req_counter")
+        .expect("counter attributed to the request");
+    assert_eq!(*attributed, 24, "every worker increment tagged to the request");
+
+    // The same numbers appear in the v2 report's requests section.
+    let text = obs::report::render_json();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("report is valid JSON");
+    let entry = doc
+        .get_field("requests")
+        .and_then(|r| r.get_field("obs_it.request"))
+        .expect("request in report");
+    assert_eq!(entry.get_field("count").and_then(|v| v.as_u64()), Some(1));
+    assert!(entry.get_field("p99_ms").is_some());
+    assert_eq!(
+        entry
+            .get_field("counters")
+            .and_then(|c| c.get_field("obs_it.req_counter"))
+            .and_then(|v| v.as_u64()),
+        Some(24)
+    );
 }
 
 #[test]
