@@ -107,7 +107,18 @@ for required in ("iso.vf2.frontier_prunes", "iso.vf2.truncated", "mining.pgen.em
     if counters.get(required, 0) <= 0:
         raise SystemExit(f"bench gate: counter {required!r} missing or zero in OBS_report.json")
 
-print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x, batched forward {bforward['speedup']:.2f}x, mini-batch train {btrain['speedup']:.2f}x, backends {bench['simd_matmul']['speedup']:.2f}x/{bench['simd_spmm']['speedup']:.2f}x/{bench['simd_segmented']['speedup']:.2f}x — OK")
+# Store serving: opening a .gvex database and serving the first explanation
+# must beat the regenerate+retrain+mine cold start by 10x, bitwise identical.
+db_open = bench["db_open"]
+if db_open["open_secs"] > 0.25:
+    raise SystemExit(f"bench gate: Store::open took {db_open['open_secs']*1e3:.1f} ms — not 'milliseconds'")
+serve = bench["serve_from_db"]
+if serve["speedup"] < 10.0:
+    raise SystemExit(f"bench gate: serve-from-db speedup {serve['speedup']:.1f}x below the 10x gate")
+if not serve["identical"]:
+    raise SystemExit("bench gate: store-served views/labels differ from the in-memory pipeline")
+
+print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x, batched forward {bforward['speedup']:.2f}x, mini-batch train {btrain['speedup']:.2f}x, backends {bench['simd_matmul']['speedup']:.2f}x/{bench['simd_spmm']['speedup']:.2f}x/{bench['simd_segmented']['speedup']:.2f}x, serve-from-db {serve['speedup']:.0f}x — OK")
 PY
 fi
 
@@ -115,7 +126,10 @@ echo "==> obs smoke (GVEX_OBS=1 explain run, validates OBS_report.json + chrome 
 obs_report="$(mktemp -t gvex_obs_report.XXXXXX.json)"
 obs_trace="$(mktemp -t gvex_obs_trace.XXXXXX.json)"
 obs_regressed="$(mktemp -t gvex_obs_regressed.XXXXXX.json)"
-trap 'rm -f "$obs_report" "$obs_trace" "$obs_regressed"' EXIT
+store_db="$(mktemp -t gvex_store.XXXXXX.gvex)"
+store_build_report="$(mktemp -t gvex_store_build.XXXXXX.json)"
+store_serve_report="$(mktemp -t gvex_store_serve.XXXXXX.json)"
+trap 'rm -f "$obs_report" "$obs_trace" "$obs_regressed" "$store_db" "$store_build_report" "$store_serve_report"' EXIT
 # GVEX_THREADS pinned to the baseline's thread count: per-worker counters
 # (and the diff gate below) only compare across runs with the same fan-out.
 GVEX_THREADS=2 GVEX_OBS=1 GVEX_OBS_JSON="$obs_report" GVEX_OBS_TRACE="$obs_trace" \
@@ -214,5 +228,51 @@ if cargo run -q --release -- obs diff "$obs_report" "$obs_regressed" \
     exit 1
 fi
 echo "obs diff gate: clean pass + doctored regression detected — OK"
+
+echo "==> store smoke (.gvex built once, inspected, served under both kernel backends)"
+GVEX_OBS=1 GVEX_OBS_JSON="$store_build_report" \
+    cargo run -q --release -- db build --dataset MUT --scale small --seed 42 \
+    --epochs 20 --upper 4 --out "$store_db" >/dev/null
+inspect_out="$(cargo run -q --release -- db inspect "$store_db")"
+for required in meta features model views; do
+    if ! grep -q "$required" <<<"$inspect_out"; then
+        echo "store smoke: 'db inspect' output is missing the $required section" >&2
+        exit 1
+    fi
+done
+# Serve explain (which re-verifies views) and query from the same file under
+# both pinned kernel backends; the last explain leaves the serve-side obs
+# report for the counter check below.
+for backend in scalar simd; do
+    GVEX_BACKEND="$backend" GVEX_THREADS=2 GVEX_OBS=1 GVEX_OBS_JSON="$store_serve_report" \
+        cargo run -q --release -- explain --dataset MUT --scale small --upper 4 \
+        --db "$store_db" >/dev/null
+    GVEX_BACKEND="$backend" cargo run -q --release -- query --db "$store_db" >/dev/null
+done
+python3 - "$store_build_report" "$store_serve_report" <<'PY'
+import json, sys
+
+build = json.load(open(sys.argv[1]))["counters"]
+if build.get("store.build.bytes", 0) <= 0:
+    sys.exit("store smoke: store.build.bytes missing or zero in the build report")
+
+serve = json.load(open(sys.argv[2]))
+counters = serve["counters"]
+if counters.get("store.opens", 0) < 1:
+    sys.exit("store smoke: store.opens missing from the serve report")
+if counters.get("store.open_ms", 0) < 1:
+    sys.exit("store smoke: store.open_ms missing from the serve report")
+if counters.get("store.mapped_bytes", 0) <= 0:
+    sys.exit("store smoke: store.mapped_bytes missing or zero in the serve report")
+sections = [n for n in counters if n.startswith("store.section.") and n.endswith(".bytes")]
+if len(sections) < 5:
+    sys.exit(f"store smoke: expected per-section byte counters, got {sections}")
+spans = {span["path"] for span in serve["spans"]}
+if "store.open" not in spans:
+    sys.exit(f"store smoke: store.open span missing from {sorted(spans)}")
+
+print(f"store smoke: {counters['store.mapped_bytes']} bytes mapped across "
+      f"{len(sections)} sections, open_ms={counters['store.open_ms']} — OK")
+PY
 
 echo "==> CI green"

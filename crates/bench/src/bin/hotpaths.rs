@@ -47,10 +47,18 @@
 //!    the two backends agree end to end: explain-view node selections
 //!    identical, predicted labels identical, class probabilities and
 //!    training gradients within 1e-5.
+//! 8. Store serving (`gvex-store`): a full cold start (generate the MUT
+//!    dataset, train the classifier, mine every class's views) raced
+//!    against the warm path (memory-map the `.gvex` container, parse the
+//!    stored views, classify every graph zero-copy off the mapped CSR
+//!    columns). CI gates warm ≥ 10× faster with identical selections and
+//!    labels; `db_open` additionally reports the bare `Store::open` cost.
 
+use gvex_bench::harness;
 use gvex_core::exact::{greedy_selection, streaming_selection};
 use gvex_core::verify::verify_view_with;
 use gvex_core::{explain_database, Configuration, ExplainSession};
+use gvex_datasets::{DatasetKind, Scale};
 use gvex_gnn::propagation::NormAdj;
 use gvex_gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, GraphBatch, Split, TraceCache};
 use gvex_graph::{Graph, GraphDatabase, GraphRef};
@@ -61,6 +69,7 @@ use gvex_iso::{
 use gvex_linalg::backend::{self, BackendKind};
 use gvex_linalg::Matrix;
 use gvex_mining::MiningConfig;
+use gvex_store::Store;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -231,6 +240,41 @@ struct BackendParityBench {
     max_grad_diff: f32,
 }
 
+/// Bare `Store::open` on a freshly written `.gvex` container: header,
+/// section table, and per-section CRC validation over the mapped bytes,
+/// with O(1) allocation regardless of payload size.
+#[derive(Serialize)]
+struct DbOpenBench {
+    /// `.gvex` file length in bytes.
+    file_bytes: u64,
+    /// Sections in the container's table.
+    sections: usize,
+    /// How the bytes were brought in: `"mmap"` or the `"read"` fallback.
+    mapping: String,
+    /// Min-of-N seconds for `Store::open` alone.
+    open_secs: f64,
+    /// Mapped megabytes validated and served per second of open time.
+    mapped_mb_per_s: f64,
+}
+
+/// One-shot cold start (generate + train + mine) vs min-of-N warm serve
+/// (open the store, parse the stored views, classify every graph straight
+/// off the mapped CSR columns). CI gates the speedup at ≥ 10×.
+#[derive(Serialize)]
+struct ServeFromDbBench {
+    graphs: usize,
+    /// One-shot seconds for the no-database path: dataset generation,
+    /// classifier training, and single-threaded view mining.
+    cold_secs: f64,
+    /// Min-of-N seconds for open + view parse + database classification.
+    warm_secs: f64,
+    speedup: f64,
+    /// Store-served view selections and predicted labels are identical to
+    /// the in-memory ones (checked both zero-copy and via the harness's
+    /// owned `prepare_from_store` path).
+    identical: bool,
+}
+
 #[derive(Serialize)]
 struct Report {
     matmul_256: MatmulBench,
@@ -246,6 +290,8 @@ struct Report {
     simd_spmm: BackendKernelBench,
     simd_segmented: BackendKernelBench,
     backend_parity: BackendParityBench,
+    db_open: DbOpenBench,
+    serve_from_db: ServeFromDbBench,
 }
 
 /// Interleaved min-of-`rounds` timing of two closures: `a` and `b` alternate
@@ -982,6 +1028,86 @@ fn bench_backend_parity() -> BackendParityBench {
     }
 }
 
+fn bench_store() -> (DbOpenBench, ServeFromDbBench) {
+    let (kind, scale, seed, upper) = (DatasetKind::Mutagenicity, Scale::Small, 42u64, 4usize);
+    let path = std::env::temp_dir().join(format!("gvex-hotpaths-{}.gvex", std::process::id()));
+
+    // Cold start, one shot: everything a fresh process must redo when no
+    // database file exists.
+    let t = Instant::now();
+    let (prep, views_mem) = harness::prepare_with_views(kind, scale, seed, upper);
+    let cold_secs = t.elapsed().as_secs_f64();
+
+    let file_bytes = harness::write_store_file(&prep, &views_mem, seed, upper, &path);
+
+    // In-memory reference outputs for the parity check.
+    let refs: Vec<GraphRef> = prep.db.graphs().iter().map(|g| g.view()).collect();
+    let labels_mem = prep.model.predict_batch(&refs);
+    let sel_mem = selection_signature(&views_mem);
+
+    // Warm serve: open the container, parse the stored views, classify the
+    // whole database zero-copy off the mapped columns.
+    let serve = || {
+        let store = Store::open(&path).expect("reopen benchmark store");
+        let views = gvex_core::ExplanationViewSet::from_json(
+            store.views_json().expect("benchmark store embeds views"),
+        )
+        .expect("stored views decode");
+        let model = store.model();
+        let refs: Vec<GraphRef> =
+            (0..store.num_graphs()).map(|i| GraphRef::from(store.graph(i))).collect();
+        let labels = model.predict_batch(&refs);
+        (selection_signature(&views), labels)
+    };
+    let mut warm_secs = f64::INFINITY;
+    let mut served = None;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let out = serve();
+        warm_secs = warm_secs.min(t.elapsed().as_secs_f64());
+        served = Some(out);
+    }
+    let (sel_store, labels_store) = served.expect("serve ran");
+
+    // The harness-level warm path (owned copies) must agree as well.
+    let (prep2, views2) = harness::prepare_from_store(&path);
+    let refs2: Vec<GraphRef> = prep2.db.graphs().iter().map(|g| g.view()).collect();
+    let owned_identical = views2.map(|v| selection_signature(&v) == sel_mem).unwrap_or(false)
+        && prep2.model.predict_batch(&refs2) == labels_mem;
+    let identical = sel_store == sel_mem && labels_store == labels_mem && owned_identical;
+
+    // Bare open, min-of-N.
+    let probe = Store::open(&path).expect("reopen benchmark store");
+    let sections = probe.sections().len();
+    let mapping = probe.mapping_kind().to_string();
+    let mapped = probe.mapped_len();
+    drop(probe);
+    let mut open_secs = f64::INFINITY;
+    for _ in 0..9 {
+        let t = Instant::now();
+        black_box(Store::open(&path).expect("reopen benchmark store"));
+        open_secs = open_secs.min(t.elapsed().as_secs_f64());
+    }
+    let _ = std::fs::remove_file(&path);
+
+    (
+        DbOpenBench {
+            file_bytes,
+            sections,
+            mapping,
+            open_secs,
+            mapped_mb_per_s: mapped as f64 / 1e6 / open_secs.max(1e-9),
+        },
+        ServeFromDbBench {
+            graphs: prep.db.len(),
+            cold_secs,
+            warm_secs,
+            speedup: cold_secs / warm_secs.max(1e-9),
+            identical,
+        },
+    )
+}
+
 fn main() {
     eprintln!("[hotpaths] matmul 256^3 ...");
     let matmul = bench_matmul();
@@ -1134,6 +1260,26 @@ fn main() {
         backend_parity.max_grad_diff
     );
 
+    eprintln!("[hotpaths] store: cold start vs serve-from-db ...");
+    let (db_open, serve_from_db) = bench_store();
+    eprintln!(
+        "[hotpaths]   open {:.3} ms ({} bytes, {} sections via {}), {:.0} MB/s",
+        db_open.open_secs * 1e3,
+        db_open.file_bytes,
+        db_open.sections,
+        db_open.mapping,
+        db_open.mapped_mb_per_s
+    );
+    eprintln!(
+        "[hotpaths]   {} graphs: cold {:.2}s, warm {:.4}s, speedup {:.0}x {} ({})",
+        serve_from_db.graphs,
+        serve_from_db.cold_secs,
+        serve_from_db.warm_secs,
+        serve_from_db.speedup,
+        if serve_from_db.speedup >= 10.0 { "(>= 10x target met)" } else { "(BELOW 10x target)" },
+        if serve_from_db.identical { "output identical" } else { "OUTPUT DIVERGED" }
+    );
+
     let report = Report {
         matmul_256: matmul,
         realized_jacobian_128: jac,
@@ -1148,6 +1294,8 @@ fn main() {
         simd_spmm,
         simd_segmented,
         backend_parity,
+        db_open,
+        serve_from_db,
     };
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json");
     let text = serde_json::to_string_pretty(&report).expect("serializable report");

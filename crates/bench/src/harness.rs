@@ -2,7 +2,10 @@
 //! persistence shared by every experiment binary.
 
 use gvex_baselines::{GStarX, GcfExplainer, GnnExplainer, SubgraphX};
-use gvex_core::{ApproxGvex, Configuration, Explainer, NodeExplanation, StreamGvex};
+use gvex_core::{
+    explain_database, ApproxGvex, Configuration, Explainer, ExplanationViewSet, NodeExplanation,
+    StreamGvex,
+};
 use gvex_datasets::{DatasetKind, Scale};
 use gvex_gnn::{
     train,
@@ -11,8 +14,9 @@ use gvex_gnn::{
 };
 use gvex_graph::GraphDatabase;
 use gvex_metrics::{evaluate, ExplanationQuality};
+use gvex_store::{write_store, BuildInput, Store};
 use serde::{Deserialize, Serialize};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// A dataset with its trained classifier, ready for explanation runs.
@@ -58,6 +62,63 @@ pub fn prepare(kind: DatasetKind, scale: Scale, seed: u64) -> Prepared {
     let all: Vec<usize> = (0..db.len()).collect();
     let acc = accuracy(&model, &db, &all);
     Prepared { kind, db, model, split, accuracy: acc }
+}
+
+/// Everything a cold start must redo when no `.gvex` database exists:
+/// generate the dataset, train the classifier, and mine the explanation
+/// views for every class (single-threaded, the deterministic reference).
+pub fn prepare_with_views(
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    upper: usize,
+) -> (Prepared, ExplanationViewSet) {
+    let prep = prepare(kind, scale, seed);
+    let labels: Vec<usize> = (0..prep.db.num_classes()).collect();
+    let views = explain_database(&prep.model, &prep.db, &labels, &gvex_config(upper), 1);
+    (prep, views)
+}
+
+/// Packs a prepared dataset, its trained classifier, and mined views into a
+/// `.gvex` store at `path`. Returns the file length in bytes.
+pub fn write_store_file(
+    prep: &Prepared,
+    views: &ExplanationViewSet,
+    seed: u64,
+    upper: usize,
+    path: &Path,
+) -> u64 {
+    let json = views.to_json();
+    let input = BuildInput {
+        db: &prep.db,
+        model: &prep.model,
+        views_json: Some(&json),
+        dataset: prep.kind.short_name(),
+        seed,
+        mining: Some(gvex_config(upper).mining),
+    };
+    write_store(path, &input).unwrap_or_else(|e| panic!("write store {}: {e}", path.display()))
+}
+
+/// Warm start: reopens a `.gvex` store and rebuilds a [`Prepared`] (owned
+/// database, deserialized model, split re-derived from the stored seed)
+/// plus the stored view set. The owned copies make the result a drop-in
+/// replacement for [`prepare`]; benches that want the zero-copy serve path
+/// should hold the [`Store`] itself instead.
+pub fn prepare_from_store(path: &Path) -> (Prepared, Option<ExplanationViewSet>) {
+    gvex_obs::span!("bench.prepare_from_store");
+    let store = Store::open(path).unwrap_or_else(|e| panic!("open store {}: {e}", path.display()));
+    let kind = DatasetKind::from_short_name(&store.meta().dataset)
+        .unwrap_or_else(|| panic!("unknown dataset {:?} in store", store.meta().dataset));
+    let seed = store.meta().seed;
+    let db = store.database();
+    let model = store.model();
+    let views =
+        store.views_json().map(|s| ExplanationViewSet::from_json(s).expect("stored views decode"));
+    let split = Split::paper(&db, seed);
+    let all: Vec<usize> = (0..db.len()).collect();
+    let acc = accuracy(&model, &db, &all);
+    (Prepared { kind, db, model, split, accuracy: acc }, views)
 }
 
 /// The GVEX configuration used across experiments: the paper's MUT optimum

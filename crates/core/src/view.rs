@@ -108,6 +108,20 @@ impl ExplanationViewSet {
     pub fn view_for(&self, label: usize) -> Option<&ExplanationView> {
         self.views.iter().find(|v| v.label == label)
     }
+
+    /// Serializes the set as compact JSON — the payload `gvex-store`
+    /// embeds in a `.gvex` file's views section and the `--views-out` /
+    /// `query` CLI files use. Rust's shortest-roundtrip float formatting
+    /// makes the trip through [`Self::from_json`] bitwise exact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("view sets always serialize")
+    }
+
+    /// Parses a set produced by [`Self::to_json`] (e.g. read back from a
+    /// `.gvex` store or a views file).
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("view set does not decode: {e:?}"))
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,14 @@ impl DatasetKind {
         }
     }
 
+    /// Parses the paper abbreviation (case-insensitive): the inverse of
+    /// [`Self::short_name`]. Used by the CLI and by `.gvex` metadata round
+    /// trips (`gvex db build` records the short name; consumers map it
+    /// back to regenerate the matching dataset).
+    pub fn from_short_name(name: &str) -> Option<Self> {
+        DatasetKind::all().into_iter().find(|k| k.short_name().eq_ignore_ascii_case(name))
+    }
+
     /// Generates the dataset at the given scale, deterministically.
     pub fn generate(&self, scale: Scale, seed: u64) -> GraphDatabase {
         match self {

@@ -246,6 +246,42 @@ impl GcnModel {
         &self.fc_b
     }
 
+    /// The raw gate logits (`1 × T`), if gates are enabled (read-only; the
+    /// store serializes these bitwise alongside the other weights).
+    pub fn edge_gates(&self) -> Option<&Matrix> {
+        self.edge_gates.as_ref()
+    }
+
+    /// Reassembles a model from stored weights (the `.gvex` container's
+    /// model section). Every matrix is adopted as-is — a round trip through
+    /// `from_parts(cfg, conv, fc_w, fc_b, …)` of an existing model's
+    /// accessors is bitwise identical to the original.
+    ///
+    /// # Panics
+    /// If any weight shape disagrees with `cfg`.
+    pub fn from_parts(
+        cfg: GcnConfig,
+        conv: Vec<Matrix>,
+        fc_w: Matrix,
+        fc_b: Matrix,
+        aggregation: crate::propagation::Aggregation,
+        readout: Readout,
+        edge_gates: Option<Matrix>,
+    ) -> Self {
+        assert_eq!(conv.len(), cfg.layers, "layer count mismatch");
+        let mut in_dim = cfg.input_dim;
+        for (i, w) in conv.iter().enumerate() {
+            assert_eq!(w.shape(), (in_dim, cfg.hidden), "conv[{i}] shape mismatch");
+            in_dim = cfg.hidden;
+        }
+        assert_eq!(fc_w.shape(), (cfg.hidden, cfg.num_classes), "fc_w shape mismatch");
+        assert_eq!(fc_b.shape(), (1, cfg.num_classes), "fc_b shape mismatch");
+        if let Some(g) = &edge_gates {
+            assert_eq!(g.rows(), 1, "edge gates must be 1 × T");
+        }
+        Self { cfg, conv, fc_w, fc_b, aggregation, readout, edge_gates }
+    }
+
     /// Runs a full forward pass on `g` — a `&Graph` or a borrowed
     /// [`GraphRef`] view (candidate subgraphs / complements run inference
     /// without materializing an owned copy).

@@ -1,0 +1,483 @@
+//! Borrowed compressed-sparse-row graphs over raw columnar slices.
+//!
+//! The `.gvex` store (crate `gvex-store`) lays every graph of a database
+//! out as flat little-endian arrays — node types, a feature matrix,
+//! and CSR adjacency (`indptr` / `targets` / `etypes`) — so a memory-mapped
+//! file can be served without deserialization. [`CsrGraph`] is the borrowed
+//! view over one graph's slices of those arrays: construction is a handful
+//! of pointer/length pairs, never a copy.
+//!
+//! A `CsrGraph` plugs into the same consumers as an owned [`Graph`]: it
+//! converts into a full [`GraphRef`](crate::GraphRef) view (`From` impl in
+//! `view.rs`), so GCN propagation, batched inference, and the match index
+//! run directly over the mapped bytes. [`CsrGraph::to_graph`] materializes
+//! through the ordinary [`GraphBuilder`] path, which makes the round trip
+//! exact: a graph stored from a built [`Graph`] and rebuilt from its CSR
+//! slices is bitwise identical (the builder sorts and dedups, and the
+//! stored adjacency is already sorted and deduped).
+//!
+//! Invariants callers must uphold (the store validates them at open):
+//!
+//! * `indptr` has `num_nodes + 1` entries, is non-decreasing, and
+//!   `indptr[i] - indptr[0]` indexes into `targets` / `etypes`;
+//! * `targets` holds *graph-local* node ids, each `< num_nodes`, sorted
+//!   within each node's range with at most one entry per neighbor;
+//! * `features.len() == num_nodes * feature_dim`;
+//! * for undirected graphs the in- and out-slices alias the same arrays.
+
+use crate::graph::{EdgeTypeId, Graph, GraphBuilder, NodeId, NodeTypeId};
+
+/// One direction of CSR adjacency: `indptr` windows into parallel
+/// `targets` / `etypes` arrays. `indptr` values are *global* (file-wide)
+/// edge offsets; the slice's first entry is the base the local ranges are
+/// measured from, so a per-graph view is three subslices and no arithmetic
+/// at construction time.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrAdjacency<'a> {
+    /// `num_nodes + 1` non-decreasing edge offsets (global).
+    pub indptr: &'a [u64],
+    /// Neighbor node ids (graph-local), concatenated per node.
+    pub targets: &'a [u32],
+    /// Edge type of each target, parallel to `targets`.
+    pub etypes: &'a [u32],
+}
+
+impl<'a> CsrAdjacency<'a> {
+    /// The local `targets`/`etypes` range of node `v`.
+    #[inline]
+    fn range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let base = self.indptr[0];
+        (self.indptr[v] - base) as usize..(self.indptr[v + 1] - base) as usize
+    }
+
+    /// Neighbor ids and edge types of `v` as parallel slices.
+    #[inline]
+    pub fn row(&self, v: NodeId) -> (&'a [u32], &'a [u32]) {
+        let r = self.range(v);
+        (&self.targets[r.clone()], &self.etypes[r])
+    }
+
+    /// Total adjacency entries (each undirected edge appears twice).
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// A borrowed CSR graph: every field is a slice into storage owned
+/// elsewhere (typically a memory-mapped `.gvex` file). `Copy` — passing one
+/// around costs a few pointer/length pairs.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrGraph<'a> {
+    directed: bool,
+    feature_dim: usize,
+    node_types: &'a [NodeTypeId],
+    /// Row-major `num_nodes × feature_dim` feature matrix.
+    features: &'a [f32],
+    out: CsrAdjacency<'a>,
+    /// Aliases `out` for undirected graphs.
+    inn: CsrAdjacency<'a>,
+}
+
+impl<'a> CsrGraph<'a> {
+    /// Assembles a borrowed graph from raw columnar slices.
+    ///
+    /// # Panics
+    /// If the slice lengths are mutually inconsistent (`indptr` length,
+    /// feature matrix size, targets/etypes parallelism). Deeper properties
+    /// (sortedness, target range) are the storage layer's responsibility.
+    pub fn new(
+        directed: bool,
+        node_types: &'a [NodeTypeId],
+        features: &'a [f32],
+        feature_dim: usize,
+        out: CsrAdjacency<'a>,
+        inn: CsrAdjacency<'a>,
+    ) -> Self {
+        let n = node_types.len();
+        assert_eq!(out.indptr.len(), n + 1, "out indptr must have n+1 entries");
+        assert_eq!(inn.indptr.len(), n + 1, "in indptr must have n+1 entries");
+        assert_eq!(out.targets.len(), out.etypes.len(), "targets/etypes must be parallel");
+        assert_eq!(inn.targets.len(), inn.etypes.len(), "targets/etypes must be parallel");
+        assert_eq!(features.len(), n * feature_dim, "feature matrix size mismatch");
+        Self { directed, feature_dim, node_types, features, out, inn }
+    }
+
+    /// Whether edges are directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of edges `|E|` (each undirected edge counted once, exactly
+    /// like [`Graph::num_edges`]).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        if self.directed {
+            self.out.num_entries()
+        } else {
+            self.out.num_entries() / 2
+        }
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_types.is_empty()
+    }
+
+    /// Feature dimensionality `D`.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// The type `L(v)` of a node.
+    #[inline]
+    pub fn node_type(&self, v: NodeId) -> NodeTypeId {
+        self.node_types[v]
+    }
+
+    /// All node types, indexed by node id.
+    #[inline]
+    pub fn node_types(&self) -> &'a [NodeTypeId] {
+        self.node_types
+    }
+
+    /// The whole feature matrix as one row-major slice.
+    #[inline]
+    pub fn features(&self) -> &'a [f32] {
+        self.features
+    }
+
+    /// The feature row of node `v`, borrowed from the underlying storage.
+    #[inline]
+    pub fn feature_row(&self, v: NodeId) -> &'a [f32] {
+        &self.features[v * self.feature_dim..(v + 1) * self.feature_dim]
+    }
+
+    /// Out-neighbors of `v` as parallel `(targets, etypes)` slices, sorted
+    /// by neighbor id (the stored order).
+    #[inline]
+    pub fn out_row(&self, v: NodeId) -> (&'a [u32], &'a [u32]) {
+        self.out.row(v)
+    }
+
+    /// In-neighbors of `v` as parallel slices (equals [`Self::out_row`]
+    /// for undirected graphs).
+    #[inline]
+    pub fn in_row(&self, v: NodeId) -> (&'a [u32], &'a [u32]) {
+        self.inn.row(v)
+    }
+
+    /// Out-neighbors of `v` with edge types, in stored (sorted) order.
+    pub fn neighbors(&self, v: NodeId) -> CsrNeighbors<'a> {
+        let (t, e) = self.out.row(v);
+        CsrNeighbors { targets: t.iter(), etypes: e.iter() }
+    }
+
+    /// In-neighbors of `v` with edge types.
+    pub fn in_neighbors(&self, v: NodeId) -> CsrNeighbors<'a> {
+        let (t, e) = self.inn.row(v);
+        CsrNeighbors { targets: t.iter(), etypes: e.iter() }
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out.range(v).len()
+    }
+
+    /// The type of the edge `u → v` if present (binary search, like
+    /// [`Graph::edge_type`]).
+    pub fn edge_type(&self, u: NodeId, v: NodeId) -> Option<EdgeTypeId> {
+        let (targets, etypes) = self.out.row(u);
+        targets.binary_search(&(v as u32)).ok().map(|i| etypes[i])
+    }
+
+    /// True if the edge `u → v` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_type(u, v).is_some()
+    }
+
+    /// Materializes an owned [`Graph`] through the ordinary builder path.
+    /// Because the stored adjacency came from a built graph (sorted,
+    /// deduped, no self-loops), the result is bitwise identical to the
+    /// graph that was stored.
+    pub fn to_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.directed);
+        for v in 0..self.num_nodes() {
+            b.add_node(self.node_type(v), self.feature_row(v));
+        }
+        for u in 0..self.num_nodes() {
+            for (v, t) in self.neighbors(u) {
+                if self.directed || u < v {
+                    b.add_edge(u, v, t);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Iterator over a CSR node's neighbors, zipping the parallel target and
+/// edge-type slices.
+#[derive(Clone, Debug)]
+pub struct CsrNeighbors<'a> {
+    targets: std::slice::Iter<'a, u32>,
+    etypes: std::slice::Iter<'a, u32>,
+}
+
+impl Iterator for CsrNeighbors<'_> {
+    type Item = (NodeId, EdgeTypeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        let v = self.targets.next()?;
+        let t = self.etypes.next()?;
+        Some((*v as NodeId, *t))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.targets.size_hint()
+    }
+}
+
+impl ExactSizeIterator for CsrNeighbors<'_> {}
+
+/// Owned columnar CSR arrays for a whole graph database, in exactly the
+/// layout the `.gvex` sections use. This is the *write-side* encoder (and
+/// the test harness for the borrowed view): [`CsrColumns::push`] appends a
+/// built [`Graph`], and [`CsrColumns::graph`] hands back the borrowed
+/// [`CsrGraph`] over the accumulated arrays.
+#[derive(Clone, Debug, Default)]
+pub struct CsrColumns {
+    /// Cumulative node counts, one entry per graph plus the leading 0.
+    pub node_ptr: Vec<u64>,
+    /// Node types, concatenated across graphs.
+    pub node_types: Vec<u32>,
+    /// Row-major features, concatenated across graphs.
+    pub features: Vec<f32>,
+    /// Global out-edge offsets, `total_nodes + 1` entries.
+    pub out_indptr: Vec<u64>,
+    /// Graph-local out-neighbor ids.
+    pub out_targets: Vec<u32>,
+    /// Out-edge types, parallel to `out_targets`.
+    pub out_etypes: Vec<u32>,
+    /// Global in-edge offsets (empty for undirected databases).
+    pub in_indptr: Vec<u64>,
+    /// Graph-local in-neighbor ids (empty for undirected databases).
+    pub in_targets: Vec<u32>,
+    /// In-edge types (empty for undirected databases).
+    pub in_etypes: Vec<u32>,
+    /// Whether the graphs are directed (must be uniform per database).
+    pub directed: bool,
+    /// Feature dimensionality (uniform per database).
+    pub feature_dim: usize,
+}
+
+impl CsrColumns {
+    /// Starts an empty column set for graphs of the given directedness and
+    /// feature dimensionality.
+    pub fn new(directed: bool, feature_dim: usize) -> Self {
+        let mut c = Self { directed, feature_dim, ..Self::default() };
+        c.node_ptr.push(0);
+        c.out_indptr.push(0);
+        if directed {
+            c.in_indptr.push(0);
+        }
+        c
+    }
+
+    /// Number of graphs pushed so far.
+    pub fn num_graphs(&self) -> usize {
+        self.node_ptr.len() - 1
+    }
+
+    /// Total node count across all pushed graphs.
+    pub fn total_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Appends one built graph's columns.
+    ///
+    /// # Panics
+    /// If the graph's directedness or feature dimensionality differs from
+    /// the column set's, or a node id exceeds `u32` range.
+    pub fn push(&mut self, g: &Graph) {
+        assert_eq!(g.is_directed(), self.directed, "mixed directedness in one database");
+        assert_eq!(g.feature_dim(), self.feature_dim, "mixed feature dims in one database");
+        assert!(g.num_nodes() <= u32::MAX as usize, "graph too large for u32 node ids");
+        for v in 0..g.num_nodes() {
+            self.node_types.push(g.node_type(v));
+            self.features.extend_from_slice(g.features().row(v));
+            for &(w, t) in g.neighbors(v) {
+                self.out_targets.push(w as u32);
+                self.out_etypes.push(t);
+            }
+            self.out_indptr.push(self.out_targets.len() as u64);
+            if self.directed {
+                for &(w, t) in g.in_neighbors(v) {
+                    self.in_targets.push(w as u32);
+                    self.in_etypes.push(t);
+                }
+                self.in_indptr.push(self.in_targets.len() as u64);
+            }
+        }
+        self.node_ptr.push(self.node_types.len() as u64);
+    }
+
+    /// The borrowed [`CsrGraph`] over graph `i`'s slices.
+    pub fn graph(&self, i: usize) -> CsrGraph<'_> {
+        let n0 = self.node_ptr[i] as usize;
+        let n1 = self.node_ptr[i + 1] as usize;
+        let out = slice_adjacency(&self.out_indptr, &self.out_targets, &self.out_etypes, n0, n1);
+        let inn = if self.directed {
+            slice_adjacency(&self.in_indptr, &self.in_targets, &self.in_etypes, n0, n1)
+        } else {
+            out
+        };
+        CsrGraph::new(
+            self.directed,
+            &self.node_types[n0..n1],
+            &self.features[n0 * self.feature_dim..n1 * self.feature_dim],
+            self.feature_dim,
+            out,
+            inn,
+        )
+    }
+}
+
+/// Carves one graph's adjacency out of database-wide CSR arrays: the
+/// `indptr` window keeps its global values (the first entry is the base),
+/// while `targets`/`etypes` are cut down to the graph's own range. Shared
+/// by [`CsrColumns::graph`] and the `.gvex` store reader.
+pub fn slice_adjacency<'a>(
+    indptr: &'a [u64],
+    targets: &'a [u32],
+    etypes: &'a [u32],
+    n0: usize,
+    n1: usize,
+) -> CsrAdjacency<'a> {
+    let window = &indptr[n0..=n1];
+    let e0 = window[0] as usize;
+    let e1 = window[n1 - n0] as usize;
+    CsrAdjacency { indptr: window, targets: &targets[e0..e1], etypes: &etypes[e0..e1] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        let mut b = Graph::builder(false);
+        b.add_node(0, &[1.0, 0.0]);
+        b.add_node(1, &[0.0, 1.0]);
+        b.add_node(1, &[0.5, 0.5]);
+        b.add_node(0, &[2.0, 2.0]);
+        b.add_edge(0, 1, 0);
+        b.add_edge(0, 2, 1);
+        b.add_edge(1, 3, 0);
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    fn chain_directed(n: usize) -> Graph {
+        let mut b = Graph::builder(true);
+        for i in 0..n {
+            b.add_node(i as u32 % 3, &[i as f32]);
+        }
+        for i in 1..n {
+            b.add_edge(i - 1, i, (i % 2) as u32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_is_bitwise_identical() {
+        for g in [diamond(), chain_directed(5), Graph::builder(false).build()] {
+            let mut cols = CsrColumns::new(g.is_directed(), g.feature_dim());
+            cols.push(&g);
+            let back = cols.graph(0).to_graph();
+            assert_eq!(back, g, "CSR round trip changed the graph");
+        }
+    }
+
+    #[test]
+    fn accessors_match_owned_graph() {
+        let g = diamond();
+        let mut cols = CsrColumns::new(false, 2);
+        cols.push(&g);
+        let c = cols.graph(0);
+        assert_eq!(c.num_nodes(), g.num_nodes());
+        assert_eq!(c.num_edges(), g.num_edges());
+        assert_eq!(c.feature_dim(), g.feature_dim());
+        for v in 0..g.num_nodes() {
+            assert_eq!(c.node_type(v), g.node_type(v));
+            assert_eq!(c.feature_row(v), g.features().row(v));
+            assert_eq!(c.degree(v), g.degree(v));
+            let nbrs: Vec<_> = c.neighbors(v).collect();
+            assert_eq!(nbrs, g.neighbors(v).to_vec(), "node {v}");
+            let inn: Vec<_> = c.in_neighbors(v).collect();
+            assert_eq!(inn, g.in_neighbors(v).to_vec(), "node {v} (in)");
+        }
+        for u in 0..g.num_nodes() {
+            for v in 0..g.num_nodes() {
+                assert_eq!(c.edge_type(u, v), g.edge_type(u, v), "edge {u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn directed_in_adjacency_is_separate() {
+        let g = chain_directed(4);
+        let mut cols = CsrColumns::new(true, 1);
+        cols.push(&g);
+        let c = cols.graph(0);
+        assert!(c.has_edge(0, 1));
+        assert!(!c.has_edge(1, 0));
+        for v in 0..4 {
+            let inn: Vec<_> = c.in_neighbors(v).collect();
+            assert_eq!(inn, g.in_neighbors(v).to_vec());
+        }
+        assert_eq!(c.to_graph(), g);
+    }
+
+    #[test]
+    fn multiple_graphs_share_columns() {
+        let a = diamond();
+        let b = {
+            let mut bb = Graph::builder(false);
+            bb.add_node(2, &[9.0, 9.0]);
+            bb.add_node(2, &[8.0, 8.0]);
+            bb.add_edge(0, 1, 3);
+            bb.build()
+        };
+        let mut cols = CsrColumns::new(false, 2);
+        cols.push(&a);
+        cols.push(&b);
+        assert_eq!(cols.num_graphs(), 2);
+        assert_eq!(cols.graph(0).to_graph(), a);
+        assert_eq!(cols.graph(1).to_graph(), b);
+        // the second graph's targets are graph-local
+        let nbrs: Vec<_> = cols.graph(1).neighbors(0).collect();
+        assert_eq!(nbrs, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn empty_graph_columns() {
+        let g = Graph::builder(false).build();
+        let mut cols = CsrColumns::new(false, 0);
+        cols.push(&g);
+        let c = cols.graph(0);
+        assert!(c.is_empty());
+        assert_eq!(c.num_edges(), 0);
+    }
+}

@@ -20,6 +20,7 @@
 //!   influence masks (`gvex-influence`) and the match indexes (`gvex-iso`).
 
 pub mod bitset;
+pub mod csr;
 pub mod db;
 pub mod graph;
 pub mod registry;
@@ -27,6 +28,7 @@ pub mod traversal;
 pub mod view;
 
 pub use bitset::BitSet;
+pub use csr::{CsrAdjacency, CsrColumns, CsrGraph, CsrNeighbors};
 pub use db::{GlobalNodeId, GraphDatabase, LabelGroups};
 pub use graph::{EdgeTypeId, Graph, GraphBuilder, InducedSubgraph, NodeId, NodeTypeId};
 pub use registry::TypeRegistry;

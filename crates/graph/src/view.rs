@@ -1,16 +1,23 @@
-//! Borrowed, zero-copy views over a parent [`Graph`]'s node subset.
+//! Borrowed, zero-copy views over a parent graph's node subset.
 //!
 //! The explanation hot loops repeatedly score candidate selections by
 //! running inference on the induced subgraph `G[Vs]` and its complement
 //! `G \ Gs`. Materializing each of those as an owned [`Graph`] copies the
 //! adjacency lists and the feature matrix per candidate; a [`GraphRef`]
-//! instead carries the parent reference plus an id remapping (two `Vec`s of
+//! instead carries the parent handle plus an id remapping (two `Vec`s of
 //! node ids), and consumers — GCN propagation, the Jacobian entry points,
 //! the match targets — iterate the parent's adjacency through the mapping.
 //!
+//! A view's parent is either an owned [`Graph`] borrow or a borrowed
+//! [`CsrGraph`] over raw columnar slices (the memory-mapped `.gvex` store):
+//! every accessor dispatches on the backing, so inference over a mapped
+//! database runs through the very same code paths as inference over an
+//! in-memory one, without materializing a single adjacency list.
+//!
 //! Ownership rules:
 //!
-//! * a `GraphRef` never outlives its parent (`'a` is the parent borrow);
+//! * a `GraphRef` never outlives its parent (`'a` is the parent borrow —
+//!   for CSR backings that is the lifetime of the mapped bytes);
 //! * the node table is *interned at construction*: duplicates collapse to
 //!   their first occurrence and the selection order defines the view's node
 //!   ids, exactly like [`Graph::induced_subgraph`];
@@ -18,17 +25,112 @@
 //!   path as `induced_subgraph`, so a materialized view is bitwise
 //!   identical to the owned subgraph it replaces.
 
-use crate::graph::{EdgeTypeId, Graph, NodeId, NodeTypeId};
+use crate::csr::{CsrGraph, CsrNeighbors};
+use crate::graph::{EdgeTypeId, Graph, GraphBuilder, NodeId, NodeTypeId};
 use gvex_linalg::Matrix;
 use std::borrow::Cow;
 
+/// The graph a view borrows: an owned [`Graph`] or a columnar [`CsrGraph`].
+#[derive(Clone, Copy, Debug)]
+enum Parent<'a> {
+    Owned(&'a Graph),
+    Csr(CsrGraph<'a>),
+}
+
+impl<'a> Parent<'a> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        match self {
+            Parent::Owned(g) => g.num_nodes(),
+            Parent::Csr(c) => c.num_nodes(),
+        }
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        match self {
+            Parent::Owned(g) => g.is_directed(),
+            Parent::Csr(c) => c.is_directed(),
+        }
+    }
+
+    #[inline]
+    fn feature_dim(&self) -> usize {
+        match self {
+            Parent::Owned(g) => g.feature_dim(),
+            Parent::Csr(c) => c.feature_dim(),
+        }
+    }
+
+    #[inline]
+    fn node_type(&self, v: NodeId) -> NodeTypeId {
+        match self {
+            Parent::Owned(g) => g.node_type(v),
+            Parent::Csr(c) => c.node_type(v),
+        }
+    }
+
+    #[inline]
+    fn feature_row(&self, v: NodeId) -> &'a [f32] {
+        match self {
+            Parent::Owned(g) => g.features().row(v),
+            Parent::Csr(c) => c.feature_row(v),
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> ParentNeighbors<'a> {
+        match self {
+            Parent::Owned(g) => ParentNeighbors::Owned(g.neighbors(v).iter()),
+            Parent::Csr(c) => ParentNeighbors::Csr(c.neighbors(v)),
+        }
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> ParentNeighbors<'a> {
+        match self {
+            Parent::Owned(g) => ParentNeighbors::Owned(g.in_neighbors(v).iter()),
+            Parent::Csr(c) => ParentNeighbors::Csr(c.in_neighbors(v)),
+        }
+    }
+
+    #[inline]
+    fn edge_type(&self, u: NodeId, v: NodeId) -> Option<EdgeTypeId> {
+        match self {
+            Parent::Owned(g) => g.edge_type(u, v),
+            Parent::Csr(c) => c.edge_type(u, v),
+        }
+    }
+}
+
+/// Iterator over a *parent* node's adjacency, in parent id space. The two
+/// arms iterate an owned graph's `(id, type)` pairs or a CSR graph's
+/// parallel target/type slices; both yield the stored (sorted) order.
+#[derive(Clone, Debug)]
+enum ParentNeighbors<'a> {
+    Owned(std::slice::Iter<'a, (NodeId, EdgeTypeId)>),
+    Csr(CsrNeighbors<'a>),
+}
+
+impl Iterator for ParentNeighbors<'_> {
+    type Item = (NodeId, EdgeTypeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            ParentNeighbors::Owned(it) => it.next().copied(),
+            ParentNeighbors::Csr(it) => it.next(),
+        }
+    }
+}
+
 /// A borrowed view of a (sub)set of a parent graph's nodes, with edges
 /// restricted to the retained nodes. Cheap to construct and clone: the
-/// full-graph view holds nothing but the parent reference, and a subset
+/// full-graph view holds nothing but the parent handle, and a subset
 /// view holds two id-mapping vectors.
 #[derive(Clone, Debug)]
 pub struct GraphRef<'a> {
-    parent: &'a Graph,
+    parent: Parent<'a>,
     sel: Selection,
 }
 
@@ -45,52 +147,85 @@ enum Selection {
     },
 }
 
-impl<'a> GraphRef<'a> {
-    /// The full-graph view (identity mapping, allocation-free).
-    pub fn full(parent: &'a Graph) -> Self {
-        Self { parent, sel: Selection::Full }
-    }
-
-    /// The view induced by `nodes` (order defines the view's ids;
-    /// duplicates are ignored after the first occurrence — the same
-    /// interning as [`Graph::induced_subgraph`]).
-    pub fn induced(parent: &'a Graph, nodes: &[NodeId]) -> Self {
+impl Selection {
+    /// Interns `nodes` against a parent of `parent_nodes` nodes (the
+    /// [`Graph::induced_subgraph`] interning: duplicates collapse to their
+    /// first occurrence, order defines the new ids).
+    fn induced(parent_nodes: usize, nodes: &[NodeId]) -> Self {
         let mut old_of_new = Vec::with_capacity(nodes.len());
-        let mut new_of_old = vec![usize::MAX; parent.num_nodes()];
+        let mut new_of_old = vec![usize::MAX; parent_nodes];
         for &v in nodes {
-            assert!(v < parent.num_nodes(), "node {v} out of range");
+            assert!(v < parent_nodes, "node {v} out of range");
             if new_of_old[v] == usize::MAX {
                 new_of_old[v] = old_of_new.len();
                 old_of_new.push(v);
             }
         }
-        Self { parent, sel: Selection::Induced { old_of_new, new_of_old } }
+        Selection::Induced { old_of_new, new_of_old }
     }
 
-    /// The complement view `G \ Gs`: every node *not* in `removed`, in
-    /// ascending id order (the counterfactual test input, mirroring
-    /// [`Graph::remove_nodes`]).
-    pub fn complement(parent: &'a Graph, removed: &[NodeId]) -> Self {
-        let n = parent.num_nodes();
-        let mut new_of_old = vec![0usize; n];
+    /// Every parent node *not* in `removed`, in ascending id order.
+    fn complement(parent_nodes: usize, removed: &[NodeId]) -> Self {
+        let mut new_of_old = vec![0usize; parent_nodes];
         for &v in removed {
-            assert!(v < n, "node {v} out of range");
+            assert!(v < parent_nodes, "node {v} out of range");
             new_of_old[v] = usize::MAX;
         }
-        let mut old_of_new = Vec::with_capacity(n.saturating_sub(removed.len()));
+        let mut old_of_new = Vec::with_capacity(parent_nodes.saturating_sub(removed.len()));
         for (old, slot) in new_of_old.iter_mut().enumerate() {
             if *slot != usize::MAX {
                 *slot = old_of_new.len();
                 old_of_new.push(old);
             }
         }
-        Self { parent, sel: Selection::Induced { old_of_new, new_of_old } }
+        Selection::Induced { old_of_new, new_of_old }
+    }
+}
+
+impl<'a> GraphRef<'a> {
+    /// The full-graph view (identity mapping, allocation-free).
+    pub fn full(parent: &'a Graph) -> Self {
+        Self { parent: Parent::Owned(parent), sel: Selection::Full }
     }
 
-    /// The parent graph this view borrows.
+    /// The full-graph view over a borrowed columnar [`CsrGraph`]
+    /// (allocation-free — this is how a memory-mapped database graph
+    /// enters the inference pipeline).
+    pub fn full_csr(parent: CsrGraph<'a>) -> Self {
+        Self { parent: Parent::Csr(parent), sel: Selection::Full }
+    }
+
+    /// The view induced by `nodes` (order defines the view's ids;
+    /// duplicates are ignored after the first occurrence — the same
+    /// interning as [`Graph::induced_subgraph`]).
+    pub fn induced(parent: &'a Graph, nodes: &[NodeId]) -> Self {
+        Self { sel: Selection::induced(parent.num_nodes(), nodes), parent: Parent::Owned(parent) }
+    }
+
+    /// The complement view `G \ Gs`: every node *not* in `removed`, in
+    /// ascending id order (the counterfactual test input, mirroring
+    /// [`Graph::remove_nodes`]).
+    pub fn complement(parent: &'a Graph, removed: &[NodeId]) -> Self {
+        Self {
+            sel: Selection::complement(parent.num_nodes(), removed),
+            parent: Parent::Owned(parent),
+        }
+    }
+
+    /// The view induced by `nodes` over a columnar parent.
+    pub fn induced_csr(parent: CsrGraph<'a>, nodes: &[NodeId]) -> Self {
+        Self { sel: Selection::induced(parent.num_nodes(), nodes), parent: Parent::Csr(parent) }
+    }
+
+    /// The parent as an owned-graph borrow, when the view is backed by one
+    /// (columnar parents return `None` — they have no owned `Graph` to
+    /// hand out; use [`GraphRef::as_graph`] to materialize).
     #[inline]
-    pub fn parent(&self) -> &'a Graph {
-        self.parent
+    pub fn parent_graph(&self) -> Option<&'a Graph> {
+        match self.parent {
+            Parent::Owned(g) => Some(g),
+            Parent::Csr(_) => None,
+        }
     }
 
     /// True when the view covers every parent node with unchanged ids.
@@ -153,10 +288,10 @@ impl<'a> GraphRef<'a> {
         self.parent.node_type(self.to_parent(v))
     }
 
-    /// The feature row of a view node (borrowed from the parent).
+    /// The feature row of a view node (borrowed from the parent's storage).
     #[inline]
     pub fn feature_row(&self, v: NodeId) -> &'a [f32] {
-        self.parent.features().row(self.to_parent(v))
+        self.parent.feature_row(self.to_parent(v))
     }
 
     /// Out-neighbors of view node `v` in view id space, with edge types.
@@ -164,13 +299,13 @@ impl<'a> GraphRef<'a> {
     /// order follows the parent's (old-id-sorted) adjacency.
     pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
         let old = self.to_parent(v);
-        Neighbors { iter: self.parent.neighbors(old).iter(), view: self }
+        Neighbors { iter: self.parent.neighbors(old), view: self }
     }
 
     /// In-neighbors of view node `v` in view id space, with edge types.
     pub fn in_neighbors(&self, v: NodeId) -> Neighbors<'_> {
         let old = self.to_parent(v);
-        Neighbors { iter: self.parent.in_neighbors(old).iter(), view: self }
+        Neighbors { iter: self.parent.in_neighbors(old), view: self }
     }
 
     /// Returns the type of the edge `u → v` (view ids) if present.
@@ -183,12 +318,15 @@ impl<'a> GraphRef<'a> {
     /// bitwise copies, so inference over the view reproduces inference over
     /// the materialized subgraph exactly.
     pub fn features_matrix(&self) -> Matrix {
-        match &self.sel {
-            Selection::Full => self.parent.features().clone(),
-            Selection::Induced { old_of_new, .. } => {
-                let mut m = Matrix::zeros(old_of_new.len(), self.parent.feature_dim());
+        match (&self.sel, &self.parent) {
+            (Selection::Full, Parent::Owned(g)) => g.features().clone(),
+            (Selection::Full, Parent::Csr(c)) => {
+                Matrix::from_vec(c.num_nodes(), c.feature_dim(), c.features().to_vec())
+            }
+            (Selection::Induced { old_of_new, .. }, parent) => {
+                let mut m = Matrix::zeros(old_of_new.len(), parent.feature_dim());
                 for (new, &old) in old_of_new.iter().enumerate() {
-                    m.set_row(new, self.parent.features().row(old));
+                    m.set_row(new, parent.feature_row(old));
                 }
                 m
             }
@@ -198,20 +336,45 @@ impl<'a> GraphRef<'a> {
     /// Materializes the view as an owned [`Graph`], via the same builder
     /// path as [`Graph::induced_subgraph`] (bitwise identical result).
     pub fn to_graph(&self) -> Graph {
-        match &self.sel {
-            Selection::Full => self.parent.clone(),
-            Selection::Induced { old_of_new, .. } => self.parent.induced_subgraph(old_of_new).graph,
+        match (&self.sel, &self.parent) {
+            (Selection::Full, Parent::Owned(g)) => (*g).clone(),
+            (Selection::Full, Parent::Csr(c)) => c.to_graph(),
+            (Selection::Induced { old_of_new, .. }, Parent::Owned(g)) => {
+                g.induced_subgraph(old_of_new).graph
+            }
+            (Selection::Induced { old_of_new, new_of_old }, Parent::Csr(_)) => {
+                // Mirrors `Graph::induced_subgraph` over the columnar
+                // parent: same iteration order, same builder finalization.
+                let mut b = GraphBuilder::new(self.parent.is_directed());
+                for &old in old_of_new {
+                    b.add_node(self.parent.node_type(old), self.parent.feature_row(old));
+                }
+                let directed = self.parent.is_directed();
+                for (new_u, &old_u) in old_of_new.iter().enumerate() {
+                    for (old_v, t) in self.parent.neighbors(old_u) {
+                        let new_v = new_of_old[old_v];
+                        if new_v == usize::MAX {
+                            continue;
+                        }
+                        if directed || new_u < new_v {
+                            b.add_edge(new_u, new_v, t);
+                        }
+                    }
+                }
+                b.build()
+            }
         }
     }
 
-    /// The view as a possibly-borrowed graph: the full view borrows its
-    /// parent for free, subset views materialize once. Lets code that
-    /// fundamentally needs an owned adjacency (e.g. VF2 match targets)
-    /// accept views without taxing the common full-graph case.
+    /// The view as a possibly-borrowed graph: the full view over an owned
+    /// parent borrows it for free; subset views and columnar parents
+    /// materialize once. Lets code that fundamentally needs an owned
+    /// adjacency (e.g. VF2 match targets) accept views without taxing the
+    /// common full-graph case.
     pub fn as_graph(&self) -> Cow<'a, Graph> {
-        match &self.sel {
-            Selection::Full => Cow::Borrowed(self.parent),
-            Selection::Induced { .. } => Cow::Owned(self.to_graph()),
+        match (&self.sel, &self.parent) {
+            (Selection::Full, Parent::Owned(g)) => Cow::Borrowed(*g),
+            _ => Cow::Owned(self.to_graph()),
         }
     }
 }
@@ -219,6 +382,12 @@ impl<'a> GraphRef<'a> {
 impl<'a> From<&'a Graph> for GraphRef<'a> {
     fn from(g: &'a Graph) -> Self {
         GraphRef::full(g)
+    }
+}
+
+impl<'a> From<CsrGraph<'a>> for GraphRef<'a> {
+    fn from(c: CsrGraph<'a>) -> Self {
+        GraphRef::full_csr(c)
     }
 }
 
@@ -231,7 +400,7 @@ impl<'a> From<&GraphRef<'a>> for GraphRef<'a> {
 /// Iterator over a view node's neighbors, filtering and remapping the
 /// parent adjacency on the fly.
 pub struct Neighbors<'v> {
-    iter: std::slice::Iter<'v, (NodeId, EdgeTypeId)>,
+    iter: ParentNeighbors<'v>,
     view: &'v GraphRef<'v>,
 }
 
@@ -239,7 +408,7 @@ impl Iterator for Neighbors<'_> {
     type Item = (NodeId, EdgeTypeId);
 
     fn next(&mut self) -> Option<Self::Item> {
-        for &(old, t) in self.iter.by_ref() {
+        for (old, t) in self.iter.by_ref() {
             if let Some(new) = self.view.from_parent(old) {
                 return Some((new, t));
             }
@@ -268,6 +437,7 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrColumns;
 
     fn diamond() -> Graph {
         // 0-1, 0-2, 1-3, 2-3, types 0,1,1,0
@@ -354,5 +524,40 @@ mod tests {
         assert!(v.is_empty());
         assert_eq!(v.to_graph().num_nodes(), 0);
         assert_eq!(v.features_matrix().rows(), 0);
+    }
+
+    /// A view over a columnar parent behaves exactly like the same view
+    /// over the owned graph: full, induced, and complement selections.
+    #[test]
+    fn csr_parent_matches_owned_parent() {
+        let g = diamond();
+        let mut cols = CsrColumns::new(false, 2);
+        cols.push(&g);
+        let csr = cols.graph(0);
+
+        let full: GraphRef = csr.into();
+        assert!(full.is_full());
+        assert!(full.parent_graph().is_none());
+        assert_eq!(full.to_graph(), g);
+        assert_eq!(full.features_matrix(), g.features().clone());
+        assert!(matches!(full.as_graph(), Cow::Owned(_)));
+        for v in 0..4 {
+            assert_eq!(full.node_type(v), g.node_type(v));
+            assert_eq!(full.feature_row(v), g.features().row(v));
+            let a: Vec<_> = full.neighbors(v).collect();
+            assert_eq!(a, g.neighbors(v).to_vec(), "node {v}");
+        }
+
+        for sel in [vec![1, 3, 2], vec![0], vec![3, 0]] {
+            let over_csr = GraphRef::induced_csr(csr, &sel);
+            let over_owned = g.view_of(&sel);
+            assert_eq!(over_csr.to_graph(), over_owned.to_graph(), "selection {sel:?}");
+            assert_eq!(over_csr.features_matrix(), over_owned.features_matrix());
+            for v in 0..over_csr.num_nodes() {
+                let a: Vec<_> = over_csr.neighbors(v).collect();
+                let b: Vec<_> = over_owned.neighbors(v).collect();
+                assert_eq!(a, b, "node {v} of {sel:?}");
+            }
+        }
     }
 }

@@ -39,6 +39,13 @@ use crate::matrix::Matrix;
 use crate::{matrix, ops};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
+/// Alignment (bytes) that keeps any slice handed to the lane kernels on a
+/// full cache line / widest-vector boundary. On-disk containers that want
+/// their mapped `f32`/`u32` columns to feed [`SimdBackend`] without a
+/// realignment copy must place sections on this boundary (`gvex-store`
+/// aligns every section to it and rejects files that don't).
+pub const SIMD_ALIGN: usize = 64;
+
 /// Identity of a kernel backend (the census label and `GVEX_BACKEND` value).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BackendKind {

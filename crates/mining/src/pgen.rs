@@ -4,12 +4,13 @@ use crate::enumerate::connected_subsets;
 use gvex_graph::{Graph, NodeId};
 use gvex_iso::canon::canonical_code;
 use gvex_iso::vf2::{are_isomorphic, find_one, MatchOptions};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
 /// Mining bounds. Patterns are small by design — they are the human-facing
 /// tier of the explanation view.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MiningConfig {
     /// Maximum pattern size in nodes (paper patterns like NO₂ or a carbon
     /// ring are ≤ 6 nodes).

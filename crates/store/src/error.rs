@@ -1,0 +1,96 @@
+//! Typed failure modes of the `.gvex` container.
+//!
+//! Every way a file can be unusable maps to exactly one [`StoreError`]
+//! variant — corruption, truncation, and version skew are *data*, not
+//! panics. The open path validates eagerly (header, table, section CRCs)
+//! so that once [`Store::open`](crate::Store::open) returns `Ok`, every
+//! zero-copy accessor is infallible.
+
+use std::fmt;
+
+/// Why a `.gvex` file could not be opened or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure (open, read, write, map).
+    Io(std::io::Error),
+    /// The first 8 bytes are not the `GVEX` store magic — not a `.gvex`
+    /// file at all.
+    BadMagic,
+    /// The file's format version is not one this build can read.
+    UnsupportedVersion {
+        /// Version recorded in the header.
+        found: u32,
+        /// Version this build reads.
+        supported: u32,
+    },
+    /// The file ends before the bytes the header/table promise: a partial
+    /// copy or a truncated download.
+    Truncated {
+        /// Bytes the structure requires.
+        needed: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// A section's stored CRC32 does not match its bytes.
+    ChecksumMismatch {
+        /// Section (or `"table"` for the section table itself).
+        section: &'static str,
+    },
+    /// A section's offset violates the 64-byte alignment contract, so its
+    /// typed columns could not be served zero-copy.
+    Misaligned {
+        /// The offending section.
+        section: &'static str,
+        /// Its recorded file offset.
+        offset: u64,
+    },
+    /// A section required by the format version is absent.
+    MissingSection(&'static str),
+    /// Structurally well-formed but semantically inconsistent contents
+    /// (bad lengths, undecodable metadata, out-of-range ids).
+    Malformed(String),
+    /// The host cannot serve this file zero-copy (big-endian targets; the
+    /// on-disk format is little-endian by definition).
+    UnsupportedPlatform,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a .gvex store (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this build reads {supported})")
+            }
+            StoreError::Truncated { needed, actual } => {
+                write!(f, "truncated file: {actual} bytes present, {needed} required")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section '{section}'")
+            }
+            StoreError::Misaligned { section, offset } => {
+                write!(f, "section '{section}' at offset {offset} breaks 64-byte alignment")
+            }
+            StoreError::MissingSection(s) => write!(f, "required section '{s}' missing"),
+            StoreError::Malformed(why) => write!(f, "malformed store: {why}"),
+            StoreError::UnsupportedPlatform => {
+                write!(f, ".gvex stores are little-endian; this platform is not")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

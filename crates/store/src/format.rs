@@ -1,0 +1,296 @@
+//! The `.gvex` on-disk layout: header, section table, section ids.
+//!
+//! ```text
+//! offset 0    ┌──────────────────────────────────────────────┐
+//!             │ header, 64 bytes, little-endian              │
+//!             │   magic      [u8; 8] = "GVEXSTOR"            │
+//!             │   version    u32     = 1                     │
+//!             │   sections   u32       (table entry count)   │
+//!             │   file_len   u64       (total file bytes)    │
+//!             │   table_crc  u32       (CRC-32 of the table) │
+//!             │   reserved   36 zero bytes                   │
+//! offset 64   ├──────────────────────────────────────────────┤
+//!             │ section table, 32 bytes per entry            │
+//!             │   id, flags: u32, u32                        │
+//!             │   offset, len: u64, u64                      │
+//!             │   crc, reserved: u32, u32                    │
+//!             ├──────────────────────────────────────────────┤
+//!             │ sections, each at a 64-byte-aligned offset,  │
+//!             │ zero-padded in between, in table order       │
+//!             └──────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian. Section payloads are raw typed columns
+//! (`u32` / `u64` / `f32` arrays) or UTF-8 JSON; the 64-byte alignment of
+//! every section start is what lets the reader cast mapped bytes straight
+//! to typed slices that satisfy [`gvex_linalg::backend::SIMD_ALIGN`].
+
+use crate::error::StoreError;
+
+/// First 8 bytes of every `.gvex` file.
+pub const MAGIC: [u8; 8] = *b"GVEXSTOR";
+/// Format version this build reads and writes.
+pub const VERSION: u32 = 1;
+/// Header size in bytes; the section table starts here.
+pub const HEADER_LEN: usize = 64;
+/// Size of one section-table entry.
+pub const ENTRY_LEN: usize = 32;
+/// Required alignment of every section's file offset (matches
+/// [`gvex_linalg::backend::SIMD_ALIGN`]).
+pub const SECTION_ALIGN: usize = gvex_linalg::backend::SIMD_ALIGN;
+
+/// Rounds `off` up to the next section boundary.
+pub fn align_up(off: usize) -> usize {
+    off.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+/// The defined section kinds. Ids are stable across format versions;
+/// readers ignore ids they don't know (forward compatibility), writers
+/// emit sections in ascending id order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionId {
+    /// Database/model/mining metadata as UTF-8 JSON ([`crate::StoreMeta`]).
+    Meta = 1,
+    /// `u64[num_graphs + 1]` cumulative node counts.
+    NodePtr = 2,
+    /// `u32[total_nodes]` node type ids.
+    NodeTypes = 3,
+    /// `f32[total_nodes × feature_dim]` row-major features.
+    Features = 4,
+    /// `u64[total_nodes + 1]` global out-edge offsets.
+    OutIndptr = 5,
+    /// `u32[entries]` graph-local out-neighbor ids.
+    OutTargets = 6,
+    /// `u32[entries]` out-edge types.
+    OutEtypes = 7,
+    /// `u64[total_nodes + 1]` global in-edge offsets (directed only).
+    InIndptr = 8,
+    /// `u32[entries]` graph-local in-neighbor ids (directed only).
+    InTargets = 9,
+    /// `u32[entries]` in-edge types (directed only).
+    InEtypes = 10,
+    /// `u32[num_graphs]` ground-truth class labels.
+    Labels = 11,
+    /// `f32` model weights: conv layers, fc_w, fc_b, edge gates, in order
+    /// (shapes derive from the metadata's model config).
+    Model = 12,
+    /// Serialized two-tier explanation views as UTF-8 JSON (optional).
+    Views = 13,
+}
+
+impl SectionId {
+    /// Decodes a raw id (unknown ids are preserved, not errors).
+    pub fn from_raw(id: u32) -> Option<Self> {
+        use SectionId::*;
+        Some(match id {
+            1 => Meta,
+            2 => NodePtr,
+            3 => NodeTypes,
+            4 => Features,
+            5 => OutIndptr,
+            6 => OutTargets,
+            7 => OutEtypes,
+            8 => InIndptr,
+            9 => InTargets,
+            10 => InEtypes,
+            11 => Labels,
+            12 => Model,
+            13 => Views,
+            _ => return None,
+        })
+    }
+
+    /// Stable human-readable name (used by `db inspect`, the obs counters,
+    /// and error messages).
+    pub fn name(self) -> &'static str {
+        use SectionId::*;
+        match self {
+            Meta => "meta",
+            NodePtr => "node_ptr",
+            NodeTypes => "node_types",
+            Features => "features",
+            OutIndptr => "out_indptr",
+            OutTargets => "out_targets",
+            OutEtypes => "out_etypes",
+            InIndptr => "in_indptr",
+            InTargets => "in_targets",
+            InEtypes => "in_etypes",
+            Labels => "labels",
+            Model => "model",
+            Views => "views",
+        }
+    }
+}
+
+/// One decoded section-table row.
+#[derive(Clone, Copy, Debug)]
+pub struct SectionEntry {
+    /// Raw section id (possibly unknown to this build).
+    pub id: u32,
+    /// Reserved; 0 in version 1.
+    pub flags: u32,
+    /// Absolute file offset of the payload (64-byte aligned).
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 of the payload bytes.
+    pub crc: u32,
+}
+
+impl SectionEntry {
+    /// Serializes the entry into its 32-byte table row.
+    pub fn encode(&self) -> [u8; ENTRY_LEN] {
+        let mut b = [0u8; ENTRY_LEN];
+        b[0..4].copy_from_slice(&self.id.to_le_bytes());
+        b[4..8].copy_from_slice(&self.flags.to_le_bytes());
+        b[8..16].copy_from_slice(&self.offset.to_le_bytes());
+        b[16..24].copy_from_slice(&self.len.to_le_bytes());
+        b[24..28].copy_from_slice(&self.crc.to_le_bytes());
+        b
+    }
+
+    /// Decodes one 32-byte table row.
+    pub fn decode(b: &[u8]) -> Self {
+        Self {
+            id: u32::from_le_bytes(b[0..4].try_into().expect("entry slice")),
+            flags: u32::from_le_bytes(b[4..8].try_into().expect("entry slice")),
+            offset: u64::from_le_bytes(b[8..16].try_into().expect("entry slice")),
+            len: u64::from_le_bytes(b[16..24].try_into().expect("entry slice")),
+            crc: u32::from_le_bytes(b[24..28].try_into().expect("entry slice")),
+        }
+    }
+
+    /// The section's name, or a placeholder for unknown ids.
+    pub fn name(&self) -> &'static str {
+        SectionId::from_raw(self.id).map_or("unknown", SectionId::name)
+    }
+}
+
+/// Serializes the fixed header.
+pub fn encode_header(section_count: u32, file_len: u64, table_crc: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..8].copy_from_slice(&MAGIC);
+    h[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    h[12..16].copy_from_slice(&section_count.to_le_bytes());
+    h[16..24].copy_from_slice(&file_len.to_le_bytes());
+    h[24..28].copy_from_slice(&table_crc.to_le_bytes());
+    h
+}
+
+/// Decoded header fields.
+#[derive(Clone, Copy, Debug)]
+pub struct Header {
+    /// Number of section-table entries.
+    pub section_count: u32,
+    /// Total file length the writer recorded.
+    pub file_len: u64,
+    /// CRC-32 of the section table bytes.
+    pub table_crc: u32,
+}
+
+/// Validates magic + version and decodes the header fields.
+pub fn decode_header(bytes: &[u8]) -> Result<Header, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            needed: HEADER_LEN as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    if bytes[0..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("header slice"));
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version, supported: VERSION });
+    }
+    Ok(Header {
+        section_count: u32::from_le_bytes(bytes[12..16].try_into().expect("header slice")),
+        file_len: u64::from_le_bytes(bytes[16..24].try_into().expect("header slice")),
+        table_crc: u32::from_le_bytes(bytes[24..28].try_into().expect("header slice")),
+    })
+}
+
+/// Casts a section's bytes to a typed column, verifying alignment and
+/// exact length. `T` is one of the POD column types (`u32`/`u64`/`f32`),
+/// for which every bit pattern is a valid value.
+pub fn cast_slice<'a, T: Copy>(
+    bytes: &'a [u8],
+    section: &'static str,
+    offset: u64,
+) -> Result<&'a [T], StoreError> {
+    let size = std::mem::size_of::<T>();
+    if !bytes.len().is_multiple_of(size) {
+        return Err(StoreError::Malformed(format!(
+            "section '{section}' length {} is not a multiple of {size}",
+            bytes.len()
+        )));
+    }
+    // SAFETY: T is a plain-old-data numeric type; align_to only yields
+    // elements from correctly aligned, in-bounds bytes.
+    let (prefix, mid, suffix) = unsafe { bytes.align_to::<T>() };
+    if !prefix.is_empty() || !suffix.is_empty() {
+        return Err(StoreError::Misaligned { section, offset });
+    }
+    Ok(mid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let h = encode_header(7, 4096, 0xDEAD_BEEF);
+        let d = decode_header(&h).unwrap();
+        assert_eq!(d.section_count, 7);
+        assert_eq!(d.file_len, 4096);
+        assert_eq!(d.table_crc, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let e = SectionEntry { id: 4, flags: 0, offset: 128, len: 320, crc: 99 };
+        let d = SectionEntry::decode(&e.encode());
+        assert_eq!(d.id, 4);
+        assert_eq!(d.offset, 128);
+        assert_eq!(d.len, 320);
+        assert_eq!(d.crc, 99);
+        assert_eq!(d.name(), "features");
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut h = encode_header(0, 64, 0);
+        h[0] = b'X';
+        assert!(matches!(decode_header(&h), Err(StoreError::BadMagic)));
+        let mut h = encode_header(0, 64, 0);
+        h[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            decode_header(&h),
+            Err(StoreError::UnsupportedVersion { found: 9, supported: 1 })
+        ));
+    }
+
+    #[test]
+    fn cast_checks_alignment_and_length() {
+        #[repr(align(64))]
+        struct Aligned([u8; 64]);
+        let a = Aligned([7u8; 64]);
+        let ok: &[u32] = cast_slice(&a.0[..], "t", 0).unwrap();
+        assert_eq!(ok.len(), 16);
+        assert!(matches!(
+            cast_slice::<u32>(&a.0[1..9], "t", 1),
+            Err(StoreError::Misaligned { .. })
+        ));
+        assert!(matches!(cast_slice::<u32>(&a.0[..7], "t", 0), Err(StoreError::Malformed(_))));
+    }
+
+    #[test]
+    fn align_up_rounds_to_64() {
+        assert_eq!(align_up(0), 0);
+        assert_eq!(align_up(1), 64);
+        assert_eq!(align_up(64), 64);
+        assert_eq!(align_up(65), 128);
+    }
+}

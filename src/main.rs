@@ -21,19 +21,22 @@ use gvex::core::{
 use gvex::datasets::{dataset_stats, read_tu_dataset, write_tu_dataset, DatasetKind, Scale};
 use gvex::gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split};
 use gvex::graph::GraphDatabase;
+use gvex::store::{BuildInput, SectionId, Store};
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gvex <stats|export|train|explain|query|obs> [options]\n\
+        "usage: gvex <stats|export|train|explain|query|db|obs> [options]\n\
          \n\
          common options:\n\
            --dataset <MUT|RED|ENZ|MAL|PCQ|PRO|SYN>   synthetic stand-in\n\
            --scale <small|bench|full>                 generation scale (default bench)\n\
            --seed <u64>                               generation/training seed (default 42)\n\
            --tu-dir <dir> --tu-name <DS>              read a TU-format dataset instead\n\
+           --db <file.gvex>                           serve dataset/model/views from a\n\
+                                                      built store instead of regenerating\n\
          \n\
          stats    print the Table-3 row for the dataset\n\
          export   --out <dir>: write the dataset in TU format\n\
@@ -42,13 +45,25 @@ fn usage() -> ! {
                   each step into one block-diagonal batched forward/backward\n\
          explain  --model <file> --labels <l0,l1,..> --upper <n>\n\
                   [--stream] [--views-out <file>]: generate explanation views\n\
-         query    --views <file> [--label <l>] [--discriminative <l>]\n\
+         query    --views <file> | --db <file.gvex>\n\
+                  [--label <l>] [--discriminative <l>]\n\
+         db       build --out <file.gvex>: materialize dataset + trained model\n\
+                  + mined views into one mmap-servable store\n\
+                  [--upper <n>] [--stream] [--no-views] + train/dataset flags\n\
+                  inspect <file.gvex>: dump the section table and stats\n\
          obs      diff <old.json> <new.json>: compare two OBS_report.json\n\
                   files (schema v1 or v2) and exit 1 on a perf regression\n\
                   [--span-pct <n>] [--counter-pct <n>] [--p99-pct <n>]\n\
                   [--min-span-ms <x>] [--min-counter <n>]"
     );
     std::process::exit(2)
+}
+
+fn open_store(path: &str) -> Store {
+    Store::open(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("failed to open store {path}: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -73,6 +88,9 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn load_db(flags: &HashMap<String, String>) -> GraphDatabase {
+    if let Some(path) = flags.get("db") {
+        return open_store(path).database();
+    }
     if let (Some(dir), Some(name)) = (flags.get("tu-dir"), flags.get("tu-name")) {
         return read_tu_dataset(Path::new(dir), name).unwrap_or_else(|e| {
             eprintln!("failed to read TU dataset: {e}");
@@ -170,8 +188,22 @@ fn cmd_train(flags: &HashMap<String, String>) {
 }
 
 fn cmd_explain(flags: &HashMap<String, String>) {
-    let db = load_db(flags);
-    let (model, _) = trained_model(flags, &db);
+    // `--db` serves database AND model straight from the store: no
+    // regeneration, no retraining — the open-and-serve hot path.
+    let (db, model) = if let Some(path) = flags.get("db") {
+        let store = open_store(path);
+        eprintln!(
+            "[gvex] serving from {path}: {} graphs, {} bytes via {}",
+            store.num_graphs(),
+            store.mapped_len(),
+            store.mapping_kind()
+        );
+        (store.database(), store.model())
+    } else {
+        let db = load_db(flags);
+        let (model, _) = trained_model(flags, &db);
+        (db, model)
+    };
     let labels: Vec<usize> = flags
         .get("labels")
         .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
@@ -246,15 +278,27 @@ fn cmd_explain(flags: &HashMap<String, String>) {
 }
 
 fn cmd_query(flags: &HashMap<String, String>) {
-    let path = flags.get("views").unwrap_or_else(|| usage());
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("failed to read {path}: {e}");
-        std::process::exit(1);
-    });
-    let views: ExplanationViewSet = serde_json::from_str(&text).unwrap_or_else(|e| {
-        eprintln!("failed to parse {path}: {e}");
-        std::process::exit(1);
-    });
+    let views: ExplanationViewSet = if let Some(db_path) = flags.get("db") {
+        let store = open_store(db_path);
+        let Some(json) = store.views_json() else {
+            eprintln!("store {db_path} carries no views (built with --no-views?)");
+            std::process::exit(1);
+        };
+        ExplanationViewSet::from_json(json).unwrap_or_else(|e| {
+            eprintln!("failed to parse views in {db_path}: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let path = flags.get("views").unwrap_or_else(|| usage());
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("failed to parse {path}: {e}");
+            std::process::exit(1);
+        })
+    };
     let idx = index_views(&views);
     println!("{} distinct patterns across {} views", idx.patterns().len(), views.views.len());
 
@@ -273,6 +317,129 @@ fn cmd_query(flags: &HashMap<String, String>) {
             println!("  P{pid}: {} nodes, {} edges", p.num_nodes(), p.num_edges());
         }
     }
+}
+
+/// `gvex db build --out <file.gvex> [dataset/train/mining flags]` —
+/// materialize one dataset, its trained model, and the mined views into a
+/// single mmap-servable store file.
+fn cmd_db_build(flags: &HashMap<String, String>) {
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let db = load_db(flags);
+    let (model, _) = trained_model(flags, &db);
+    let upper: usize = flags.get("upper").map_or(10, |s| s.parse().unwrap_or(10));
+    let cfg = Configuration::paper_mut(upper);
+    let views_json = if flags.contains_key("no-views") {
+        None
+    } else {
+        let session = ExplainSession::new(&model, cfg.clone()).unwrap_or_else(|e| {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(1);
+        });
+        let strategy: &dyn SelectionStrategy =
+            if flags.contains_key("stream") { &StreamStrategy } else { &GreedyStrategy };
+        let labels: Vec<usize> = (0..db.num_classes()).collect();
+        Some(session.explain(strategy, &db, &labels).to_json())
+    };
+    let dataset =
+        flags.get("dataset").or_else(|| flags.get("tu-name")).map(String::as_str).unwrap_or("TU");
+    let seed: u64 = flags.get("seed").map_or(42, |s| s.parse().unwrap_or(42));
+    let input = BuildInput {
+        db: &db,
+        model: &model,
+        views_json: views_json.as_deref(),
+        dataset,
+        seed,
+        mining: Some(cfg.mining),
+    };
+    let bytes = gvex::store::write_store(Path::new(out), &input).unwrap_or_else(|e| {
+        eprintln!("failed to write store {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {out}: {bytes} bytes, {} graphs, views {}",
+        db.len(),
+        if views_json.is_some() { "included" } else { "omitted" }
+    );
+}
+
+/// `gvex db inspect <file.gvex>` — dump header, metadata, and the section
+/// table of a built store.
+fn cmd_db_inspect(path: &str) {
+    let store = open_store(path);
+    let m = store.meta();
+    println!(
+        "{path}: format v{}, {} bytes via {}",
+        gvex::store::VERSION,
+        store.mapped_len(),
+        store.mapping_kind()
+    );
+    println!(
+        "dataset {} (seed {}): {} graphs, {} classes, feature dim {}, {}",
+        m.dataset,
+        m.seed,
+        m.num_graphs,
+        m.class_names.len(),
+        m.feature_dim,
+        if m.directed { "directed" } else { "undirected" }
+    );
+    let c = m.model.config;
+    println!(
+        "model: {} layers x {} hidden -> {} classes, {:?}/{:?}, edge gates: {}",
+        c.layers,
+        c.hidden,
+        c.num_classes,
+        m.model.aggregation,
+        m.model.readout,
+        if m.model.edge_gate_types > 0 {
+            format!("{} types", m.model.edge_gate_types)
+        } else {
+            "off".to_string()
+        }
+    );
+    let mut total_nodes = 0usize;
+    let mut adjacency_entries = 0usize;
+    println!("{:<12} {:>10} {:>12} {:>10}", "section", "offset", "bytes", "crc32");
+    for e in store.sections() {
+        println!(
+            "{:<12} {:>10} {:>12} {:>10}",
+            e.name(),
+            e.offset,
+            e.len,
+            format!("{:08x}", e.crc)
+        );
+        if e.id == SectionId::NodeTypes as u32 {
+            total_nodes = e.len as usize / 4;
+        }
+        if e.id == SectionId::OutTargets as u32 {
+            adjacency_entries = e.len as usize / 4;
+        }
+    }
+    let edges = if m.directed { adjacency_entries } else { adjacency_entries / 2 };
+    println!(
+        "totals: {total_nodes} nodes, {edges} edges, views {}",
+        store.views_json().map_or("absent".to_string(), |v| format!("{} bytes", v.len()))
+    );
+}
+
+/// `gvex db <build|inspect>` — takes a positional subcommand (and for
+/// `inspect` a positional file), so it dispatches before [`parse_flags`].
+fn cmd_db(rest: &[String]) -> ExitCode {
+    let Some((sub, rest)) = rest.split_first() else {
+        usage();
+    };
+    match sub.as_str() {
+        "build" => cmd_db_build(&parse_flags(rest)),
+        "inspect" => {
+            let path = rest.first().unwrap_or_else(|| usage());
+            cmd_db_inspect(path);
+        }
+        other => {
+            eprintln!("unknown db subcommand: {other}");
+            usage();
+        }
+    }
+    gvex::obs::report::emit();
+    ExitCode::SUCCESS
 }
 
 /// `gvex obs diff old.json new.json [threshold flags]` — the perf-regression
@@ -372,6 +539,10 @@ fn main() -> ExitCode {
     // (which rejects positionals) sees them.
     if cmd == "obs" {
         return cmd_obs(rest);
+    }
+    // `db` also takes positionals (the subcommand, inspect's file).
+    if cmd == "db" {
+        return cmd_db(rest);
     }
     let flags = parse_flags(rest);
     match cmd.as_str() {
