@@ -118,7 +118,17 @@ if serve["speedup"] < 10.0:
 if not serve["identical"]:
     raise SystemExit("bench gate: store-served views/labels differ from the in-memory pipeline")
 
-print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x, batched forward {bforward['speedup']:.2f}x, mini-batch train {btrain['speedup']:.2f}x, backends {bench['simd_matmul']['speedup']:.2f}x/{bench['simd_spmm']['speedup']:.2f}x/{bench['simd_segmented']['speedup']:.2f}x, serve-from-db {serve['speedup']:.0f}x — OK")
+# Serving QPS: a warm daemon under a concurrent Zipfian mix must sustain
+# 10x the per-request cold-start throughput, byte-identical bodies.
+serve_qps = bench["serve_qps"]
+if serve_qps["speedup"] < 10.0:
+    raise SystemExit(f"bench gate: serve_qps speedup {serve_qps['speedup']:.1f}x below the 10x gate")
+if not serve_qps["identical"]:
+    raise SystemExit("bench gate: served bodies differ from the sequential pipeline")
+if serve_qps["cache_hits"] <= 0:
+    raise SystemExit("bench gate: serve_qps recorded zero answer-cache hits under a Zipfian mix")
+
+print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x, batched forward {bforward['speedup']:.2f}x, mini-batch train {btrain['speedup']:.2f}x, backends {bench['simd_matmul']['speedup']:.2f}x/{bench['simd_spmm']['speedup']:.2f}x/{bench['simd_segmented']['speedup']:.2f}x, serve-from-db {serve['speedup']:.0f}x, serve-qps {serve_qps['speedup']:.0f}x — OK")
 PY
 fi
 
@@ -129,7 +139,9 @@ obs_regressed="$(mktemp -t gvex_obs_regressed.XXXXXX.json)"
 store_db="$(mktemp -t gvex_store.XXXXXX.gvex)"
 store_build_report="$(mktemp -t gvex_store_build.XXXXXX.json)"
 store_serve_report="$(mktemp -t gvex_store_serve.XXXXXX.json)"
-trap 'rm -f "$obs_report" "$obs_trace" "$obs_regressed" "$store_db" "$store_build_report" "$store_serve_report"' EXIT
+daemon_log="$(mktemp -t gvex_daemon_log.XXXXXX.txt)"
+daemon_report="$(mktemp -t gvex_daemon_obs.XXXXXX.json)"
+trap 'rm -f "$obs_report" "$obs_trace" "$obs_regressed" "$store_db" "$store_build_report" "$store_serve_report" "$daemon_log" "$daemon_report"' EXIT
 # GVEX_THREADS pinned to the baseline's thread count: per-worker counters
 # (and the diff gate below) only compare across runs with the same fan-out.
 GVEX_THREADS=2 GVEX_OBS=1 GVEX_OBS_JSON="$obs_report" GVEX_OBS_TRACE="$obs_trace" \
@@ -268,11 +280,77 @@ sections = [n for n in counters if n.startswith("store.section.") and n.endswith
 if len(sections) < 5:
     sys.exit(f"store smoke: expected per-section byte counters, got {sections}")
 spans = {span["path"] for span in serve["spans"]}
-if "store.open" not in spans:
+# `--db` serving goes through ServeState, so store.open nests under the
+# serve.state_open span
+if not any(p == "store.open" or p.endswith("/store.open") for p in spans):
     sys.exit(f"store smoke: store.open span missing from {sorted(spans)}")
 
 print(f"store smoke: {counters['store.mapped_bytes']} bytes mapped across "
       f"{len(sections)} sections, open_ms={counters['store.open_ms']} — OK")
+PY
+
+echo "==> serve smoke (daemon on an ephemeral port, mixed traffic, both kernel backends)"
+# The daemon serves the store built above; the one-shot `gvex request`
+# client drives a mixed explain/query/node workload, a repeat request must
+# come back from the answer cache, and a reload + shutdown must both land
+# cleanly. The simd run's obs report (written at daemon exit) is validated
+# below.
+for backend in scalar simd; do
+    : > "$daemon_log"
+    GVEX_BACKEND="$backend" GVEX_THREADS=2 GVEX_OBS=1 GVEX_OBS_JSON="$daemon_report" \
+        cargo run -q --release -- serve --db "$store_db" >"$daemon_log" &
+    daemon_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$daemon_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "serve smoke ($backend): daemon never reported its address" >&2
+        kill "$daemon_pid" 2>/dev/null || true
+        exit 1
+    fi
+    req() { cargo run -q --release -- request --addr "$addr" "$@"; }
+    req --kind stats >/dev/null
+    req --kind explain --label 0 --upper 4 >/dev/null
+    # the identical request again: must be served from the answer cache
+    cached_note="$(req --kind explain --label 0 --upper 4 2>&1 >/dev/null)"
+    if ! grep -q "cached=true" <<<"$cached_note"; then
+        echo "serve smoke ($backend): repeat explain missed the cache: $cached_note" >&2
+        exit 1
+    fi
+    req --kind query --label 0 >/dev/null
+    req --kind query --discriminative 1 >/dev/null
+    req --kind node --graph 0 --target 0 --upper 4 >/dev/null
+    req --kind reload >/dev/null
+    req --kind shutdown >/dev/null
+    wait "$daemon_pid"
+    if ! grep -q "gvex serve: stopped" "$daemon_log"; then
+        echo "serve smoke ($backend): daemon did not stop cleanly" >&2
+        exit 1
+    fi
+done
+python3 - "$daemon_report" <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+counters = report["counters"]
+for required in ("serve.accepted", "serve.connections", "serve.requests",
+                 "serve.requests.explain", "serve.requests.query",
+                 "serve.requests.node", "serve.cache.hits",
+                 "serve.cache.inserts", "serve.reloads", "serve.shutdowns"):
+    if counters.get(required, 0) <= 0:
+        sys.exit(f"serve smoke: counter {required!r} missing or zero")
+requests = report["requests"]
+for required in ("serve.explain", "serve.query", "serve.node", "serve.reload"):
+    if required not in requests or requests[required]["count"] < 1:
+        sys.exit(f"serve smoke: request scope {required!r} missing")
+
+print(f"serve smoke: {counters['serve.requests']} requests over "
+      f"{counters['serve.connections']} connections, "
+      f"{counters['serve.cache.hits']} cache hit(s), "
+      f"{counters['serve.reloads']} reload(s) — OK")
 PY
 
 echo "==> CI green"

@@ -53,6 +53,11 @@
 //!    stored views, classify every graph zero-copy off the mapped CSR
 //!    columns). CI gates warm ≥ 10× faster with identical selections and
 //!    labels; `db_open` additionally reports the bare `Store::open` cost.
+//! 9. Serving QPS (`gvex-serve`): a warm daemon (4 workers, answer cache)
+//!    replaying a fixed Zipfian request mix from 4 concurrent clients vs
+//!    the same requests each paying a full per-request `ServeState::open`.
+//!    CI gates warm ≥ 10× the cold throughput with byte-identical bodies;
+//!    client-side p50/p99 latencies ride along.
 
 use gvex_bench::harness;
 use gvex_core::exact::{greedy_selection, streaming_selection};
@@ -275,6 +280,41 @@ struct ServeFromDbBench {
     identical: bool,
 }
 
+/// Sustained serving over TCP: an in-process `gvex serve` daemon with a
+/// warm session pool and answer cache, driven by concurrent clients
+/// replaying a Zipfian explain/node/query mix, vs answering a sample of
+/// the same requests with a per-request cold start (open the store, build
+/// the serving state, answer once, throw it away). CI gates the
+/// throughput ratio at ≥ 10× and requires byte-identical answers.
+#[derive(Serialize)]
+struct ServeQpsBench {
+    /// Requests replayed against the warm daemon.
+    requests: usize,
+    /// Concurrent client connections.
+    clients: usize,
+    /// Daemon worker threads.
+    workers: usize,
+    /// Warm daemon throughput (requests/s over the full replay).
+    warm_qps: f64,
+    /// Client-observed median round-trip, microseconds.
+    warm_p50_us: f64,
+    /// Client-observed 99th-percentile round-trip, microseconds.
+    warm_p99_us: f64,
+    /// Requests answered by the per-request cold-start arm.
+    cold_requests: usize,
+    /// Cold-start throughput (requests/s).
+    cold_qps: f64,
+    /// `warm_qps / cold_qps`.
+    speedup: f64,
+    /// Answer-cache hits during the warm replay.
+    cache_hits: u64,
+    /// Answer-cache misses during the warm replay.
+    cache_misses: u64,
+    /// Every concurrent response body matched the sequential in-process
+    /// answer byte for byte.
+    identical: bool,
+}
+
 #[derive(Serialize)]
 struct Report {
     matmul_256: MatmulBench,
@@ -292,6 +332,7 @@ struct Report {
     backend_parity: BackendParityBench,
     db_open: DbOpenBench,
     serve_from_db: ServeFromDbBench,
+    serve_qps: ServeQpsBench,
 }
 
 /// Interleaved min-of-`rounds` timing of two closures: `a` and `b` alternate
@@ -1028,9 +1069,10 @@ fn bench_backend_parity() -> BackendParityBench {
     }
 }
 
-fn bench_store() -> (DbOpenBench, ServeFromDbBench) {
+/// Builds the benchmark store at `path` and measures open/serve costs.
+/// The file is left in place for [`bench_serve_qps`]; `main` removes it.
+fn bench_store(path: &std::path::Path) -> (DbOpenBench, ServeFromDbBench) {
     let (kind, scale, seed, upper) = (DatasetKind::Mutagenicity, Scale::Small, 42u64, 4usize);
-    let path = std::env::temp_dir().join(format!("gvex-hotpaths-{}.gvex", std::process::id()));
 
     // Cold start, one shot: everything a fresh process must redo when no
     // database file exists.
@@ -1038,7 +1080,7 @@ fn bench_store() -> (DbOpenBench, ServeFromDbBench) {
     let (prep, views_mem) = harness::prepare_with_views(kind, scale, seed, upper);
     let cold_secs = t.elapsed().as_secs_f64();
 
-    let file_bytes = harness::write_store_file(&prep, &views_mem, seed, upper, &path);
+    let file_bytes = harness::write_store_file(&prep, &views_mem, seed, upper, path);
 
     // In-memory reference outputs for the parity check.
     let refs: Vec<GraphRef> = prep.db.graphs().iter().map(|g| g.view()).collect();
@@ -1048,7 +1090,7 @@ fn bench_store() -> (DbOpenBench, ServeFromDbBench) {
     // Warm serve: open the container, parse the stored views, classify the
     // whole database zero-copy off the mapped columns.
     let serve = || {
-        let store = Store::open(&path).expect("reopen benchmark store");
+        let store = Store::open(path).expect("reopen benchmark store");
         let views = gvex_core::ExplanationViewSet::from_json(
             store.views_json().expect("benchmark store embeds views"),
         )
@@ -1070,14 +1112,14 @@ fn bench_store() -> (DbOpenBench, ServeFromDbBench) {
     let (sel_store, labels_store) = served.expect("serve ran");
 
     // The harness-level warm path (owned copies) must agree as well.
-    let (prep2, views2) = harness::prepare_from_store(&path);
+    let (prep2, views2) = harness::prepare_from_store(path);
     let refs2: Vec<GraphRef> = prep2.db.graphs().iter().map(|g| g.view()).collect();
     let owned_identical = views2.map(|v| selection_signature(&v) == sel_mem).unwrap_or(false)
         && prep2.model.predict_batch(&refs2) == labels_mem;
     let identical = sel_store == sel_mem && labels_store == labels_mem && owned_identical;
 
     // Bare open, min-of-N.
-    let probe = Store::open(&path).expect("reopen benchmark store");
+    let probe = Store::open(path).expect("reopen benchmark store");
     let sections = probe.sections().len();
     let mapping = probe.mapping_kind().to_string();
     let mapped = probe.mapped_len();
@@ -1085,10 +1127,9 @@ fn bench_store() -> (DbOpenBench, ServeFromDbBench) {
     let mut open_secs = f64::INFINITY;
     for _ in 0..9 {
         let t = Instant::now();
-        black_box(Store::open(&path).expect("reopen benchmark store"));
+        black_box(Store::open(path).expect("reopen benchmark store"));
         open_secs = open_secs.min(t.elapsed().as_secs_f64());
     }
-    let _ = std::fs::remove_file(&path);
 
     (
         DbOpenBench {
@@ -1106,6 +1147,139 @@ fn bench_store() -> (DbOpenBench, ServeFromDbBench) {
             identical,
         },
     )
+}
+
+/// Zipfian(1) pick over `n` ranks: rank `i` drawn with weight `1/(i+1)`.
+fn zipf_pick(rng: &mut ChaCha8Rng, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty rank table");
+    let u = rng.gen_range(0.0..total);
+    cumulative.partition_point(|&c| c <= u)
+}
+
+fn bench_serve_qps(path: &std::path::Path) -> ServeQpsBench {
+    use gvex_serve::{answer, Client, Request, ServeState, Server, ServerConfig};
+
+    const REQUESTS: usize = 240;
+    const CLIENTS: usize = 4;
+    const WORKERS: usize = 4;
+    const COLD_REQUESTS: usize = 8;
+
+    // Request templates ranked by popularity: explains first (hot), then
+    // label queries, discriminative queries, and a tail of node requests.
+    let probe = ServeState::open(path).expect("benchmark store opens");
+    let classes = probe.db().num_classes();
+    let mut templates: Vec<Request> = Vec::new();
+    for l in 0..classes {
+        templates.push(Request::explain(l, 4, false));
+    }
+    for l in 0..classes {
+        templates.push(Request::query_label(l));
+    }
+    for l in 0..classes {
+        templates.push(Request { discriminative: Some(l as u64), ..Request::query_label(l) });
+    }
+    for g in 0..probe.db().len().min(6) {
+        templates.push(Request::node(g, 0, 4));
+    }
+
+    // Fixed Zipfian replay: every arm answers exactly this sequence.
+    let mut cumulative = Vec::with_capacity(templates.len());
+    let mut acc = 0.0;
+    for i in 0..templates.len() {
+        acc += 1.0 / (i + 1) as f64;
+        cumulative.push(acc);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let schedule: Vec<usize> = (0..REQUESTS).map(|_| zipf_pick(&mut rng, &cumulative)).collect();
+
+    // Sequential in-process ground truth (also warms nothing: fresh state).
+    let expected: Vec<String> = {
+        let state = ServeState::open(path).expect("benchmark store opens");
+        templates
+            .iter()
+            .map(|r| {
+                let resp = answer(&state, r);
+                assert!(resp.ok, "sequential answer failed: {}", resp.error);
+                resp.body
+            })
+            .collect()
+    };
+
+    // Warm arm: one daemon, CLIENTS concurrent connections replaying the
+    // schedule round-robin, per-call latency recorded client-side.
+    let state = ServeState::open(path).expect("benchmark store opens");
+    let server = Server::bind(
+        state,
+        "127.0.0.1:0",
+        ServerConfig { workers: WORKERS, ..ServerConfig::default() },
+    )
+    .expect("bind benchmark server");
+    let addr = server.addr();
+    let templates = std::sync::Arc::new(templates);
+    let schedule = std::sync::Arc::new(schedule);
+    let expected = std::sync::Arc::new(expected);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let templates = std::sync::Arc::clone(&templates);
+            let schedule = std::sync::Arc::clone(&schedule);
+            let expected = std::sync::Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut latencies_us = Vec::new();
+                let mut identical = true;
+                for i in (c..schedule.len()).step_by(CLIENTS) {
+                    let at = schedule[i];
+                    let t = Instant::now();
+                    let resp = client.call(&templates[at]).expect("request answered");
+                    latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    assert!(resp.ok, "warm request failed: {}", resp.error);
+                    identical &= resp.body == expected[at];
+                }
+                (latencies_us, identical)
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(REQUESTS);
+    let mut identical = true;
+    for h in handles {
+        let (lat, ok) = h.join().expect("client thread");
+        latencies_us.extend(lat);
+        identical &= ok;
+    }
+    let warm_secs = t0.elapsed().as_secs_f64();
+    let cache = server.cache_stats();
+    drop(server);
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+
+    // Cold arm: the same leading slice of the schedule, each request paying
+    // a full state open (what serving without a daemon would cost).
+    let t0 = Instant::now();
+    for &at in schedule.iter().take(COLD_REQUESTS) {
+        let state = ServeState::open(path).expect("benchmark store opens");
+        let resp = answer(&state, &templates[at]);
+        assert!(resp.ok, "cold request failed: {}", resp.error);
+        identical &= resp.body == expected[at];
+    }
+    let cold_secs = t0.elapsed().as_secs_f64();
+
+    let warm_qps = REQUESTS as f64 / warm_secs.max(1e-9);
+    let cold_qps = COLD_REQUESTS as f64 / cold_secs.max(1e-9);
+    ServeQpsBench {
+        requests: REQUESTS,
+        clients: CLIENTS,
+        workers: WORKERS,
+        warm_qps,
+        warm_p50_us: pct(0.50),
+        warm_p99_us: pct(0.99),
+        cold_requests: COLD_REQUESTS,
+        cold_qps,
+        speedup: warm_qps / cold_qps.max(1e-9),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        identical,
+    }
 }
 
 fn main() {
@@ -1261,7 +1435,9 @@ fn main() {
     );
 
     eprintln!("[hotpaths] store: cold start vs serve-from-db ...");
-    let (db_open, serve_from_db) = bench_store();
+    let store_path =
+        std::env::temp_dir().join(format!("gvex-hotpaths-{}.gvex", std::process::id()));
+    let (db_open, serve_from_db) = bench_store(&store_path);
     eprintln!(
         "[hotpaths]   open {:.3} ms ({} bytes, {} sections via {}), {:.0} MB/s",
         db_open.open_secs * 1e3,
@@ -1280,6 +1456,24 @@ fn main() {
         if serve_from_db.identical { "output identical" } else { "OUTPUT DIVERGED" }
     );
 
+    eprintln!("[hotpaths] serve: daemon QPS under Zipfian mix vs per-request cold start ...");
+    let serve_qps = bench_serve_qps(&store_path);
+    let _ = std::fs::remove_file(&store_path);
+    eprintln!(
+        "[hotpaths]   {} reqs x {} clients @ {} workers: warm {:.0} qps \
+         (p50 {:.0} us, p99 {:.0} us), cold {:.1} qps, speedup {:.0}x {} ({})",
+        serve_qps.requests,
+        serve_qps.clients,
+        serve_qps.workers,
+        serve_qps.warm_qps,
+        serve_qps.warm_p50_us,
+        serve_qps.warm_p99_us,
+        serve_qps.cold_qps,
+        serve_qps.speedup,
+        if serve_qps.speedup >= 10.0 { "(>= 10x target met)" } else { "(BELOW 10x target)" },
+        if serve_qps.identical { "bodies identical" } else { "BODIES DIVERGED" }
+    );
+
     let report = Report {
         matmul_256: matmul,
         realized_jacobian_128: jac,
@@ -1296,6 +1490,7 @@ fn main() {
         backend_parity,
         db_open,
         serve_from_db,
+        serve_qps,
     };
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json");
     let text = serde_json::to_string_pretty(&report).expect("serializable report");

@@ -288,12 +288,19 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // consume one UTF-8 scalar
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // consume the whole run up to the next quote or escape in
+                    // one step — validating UTF-8 per character would make
+                    // large strings (e.g. cached answer bodies) quadratic
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
                 None => return Err(Error::custom("unterminated string")),
             }

@@ -32,6 +32,7 @@ pub mod explainer;
 pub mod maintain;
 pub mod node_explain;
 pub mod parallel;
+pub mod pool;
 pub mod psum;
 pub mod query;
 pub mod session;
@@ -47,6 +48,7 @@ pub use explainer::{Explainer, NodeExplanation};
 pub use maintain::ViewMaintainer;
 pub use node_explain::{explain_node, NodeExplanationView};
 pub use parallel::explain_database;
+pub use pool::{CachesLease, SessionPool};
 pub use query::{index_views, ViewIndex};
 pub use session::{ExplainSession, SelectionStrategy, SessionCaches};
 pub use stream::{StreamGvex, StreamStrategy};

@@ -18,9 +18,10 @@ use gvex_graph::{Graph, NodeId};
 use gvex_influence::analysis::InfluenceAnalysis;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// A node-level explanation view.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct NodeExplanationView {
     /// The explained node (id in the original graph).
     pub target: NodeId,

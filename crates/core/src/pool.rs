@@ -1,0 +1,179 @@
+//! Warm [`SessionCaches`] pooling: checkout/checkin for long-lived owners.
+//!
+//! A one-shot CLI run builds its caches, uses them once, and exits — but a
+//! daemon, a bench harness, or any process answering many explanation
+//! requests wants each request to *inherit* the forward traces and
+//! influence analyses earlier requests already paid for. [`SessionPool`]
+//! keeps a bounded free list of [`SessionCaches`]; a worker checks one out
+//! ([`SessionPool::checkout`]), builds an [`ExplainSession`] over it for
+//! the request ([`CachesLease::session`]), and the lease's `Drop` returns
+//! the — now warmer — caches to the pool for the next request.
+//!
+//! A pool is tied to one model's weights, exactly like the caches it
+//! recycles (see [`gvex_gnn::TraceCache`]'s contract): owners that swap
+//! models (e.g. a serving daemon reloading its state) must swap the pool
+//! with the model. Pooling never changes results — a warm cache returns
+//! bitwise-identical traces and analyses to a cold recompute, which is what
+//! makes concurrent pooled serving byte-for-byte equal to the sequential
+//! pipeline.
+
+use crate::session::SessionCaches;
+use crate::{ConfigError, Configuration, ExplainSession};
+use gvex_gnn::GcnModel;
+use std::sync::{Arc, Mutex};
+
+/// Default bound on idle cache sets retained by the pool. Sized for a
+/// small worker fleet, not for per-request session counts: checked-out
+/// leases are unbounded, only the free list is capped.
+pub const DEFAULT_MAX_IDLE: usize = 8;
+
+/// A bounded free list of warm [`SessionCaches`].
+///
+/// `checkout` pops a warm set (or creates a fresh one when the list is
+/// empty); dropping the returned [`CachesLease`] pushes the set back,
+/// unless the free list is already at capacity, in which case the caches
+/// are simply dropped.
+pub struct SessionPool {
+    max_idle: usize,
+    cache_capacity: usize,
+    idle: Mutex<Vec<Arc<SessionCaches>>>,
+}
+
+impl SessionPool {
+    /// A pool of [`DEFAULT_MAX_IDLE`] idle cache sets at the session
+    /// default per-cache capacity.
+    pub fn new() -> Self {
+        Self::with_limits(DEFAULT_MAX_IDLE, 0)
+    }
+
+    /// A pool retaining at most `max_idle` idle cache sets, each bounding
+    /// its trace cache and influence memo to `cache_capacity` entries
+    /// (0 = the [`SessionCaches::new`] default).
+    pub fn with_limits(max_idle: usize, cache_capacity: usize) -> Self {
+        Self { max_idle: max_idle.max(1), cache_capacity, idle: Mutex::new(Vec::new()) }
+    }
+
+    fn fresh(&self) -> Arc<SessionCaches> {
+        Arc::new(if self.cache_capacity == 0 {
+            SessionCaches::new()
+        } else {
+            SessionCaches::with_capacity(self.cache_capacity)
+        })
+    }
+
+    /// Checks a cache set out of the pool: a warm one when available, a
+    /// fresh one otherwise. The lease returns it on drop.
+    pub fn checkout(&self) -> CachesLease<'_> {
+        gvex_obs::counter!("core.pool.checkouts");
+        let warm = self.idle.lock().expect("session pool poisoned").pop();
+        let reused = warm.is_some();
+        if reused {
+            gvex_obs::counter!("core.pool.warm_hits");
+        } else {
+            gvex_obs::counter!("core.pool.warm_hits", 0);
+            gvex_obs::counter!("core.pool.creates");
+        }
+        CachesLease { pool: self, caches: Some(warm.unwrap_or_else(|| self.fresh())), reused }
+    }
+
+    /// Number of idle cache sets currently retained.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().expect("session pool poisoned").len()
+    }
+
+    fn checkin(&self, caches: Arc<SessionCaches>) {
+        let mut idle = self.idle.lock().expect("session pool poisoned");
+        if idle.len() < self.max_idle {
+            idle.push(caches);
+        } else {
+            gvex_obs::counter!("core.pool.discards");
+        }
+    }
+}
+
+impl Default for SessionPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A checked-out cache set; returns to its pool on drop.
+pub struct CachesLease<'p> {
+    pool: &'p SessionPool,
+    caches: Option<Arc<SessionCaches>>,
+    reused: bool,
+}
+
+impl CachesLease<'_> {
+    /// The leased cache set.
+    pub fn caches(&self) -> &Arc<SessionCaches> {
+        self.caches.as_ref().expect("lease holds caches until drop")
+    }
+
+    /// Whether this lease reused a warm set (vs creating a fresh one).
+    pub fn was_warm(&self) -> bool {
+        self.reused
+    }
+
+    /// Builds an [`ExplainSession`] over the leased caches — the per-
+    /// request entry point: one request, one session, shared warm caches.
+    pub fn session<'m>(
+        &self,
+        model: &'m GcnModel,
+        cfg: Configuration,
+    ) -> Result<ExplainSession<'m>, ConfigError> {
+        ExplainSession::with_caches(model, cfg, Arc::clone(self.caches()))
+    }
+}
+
+impl Drop for CachesLease<'_> {
+    fn drop(&mut self) {
+        if let Some(caches) = self.caches.take() {
+            self.pool.checkin(caches);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_creates_then_reuses() {
+        let pool = SessionPool::with_limits(2, 4);
+        assert_eq!(pool.idle_len(), 0);
+        let first_ptr = {
+            let lease = pool.checkout();
+            assert!(!lease.was_warm());
+            Arc::as_ptr(lease.caches()) as usize
+        };
+        assert_eq!(pool.idle_len(), 1);
+        let lease = pool.checkout();
+        assert!(lease.was_warm());
+        assert_eq!(Arc::as_ptr(lease.caches()) as usize, first_ptr, "warm set is the same set");
+        assert_eq!(pool.idle_len(), 0);
+    }
+
+    #[test]
+    fn idle_list_is_bounded() {
+        let pool = SessionPool::with_limits(1, 4);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        drop(a);
+        drop(b); // over capacity: dropped, not retained
+        assert_eq!(pool.idle_len(), 1);
+    }
+
+    #[test]
+    fn warm_state_survives_checkin() {
+        let pool = SessionPool::with_limits(2, 8);
+        {
+            let lease = pool.checkout();
+            // warm the trace cache indirectly via the influence memo path:
+            // just observe the set is empty, then mark it by capacity probe
+            assert_eq!(lease.caches().influence_len(), 0);
+        }
+        let lease = pool.checkout();
+        assert!(lease.was_warm());
+    }
+}

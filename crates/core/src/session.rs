@@ -276,6 +276,20 @@ impl<'m> ExplainSession<'m> {
         assemble_view(label, subgraphs, patterns, &self.cfg)
     }
 
+    /// Explains the classification of node `target` in `g` (node-level
+    /// GVEX, Table 1's "NC" task) under the session's model and
+    /// configuration — the session-level entry point the serving daemon
+    /// and CLI route node queries through.
+    pub fn explain_node(
+        &self,
+        g: &Graph,
+        target: NodeId,
+    ) -> Option<crate::node_explain::NodeExplanationView> {
+        let _req = gvex_obs::context::ReqScope::begin("session.explain_node");
+        gvex_obs::counter!("core.session.node_explains");
+        crate::node_explain::explain_node(self.model, g, target, &self.cfg)
+    }
+
     /// Verifies a view against constraints C1–C3 through the session's
     /// shared trace cache.
     pub fn verify(&self, db: &GraphDatabase, view: &ExplanationView) -> VerificationReport {

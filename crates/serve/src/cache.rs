@@ -1,0 +1,243 @@
+//! The sharded per-class LRU answer cache.
+//!
+//! Serving traffic is heavily skewed — a few hot classes absorb most
+//! explain/query requests — so answers are cached per *class shard*:
+//! a request's class label picks the shard, and each shard runs its own
+//! small LRU. Sharding buys two things: hot classes cannot evict every
+//! other class's answers (per-shard capacity is isolation, not just
+//! partitioning), and concurrent workers contend on a shard's mutex only
+//! when they are answering the *same* class.
+//!
+//! Keys carry the serving state's content fingerprint
+//! ([`crate::state::ServeState::fingerprint`]), not its reload
+//! generation: a reload that swaps in byte-identical content keeps every
+//! cached answer valid, while any content change misses naturally. Values
+//! are the exact pre-rendered body bytes a miss produced — a hit returns
+//! the same `String` the compute path would, which keeps cached serving
+//! byte-for-byte identical to uncached serving.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A cache key: the serving state's content fingerprint, the request kind,
+/// the class shard hint, and the remaining parameters packed into two
+/// words. Two requests with equal keys are guaranteed (by construction in
+/// [`crate::state::answer`]) to produce identical bodies on the same
+/// state content.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Content fingerprint of the state that computes the answer.
+    pub fingerprint: u64,
+    /// Request kind discriminant (one per cacheable `Request::kind`).
+    pub kind: u8,
+    /// Class label the request targets (`u64::MAX` = classless), also the
+    /// shard selector.
+    pub class: u64,
+    /// First parameter word (e.g. upper bound, graph index).
+    pub a: u64,
+    /// Second parameter word (e.g. stream flag, target node).
+    pub b: u64,
+}
+
+/// Hit/miss/eviction totals across all shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached body.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity.
+    pub evictions: u64,
+    /// Entries currently resident (sum over shards).
+    pub len: usize,
+}
+
+/// One shard: a bounded map plus an LRU order list. Capacities are small
+/// (tens of entries), so recency bumps scan a `Vec` rather than carrying a
+/// linked list around.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, String>,
+    order: Vec<CacheKey>, // front = least recently used
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<String> {
+        match self.map.get(key).cloned() {
+            Some(body) => {
+                self.hits += 1;
+                self.touch(key);
+                Some(body)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, key: CacheKey, body: String, capacity: usize) {
+        if self.map.insert(key, body).is_some() {
+            self.touch(&key);
+            return;
+        }
+        self.order.push(key);
+        while self.map.len() > capacity {
+            let oldest = self.order.remove(0);
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// The sharded LRU cache. Cheap to share: every method takes `&self`.
+pub struct AnswerCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl AnswerCache {
+    /// A cache of `shards` class shards, each holding at most
+    /// `per_shard_capacity` answers. Both are clamped to at least 1.
+    pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: per_shard_capacity.max(1),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.class % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `key` up, bumping its recency on a hit. Records
+    /// `serve.cache.hits` / `serve.cache.misses`.
+    pub fn get(&self, key: &CacheKey) -> Option<String> {
+        let got = self.shard(key).lock().expect("cache shard poisoned").get(key);
+        if got.is_some() {
+            gvex_obs::counter!("serve.cache.hits");
+        } else {
+            gvex_obs::counter!("serve.cache.misses");
+        }
+        got
+    }
+
+    /// Inserts an answer, evicting the shard's least-recently-used entries
+    /// past capacity. Records `serve.cache.inserts` and
+    /// `serve.cache.evictions`.
+    pub fn put(&self, key: CacheKey, body: String) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let before = shard.evictions;
+        shard.put(key, body, self.per_shard_capacity);
+        let evicted = shard.evictions - before;
+        drop(shard);
+        gvex_obs::counter!("serve.cache.inserts");
+        if evicted > 0 {
+            gvex_obs::counter!("serve.cache.evictions", evicted);
+        }
+    }
+
+    /// Aggregated counters and resident size.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for shard in &self.shards {
+            let g = shard.lock().expect("cache shard poisoned");
+            s.hits += g.hits;
+            s.misses += g.misses;
+            s.evictions += g.evictions;
+            s.len += g.map.len();
+        }
+        s
+    }
+
+    /// Number of shards (for tests and stats reporting).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(class: u64, a: u64) -> CacheKey {
+        CacheKey { fingerprint: 7, kind: 1, class, a, b: 0 }
+    }
+
+    #[test]
+    fn get_after_put_returns_exact_body() {
+        let cache = AnswerCache::new(4, 8);
+        cache.put(key(0, 1), "body-1".into());
+        assert_eq!(cache.get(&key(0, 1)), Some("body-1".into()));
+        assert_eq!(cache.get(&key(0, 2)), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = AnswerCache::new(1, 2);
+        cache.put(key(0, 1), "a".into());
+        cache.put(key(0, 2), "b".into());
+        assert!(cache.get(&key(0, 1)).is_some()); // bump 1 → LRU is now 2
+        cache.put(key(0, 3), "c".into());
+        assert!(cache.get(&key(0, 2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(0, 1)).is_some(), "recently used entry survives");
+        assert!(cache.get(&key(0, 3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn shards_isolate_classes() {
+        // per-shard capacity 1: class 0 churn must not evict class 1
+        let cache = AnswerCache::new(2, 1);
+        cache.put(key(1, 0), "class1".into());
+        for i in 0..10 {
+            cache.put(key(0, i), format!("class0-{i}"));
+        }
+        assert_eq!(cache.get(&key(1, 0)), Some("class1".into()));
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn classes_map_to_distinct_shards_modulo() {
+        let cache = AnswerCache::new(4, 1);
+        for class in 0..4 {
+            cache.put(key(class, 0), format!("c{class}"));
+        }
+        // one entry per shard: nothing evicted despite capacity 1
+        assert_eq!(cache.stats().len, 4);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = AnswerCache::new(1, 2);
+        cache.put(key(0, 1), "old".into());
+        cache.put(key(0, 1), "new".into());
+        assert_eq!(cache.get(&key(0, 1)), Some("new".into()));
+        assert_eq!(cache.stats().len, 1);
+    }
+
+    #[test]
+    fn different_fingerprints_do_not_collide() {
+        let cache = AnswerCache::new(2, 4);
+        let k1 = CacheKey { fingerprint: 1, kind: 1, class: 0, a: 0, b: 0 };
+        let k2 = CacheKey { fingerprint: 2, ..k1 };
+        cache.put(k1, "gen1".into());
+        cache.put(k2, "gen2".into());
+        assert_eq!(cache.get(&k1), Some("gen1".into()));
+        assert_eq!(cache.get(&k2), Some("gen2".into()));
+    }
+}

@@ -1,0 +1,36 @@
+//! A minimal blocking client for the serve protocol — what `gvex request`
+//! and the tests speak.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a `gvex serve` daemon. Requests on a connection are
+/// answered in order; open several clients for parallelism.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let bytes = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed before responding")
+        })?;
+        Response::decode(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Connects, sends one request, and returns the response — the one-shot
+/// CLI path.
+pub fn request_once(addr: impl ToSocketAddrs, req: &Request) -> io::Result<Response> {
+    Client::connect(addr)?.call(req)
+}

@@ -1,0 +1,39 @@
+//! The GVEX service layer: everything between "a `.gvex` store on disk"
+//! and "explanation answers on a socket".
+//!
+//! The CLI, the bench harness, and the `gvex serve` daemon all answer the
+//! same three question shapes — *explain a class*, *explain a node*,
+//! *query the view index* — over the same immutable bundle of database +
+//! model + mined views. This crate extracts that bundle and the answering
+//! logic out of the binary so every entry point shares one implementation:
+//!
+//! * [`state::ServeState`] — the immutable per-generation bundle: owned
+//!   [`gvex_graph::GraphDatabase`], [`gvex_gnn::GcnModel`], deserialized
+//!   [`gvex_core::ExplanationViewSet`] + [`gvex_core::ViewIndex`], and a
+//!   warm [`gvex_core::SessionPool`]. Opened from a store file or built
+//!   from parts; shared across threads behind an `Arc`.
+//! * [`state::answer`] — the single request → response function. Every
+//!   consumer (daemon worker, one-shot CLI, bench cold arm, tests) calls
+//!   it, which is what makes "concurrent answers are bitwise-identical to
+//!   the sequential pipeline" a testable property rather than a hope.
+//! * [`protocol`] — the length-prefixed wire format over `std::net`:
+//!   4-byte little-endian frame length, JSON payload, flat named-field
+//!   [`protocol::Request`]/[`protocol::Response`] structs.
+//! * [`cache`] — the sharded per-class LRU answer cache keyed by
+//!   (state fingerprint, request kind, parameters).
+//! * [`server`] — the daemon: fixed worker pool, bounded accept queue for
+//!   admission control, graceful shutdown, and atomic [`state::ServeState`]
+//!   swap on reload.
+//! * [`client`] — a minimal blocking client for the CLI and tests.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use cache::{AnswerCache, CacheKey, CacheStats};
+pub use client::Client;
+pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
+pub use server::{Server, ServerConfig};
+pub use state::{answer, ServeError, ServeState};

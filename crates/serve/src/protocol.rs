@@ -1,0 +1,254 @@
+//! The wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! Framing is deliberately boring — a 4-byte little-endian payload length
+//! followed by that many bytes of UTF-8 JSON — because boring is what a
+//! hand-rolled `std::net` protocol can get right: no partial-read
+//! ambiguity (`read_exact` both ways), no delimiter escaping, and a hard
+//! [`MAX_FRAME`] cap so a malformed or hostile peer cannot make a worker
+//! allocate unbounded memory.
+//!
+//! The payload types are flat named-field structs with `#[serde(default)]`
+//! on every field: old clients can talk to new servers (unknown fields are
+//! ignored) and new clients to old servers (missing fields default). The
+//! response carries its JSON answer pre-rendered in [`Response::body`] —
+//! a `String`, not a nested structure — so the answer cache stores and
+//! serves exact bytes and byte-for-byte determinism is checkable end to
+//! end.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame payload, in bytes. Answers for the bench-scale
+/// databases are a few hundred KiB; 64 MiB leaves room for full-scale view
+/// sets while still bounding a worker's per-request allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one `len ∥ payload` frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME"));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` on clean EOF at a frame boundary
+/// (the peer hung up between requests); errors on truncation mid-frame or
+/// an oversized declared length.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "declared frame exceeds MAX_FRAME"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// One request. `kind` selects the operation; the remaining fields are the
+/// operation's parameters (unused ones are simply left at their defaults):
+///
+/// | kind       | parameters                                  |
+/// |------------|---------------------------------------------|
+/// | `ping`     | —                                           |
+/// | `stats`    | —                                           |
+/// | `explain`  | `label` (absent = all classes), `upper`, `stream` |
+/// | `node`     | `graph`, `target`, `upper`                  |
+/// | `query`    | `label` and/or `discriminative`             |
+/// | `reload`   | `path` (empty = re-open the serving source) |
+/// | `shutdown` | —                                           |
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation selector (see the table above).
+    #[serde(default)]
+    pub kind: String,
+    /// Graph index (`node`).
+    #[serde(default)]
+    pub graph: Option<u64>,
+    /// Target node id (`node`).
+    #[serde(default)]
+    pub target: Option<u64>,
+    /// Class label (`explain`: restrict to one class; `query`: list that
+    /// label's patterns and their matches).
+    #[serde(default)]
+    pub label: Option<u64>,
+    /// Query: also report the label's discriminative patterns.
+    #[serde(default)]
+    pub discriminative: Option<u64>,
+    /// Coverage upper bound `u_l` (0/absent = the CLI default of 10).
+    #[serde(default)]
+    pub upper: Option<u64>,
+    /// Explain with `StreamGVEX` instead of `ApproxGVEX`.
+    #[serde(default)]
+    pub stream: bool,
+    /// Reload: path of the store to swap in.
+    #[serde(default)]
+    pub path: String,
+}
+
+impl Request {
+    /// A `ping` request.
+    pub fn ping() -> Self {
+        Self { kind: "ping".into(), ..Self::default() }
+    }
+
+    /// A `stats` request.
+    pub fn stats() -> Self {
+        Self { kind: "stats".into(), ..Self::default() }
+    }
+
+    /// An `explain` request for one class.
+    pub fn explain(label: usize, upper: usize, stream: bool) -> Self {
+        Self {
+            kind: "explain".into(),
+            label: Some(label as u64),
+            upper: Some(upper as u64),
+            stream,
+            ..Self::default()
+        }
+    }
+
+    /// A node-level explanation request.
+    pub fn node(graph: usize, target: usize, upper: usize) -> Self {
+        Self {
+            kind: "node".into(),
+            graph: Some(graph as u64),
+            target: Some(target as u64),
+            upper: Some(upper as u64),
+            ..Self::default()
+        }
+    }
+
+    /// A `query` request for one label's patterns and matches.
+    pub fn query_label(label: usize) -> Self {
+        Self { kind: "query".into(), label: Some(label as u64), ..Self::default() }
+    }
+
+    /// A `reload` request (empty path = re-open the current source).
+    pub fn reload(path: &str) -> Self {
+        Self { kind: "reload".into(), path: path.to_string(), ..Self::default() }
+    }
+
+    /// A `shutdown` request.
+    pub fn shutdown() -> Self {
+        Self { kind: "shutdown".into(), ..Self::default() }
+    }
+
+    /// Parses a request frame.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "request is not UTF-8".to_string())?;
+        serde_json::from_str(text).map_err(|e| format!("bad request: {e}"))
+    }
+
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self).expect("request serializes").into_bytes()
+    }
+}
+
+/// One response. `body` is the answer's JSON, pre-rendered by the state
+/// layer (and possibly served verbatim from the answer cache — `cached`
+/// says which); `generation` is the serving state's reload generation at
+/// answer time.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request was answered (vs rejected/failed).
+    #[serde(default)]
+    pub ok: bool,
+    /// Human-readable failure reason when `ok` is false.
+    #[serde(default)]
+    pub error: String,
+    /// Whether `body` came from the answer cache.
+    #[serde(default)]
+    pub cached: bool,
+    /// Serving-state generation (increments on every reload).
+    #[serde(default)]
+    pub generation: u64,
+    /// The answer payload as JSON (empty on failure).
+    #[serde(default)]
+    pub body: String,
+}
+
+impl Response {
+    /// A failure response.
+    pub fn fail(error: impl Into<String>) -> Self {
+        Self { ok: false, error: error.into(), ..Self::default() }
+    }
+
+    /// A success response carrying `body`.
+    pub fn success(body: String) -> Self {
+        Self { ok: true, body, ..Self::default() }
+    }
+
+    /// Parses a response frame.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "response is not UTF-8".to_string())?;
+        serde_json::from_str(text).map_err(|e| format!("bad response: {e}"))
+    }
+
+    /// Serializes for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self).expect("response serializes").into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF at boundary");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"x");
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn request_round_trip_preserves_parameters() {
+        let req = Request::explain(1, 8, true);
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back.kind, "explain");
+        assert_eq!(back.label, Some(1));
+        assert_eq!(back.upper, Some(8));
+        assert!(back.stream);
+        assert_eq!(back.graph, None);
+    }
+
+    #[test]
+    fn unknown_fields_and_missing_fields_tolerated() {
+        let req = Request::decode(br#"{"kind":"ping","future_field":42}"#).unwrap();
+        assert_eq!(req.kind, "ping");
+        let resp = Response::decode(br#"{"ok":true}"#).unwrap();
+        assert!(resp.ok);
+        assert_eq!(resp.body, "");
+        assert!(!resp.cached);
+    }
+}

@@ -1,0 +1,279 @@
+//! The `gvex serve` daemon: a fixed worker pool over a bounded accept
+//! queue, answering protocol frames against the current [`ServeState`].
+//!
+//! Concurrency model — plain `std` threads, no async runtime:
+//!
+//! * One **accept thread** owns the listener. Accepted connections go into
+//!   a `sync_channel` of configured depth; when the queue is full the
+//!   connection is answered with a `busy` failure and dropped instead of
+//!   queuing without bound — admission control happens at accept time, so
+//!   overload degrades into fast rejections rather than growing latency.
+//! * `workers` **worker threads** share the queue's receiver behind a
+//!   mutex. A worker serves one connection at a time, frame by frame,
+//!   until the peer hangs up — so a connection's requests are answered in
+//!   order, while distinct connections proceed in parallel.
+//! * The current state is an `Arc<ServeState>` behind an `RwLock`.
+//!   **Reload** builds the next state off to the side (on the worker
+//!   serving the reload request), then swaps the `Arc` — in-flight
+//!   requests keep the generation they started with, new requests see the
+//!   new one, and nothing blocks beyond the pointer swap.
+//! * **Shutdown** sets a flag and self-connects to unblock the blocking
+//!   `accept`; the accept thread exits, dropping the queue sender, which
+//!   drains the workers. In-flight connections finish their current frame
+//!   loop.
+
+use crate::cache::{AnswerCache, CacheStats};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::state::{answer, cache_key, ServeState};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tunables for one server instance.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before new arrivals
+    /// are rejected with `busy`.
+    pub queue_depth: usize,
+    /// Answer-cache class shards.
+    pub cache_shards: usize,
+    /// Answer-cache entries per shard.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 4, queue_depth: 64, cache_shards: 4, cache_capacity: 32 }
+    }
+}
+
+struct Shared {
+    state: RwLock<Arc<ServeState>>,
+    cache: AnswerCache,
+    shutdown: AtomicBool,
+    generation: AtomicU64,
+    addr: SocketAddr,
+}
+
+/// A running server. Dropping it shuts the daemon down and joins every
+/// thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept thread and worker pool.
+    pub fn bind(state: ServeState, addr: &str, cfg: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: RwLock::new(Arc::new(state)),
+            cache: AnswerCache::new(cfg.cache_shards, cfg.cache_capacity),
+            shutdown: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            addr: local,
+        });
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+        Ok(Self { shared, accept: Some(accept), workers })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The current serving state.
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.shared.state.read().expect("state lock poisoned"))
+    }
+
+    /// Reload generation (0 until the first reload).
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::SeqCst)
+    }
+
+    /// Answer-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Requests shutdown and joins every thread. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        wake_accept(self.shared.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the server stops (i.e. a `shutdown` request arrives).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Unblocks a blocking `accept` after the shutdown flag is set.
+fn wake_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the wake connection, or a late arrival during shutdown
+        }
+        gvex_obs::counter!("serve.accepted");
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Admission control: reject at the door rather than queue
+                // without bound. The client gets a definite answer. Drain
+                // whatever request bytes already arrived first — closing a
+                // socket with unread data makes the kernel RST the reply
+                // out of the peer's receive buffer.
+                gvex_obs::counter!("serve.rejected");
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(20)));
+                let mut scratch = [0u8; 1024];
+                let _ = io::Read::read(&mut stream, &mut scratch);
+                let _ = write_frame(&mut stream, &Response::fail("busy").encode());
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+    // tx drops here: workers drain the queue, then their recv() fails and
+    // they exit.
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the receiver lock only while waiting; handling runs
+        // unlocked so workers serve distinct connections concurrently.
+        let conn = { rx.lock().expect("accept queue poisoned").recv() };
+        match conn {
+            Ok(stream) => handle_conn(shared, stream),
+            Err(_) => return, // sender gone: shutdown
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    gvex_obs::counter!("serve.connections");
+    loop {
+        let bytes = match read_frame(&mut stream) {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => return, // peer closed between frames
+            Err(_) => return,
+        };
+        let t0 = Instant::now();
+        gvex_obs::counter!("serve.requests");
+        let (resp, stop) = match Request::decode(&bytes) {
+            Ok(req) => dispatch(shared, &req),
+            Err(e) => (Response::fail(e), false),
+        };
+        let mut resp = resp;
+        resp.generation = shared.generation.load(Ordering::SeqCst);
+        gvex_obs::histogram!("serve.request_us", t0.elapsed().as_micros() as u64);
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+/// Routes one request: control requests mutate the server, everything else
+/// is answered against the current state (through the answer cache when
+/// the kind is cacheable). Returns the response and whether the connection
+/// should close.
+fn dispatch(shared: &Shared, req: &Request) -> (Response, bool) {
+    match req.kind.as_str() {
+        "shutdown" => {
+            gvex_obs::counter!("serve.shutdowns");
+            shared.shutdown.store(true, Ordering::SeqCst);
+            wake_accept(shared.addr);
+            (Response::success("{\"stopping\":true}".to_string()), true)
+        }
+        "reload" => (do_reload(shared, &req.path), false),
+        _ => {
+            let state = Arc::clone(&shared.state.read().expect("state lock poisoned"));
+            let resp = match cache_key(&state, req) {
+                Some(key) => match shared.cache.get(&key) {
+                    Some(body) => Response { ok: true, cached: true, body, ..Response::default() },
+                    None => {
+                        let resp = answer(&state, req);
+                        if resp.ok {
+                            shared.cache.put(key, resp.body.clone());
+                        }
+                        resp
+                    }
+                },
+                None => answer(&state, req),
+            };
+            (resp, false)
+        }
+    }
+}
+
+fn do_reload(shared: &Shared, path: &str) -> Response {
+    let _scope = gvex_obs::context::ReqScope::begin("serve.reload");
+    let current = Arc::clone(&shared.state.read().expect("state lock poisoned"));
+    match current.reload_target(path) {
+        Ok(next) => {
+            let fingerprint = next.fingerprint();
+            *shared.state.write().expect("state lock poisoned") = Arc::new(next);
+            let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+            gvex_obs::counter!("serve.reloads");
+            Response::success(format!(
+                "{{\"reloaded\":true,\"generation\":{generation},\"fingerprint\":{fingerprint}}}"
+            ))
+        }
+        Err(e) => Response::fail(format!("reload failed: {e}")),
+    }
+}

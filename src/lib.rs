@@ -24,6 +24,7 @@ pub use gvex_linalg as linalg;
 pub use gvex_metrics as metrics;
 pub use gvex_mining as mining;
 pub use gvex_obs as obs;
+pub use gvex_serve as serve;
 pub use gvex_store as store;
 
 /// Convenient glob-import of the most common types.

@@ -16,11 +16,12 @@
 
 use gvex::core::{
     index_views, Configuration, ExplainSession, ExplanationViewSet, GreedyStrategy,
-    SelectionStrategy, StreamStrategy,
+    SelectionStrategy, StreamStrategy, ViewIndex,
 };
 use gvex::datasets::{dataset_stats, read_tu_dataset, write_tu_dataset, DatasetKind, Scale};
 use gvex::gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split};
 use gvex::graph::GraphDatabase;
+use gvex::serve::{Request, ServeState, Server, ServerConfig};
 use gvex::store::{BuildInput, SectionId, Store};
 use std::collections::HashMap;
 use std::path::Path;
@@ -28,7 +29,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gvex <stats|export|train|explain|query|db|obs> [options]\n\
+        "usage: gvex <stats|export|train|explain|query|serve|request|db|obs> [options]\n\
          \n\
          common options:\n\
            --dataset <MUT|RED|ENZ|MAL|PCQ|PRO|SYN>   synthetic stand-in\n\
@@ -47,6 +48,13 @@ fn usage() -> ! {
                   [--stream] [--views-out <file>]: generate explanation views\n\
          query    --views <file> | --db <file.gvex>\n\
                   [--label <l>] [--discriminative <l>]\n\
+         serve    --db <file.gvex> [--addr <host:port>] [--workers <n>]\n\
+                  [--queue <n>] [--cache-capacity <n>]: answer explain/node/\n\
+                  query requests over TCP until a shutdown request arrives\n\
+         request  --addr <host:port> --kind <ping|stats|explain|node|query|reload|shutdown>\n\
+                  [--label <l>] [--graph <i>] [--target <v>] [--upper <n>]\n\
+                  [--stream] [--discriminative <l>] [--path <file.gvex>]:\n\
+                  send one request to a running daemon, print the answer\n\
          db       build --out <file.gvex>: materialize dataset + trained model\n\
                   + mined views into one mmap-servable store\n\
                   [--upper <n>] [--stream] [--no-views] + train/dataset flags\n\
@@ -187,23 +195,37 @@ fn cmd_train(flags: &HashMap<String, String>) {
     println!("saved model to {out}");
 }
 
-fn cmd_explain(flags: &HashMap<String, String>) {
-    // `--db` serves database AND model straight from the store: no
-    // regeneration, no retraining — the open-and-serve hot path.
-    let (db, model) = if let Some(path) = flags.get("db") {
-        let store = open_store(path);
+/// The per-run serving bundle, shared by `explain`, `query`, `serve`, and
+/// the `--db`-less fallbacks: one [`ServeState`] instead of each command
+/// re-opening the store and re-materializing database/model/views its own
+/// way.
+fn serve_state(flags: &HashMap<String, String>) -> ServeState {
+    if let Some(path) = flags.get("db") {
+        let state = ServeState::open(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("failed to open store {path}: {e}");
+            std::process::exit(1);
+        });
         eprintln!(
-            "[gvex] serving from {path}: {} graphs, {} bytes via {}",
-            store.num_graphs(),
-            store.mapped_len(),
-            store.mapping_kind()
+            "[gvex] serving from {path}: {} graphs, {} views, fingerprint {:016x}",
+            state.db().len(),
+            state.views().views.len(),
+            state.fingerprint()
         );
-        (store.database(), store.model())
+        state
     } else {
         let db = load_db(flags);
         let (model, _) = trained_model(flags, &db);
-        (db, model)
-    };
+        let dataset =
+            flags.get("dataset").or_else(|| flags.get("tu-name")).map_or("TU", String::as_str);
+        ServeState::from_parts(dataset, db, model, ExplanationViewSet::default())
+    }
+}
+
+fn cmd_explain(flags: &HashMap<String, String>) {
+    // `--db` serves database AND model straight from the store: no
+    // regeneration, no retraining — the open-and-serve hot path.
+    let state = serve_state(flags);
+    let db = state.db();
     let labels: Vec<usize> = flags
         .get("labels")
         .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
@@ -211,22 +233,23 @@ fn cmd_explain(flags: &HashMap<String, String>) {
     let upper: usize = flags.get("upper").map_or(10, |s| s.parse().unwrap_or(10));
     let cfg = Configuration::paper_mut(upper);
 
-    // One session owns the model handle, forward-trace cache, and influence
-    // memo; generation and verification below share it, so no graph is
-    // forwarded or differentiated twice.
-    let session = ExplainSession::new(&model, cfg).unwrap_or_else(|e| {
+    // One pooled session owns the model handle, forward-trace cache, and
+    // influence memo; generation and verification below share it, so no
+    // graph is forwarded or differentiated twice.
+    let lease = state.pool().checkout();
+    let session = lease.session(state.model(), cfg).unwrap_or_else(|e| {
         eprintln!("invalid configuration: {e}");
         std::process::exit(1);
     });
     let strategy: &dyn SelectionStrategy =
         if flags.contains_key("stream") { &StreamStrategy } else { &GreedyStrategy };
-    let views = session.explain(strategy, &db, &labels);
+    let views = session.explain(strategy, db, &labels);
 
     // Verify every view against C1–C3 through the session's trace cache:
     // the member graphs repeat across views, so their full forward passes
     // are memoized (and the hit/miss counters land in the obs report).
     for view in &views.views {
-        let report = session.verify(&db, view);
+        let report = session.verify(db, view);
         println!(
             "label {}: verification C1={} C2={} C3={} -> {}",
             view.label,
@@ -278,28 +301,35 @@ fn cmd_explain(flags: &HashMap<String, String>) {
 }
 
 fn cmd_query(flags: &HashMap<String, String>) {
-    let views: ExplanationViewSet = if let Some(db_path) = flags.get("db") {
-        let store = open_store(db_path);
-        let Some(json) = store.views_json() else {
+    // `--db` goes through the shared serving state, which deserializes the
+    // views and builds the query index exactly once — the same bundle
+    // `gvex serve` answers from, so CLI queries and served queries read
+    // identical indexes.
+    let state;
+    let local;
+    let (views, idx): (&ExplanationViewSet, &ViewIndex) = if let Some(db_path) = flags.get("db") {
+        state = serve_state(flags);
+        if state.views().views.is_empty() {
             eprintln!("store {db_path} carries no views (built with --no-views?)");
             std::process::exit(1);
-        };
-        ExplanationViewSet::from_json(json).unwrap_or_else(|e| {
-            eprintln!("failed to parse views in {db_path}: {e}");
-            std::process::exit(1);
-        })
+        }
+        (state.views(), state.index())
     } else {
         let path = flags.get("views").unwrap_or_else(|| usage());
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("failed to read {path}: {e}");
             std::process::exit(1);
         });
-        serde_json::from_str(&text).unwrap_or_else(|e| {
-            eprintln!("failed to parse {path}: {e}");
-            std::process::exit(1);
-        })
+        local = {
+            let v: ExplanationViewSet = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("failed to parse {path}: {e}");
+                std::process::exit(1);
+            });
+            let idx = index_views(&v);
+            (v, idx)
+        };
+        (&local.0, &local.1)
     };
-    let idx = index_views(&views);
     println!("{} distinct patterns across {} views", idx.patterns().len(), views.views.len());
 
     if let Some(l) = flags.get("label").and_then(|s| s.parse::<usize>().ok()) {
@@ -317,6 +347,62 @@ fn cmd_query(flags: &HashMap<String, String>) {
             println!("  P{pid}: {} nodes, {} edges", p.num_nodes(), p.num_edges());
         }
     }
+}
+
+/// `gvex serve --db <file.gvex>` — run the explanation-serving daemon
+/// until a `shutdown` request arrives.
+fn cmd_serve(flags: &HashMap<String, String>) {
+    if !flags.contains_key("db") {
+        eprintln!("serve requires --db <file.gvex>");
+        usage();
+    }
+    let state = serve_state(flags);
+    let cfg = ServerConfig {
+        workers: flags.get("workers").and_then(|s| s.parse().ok()).unwrap_or(4),
+        queue_depth: flags.get("queue").and_then(|s| s.parse().ok()).unwrap_or(64),
+        // One shard per class by default: the cache's isolation unit
+        // matches the answer space's natural partition.
+        cache_shards: flags
+            .get("cache-shards")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| state.db().num_classes().max(1)),
+        cache_capacity: flags.get("cache-capacity").and_then(|s| s.parse().ok()).unwrap_or(32),
+    };
+    let addr = flags.get("addr").map_or("127.0.0.1:0", String::as_str);
+    let server = Server::bind(state, addr, cfg).unwrap_or_else(|e| {
+        eprintln!("failed to bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // Parsed by scripts (and humans) to find the resolved ephemeral port.
+    println!("gvex serve: listening on {} ({} workers)", server.addr(), cfg.workers);
+    server.join();
+    println!("gvex serve: stopped");
+}
+
+/// `gvex request --addr <host:port> --kind <..>` — one-shot client: send a
+/// single request, print the answer body to stdout.
+fn cmd_request(flags: &HashMap<String, String>) {
+    let addr = flags.get("addr").unwrap_or_else(|| usage());
+    let req = Request {
+        kind: flags.get("kind").cloned().unwrap_or_else(|| "ping".to_string()),
+        graph: flags.get("graph").and_then(|s| s.parse().ok()),
+        target: flags.get("target").and_then(|s| s.parse().ok()),
+        label: flags.get("label").and_then(|s| s.parse().ok()),
+        discriminative: flags.get("discriminative").and_then(|s| s.parse().ok()),
+        upper: flags.get("upper").and_then(|s| s.parse().ok()),
+        stream: flags.contains_key("stream"),
+        path: flags.get("path").cloned().unwrap_or_default(),
+    };
+    let resp = gvex::serve::client::request_once(addr.as_str(), &req).unwrap_or_else(|e| {
+        eprintln!("request to {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    if !resp.ok {
+        eprintln!("server error: {}", resp.error);
+        std::process::exit(1);
+    }
+    eprintln!("[gvex] cached={} generation={}", resp.cached, resp.generation);
+    println!("{}", resp.body);
 }
 
 /// `gvex db build --out <file.gvex> [dataset/train/mining flags]` —
@@ -551,6 +637,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "explain" => cmd_explain(&flags),
         "query" => cmd_query(&flags),
+        "serve" => cmd_serve(&flags),
+        "request" => cmd_request(&flags),
         _ => usage(),
     }
     // With GVEX_OBS=1: span tree to stderr, OBS_report.json to disk.
