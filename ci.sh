@@ -127,8 +127,23 @@ if not serve_qps["identical"]:
     raise SystemExit("bench gate: served bodies differ from the sequential pipeline")
 if serve_qps["cache_hits"] <= 0:
     raise SystemExit("bench gate: serve_qps recorded zero answer-cache hits under a Zipfian mix")
+if serve_qps["mixed_qps"] <= 0:
+    raise SystemExit("bench gate: serve_qps mixed read/write arm recorded no throughput")
+if serve_qps["mixed_epochs"] < 1:
+    raise SystemExit("bench gate: serve_qps mixed arm published no epochs under ingest")
 
-print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x, batched forward {bforward['speedup']:.2f}x, mini-batch train {btrain['speedup']:.2f}x, backends {bench['simd_matmul']['speedup']:.2f}x/{bench['simd_spmm']['speedup']:.2f}x/{bench['simd_segmented']['speedup']:.2f}x, serve-from-db {serve['speedup']:.0f}x, serve-qps {serve_qps['speedup']:.0f}x — OK")
+# Live ingest: incremental view maintenance over localized updates must
+# beat apply+full-recompute by 10x, and the incremental epoch state must
+# be differentially identical to a from-scratch rebuild.
+ingest = bench["ingest"]
+if ingest["speedup"] < 10.0:
+    raise SystemExit(f"bench gate: ingest incremental speedup {ingest['speedup']:.1f}x below the 10x gate")
+if not ingest["differential_ok"]:
+    raise SystemExit("bench gate: incremental epoch state diverged from the from-scratch rebuild")
+if ingest["epochs"] < 1:
+    raise SystemExit("bench gate: ingest bench published no epochs")
+
+print(f"bench gates: vf2 {vf2['speedup']:.2f}x, explain ratios {ratio_small:.3f}/{ratio_large:.3f}, session reuse {session['speedup']:.2f}x, batched forward {bforward['speedup']:.2f}x, mini-batch train {btrain['speedup']:.2f}x, backends {bench['simd_matmul']['speedup']:.2f}x/{bench['simd_spmm']['speedup']:.2f}x/{bench['simd_segmented']['speedup']:.2f}x, serve-from-db {serve['speedup']:.0f}x, serve-qps {serve_qps['speedup']:.0f}x, ingest {ingest['speedup']:.0f}x — OK")
 PY
 fi
 
@@ -141,7 +156,11 @@ store_build_report="$(mktemp -t gvex_store_build.XXXXXX.json)"
 store_serve_report="$(mktemp -t gvex_store_serve.XXXXXX.json)"
 daemon_log="$(mktemp -t gvex_daemon_log.XXXXXX.txt)"
 daemon_report="$(mktemp -t gvex_daemon_obs.XXXXXX.json)"
-trap 'rm -f "$obs_report" "$obs_trace" "$obs_regressed" "$store_db" "$store_build_report" "$store_serve_report" "$daemon_log" "$daemon_report"' EXIT
+ingest_log="$(mktemp -t gvex_ingest_log.XXXXXX.jsonl)"
+ingest_report="$(mktemp -t gvex_ingest_obs.XXXXXX.json)"
+ingest_snapshot="$(mktemp -t gvex_ingest_snap.XXXXXX.gvex)"
+ingest_daemon_report="$(mktemp -t gvex_ingest_daemon_obs.XXXXXX.json)"
+trap 'rm -f "$obs_report" "$obs_trace" "$obs_regressed" "$store_db" "$store_build_report" "$store_serve_report" "$daemon_log" "$daemon_report" "$ingest_log" "$ingest_report" "$ingest_snapshot" "$ingest_daemon_report"' EXIT
 # GVEX_THREADS pinned to the baseline's thread count: per-worker counters
 # (and the diff gate below) only compare across runs with the same fan-out.
 GVEX_THREADS=2 GVEX_OBS=1 GVEX_OBS_JSON="$obs_report" GVEX_OBS_TRACE="$obs_trace" \
@@ -351,6 +370,128 @@ print(f"serve smoke: {counters['serve.requests']} requests over "
       f"{counters['serve.connections']} connections, "
       f"{counters['serve.cache.hits']} cache hit(s), "
       f"{counters['serve.reloads']} reload(s) — OK")
+PY
+
+echo "==> ingest smoke (offline replay + verify, then mutations streamed into a live daemon)"
+# Generate a mutation log against the store built above, replay it offline
+# with the incremental-vs-recompute verifier on, and snapshot the final
+# epoch as a servable store. The obs report must carry the ingest.*
+# counters and the staleness histogram.
+cargo run -q --release -- ingest gen --db "$store_db" --out "$ingest_log" \
+    --count 16 --seed 7 --profile localized >/dev/null
+GVEX_THREADS=2 GVEX_OBS=1 GVEX_OBS_JSON="$ingest_report" \
+    cargo run -q --release -- ingest replay --db "$store_db" --mutations "$ingest_log" \
+    --upper 4 --epoch-interval 4 --verify --snapshot-out "$ingest_snapshot" >/dev/null
+if ! cargo run -q --release -- db inspect "$ingest_snapshot" | grep -Eq "epoch [1-9]"; then
+    echo "ingest smoke: snapshot store does not carry a post-ingest epoch" >&2
+    exit 1
+fi
+python3 - "$ingest_report" <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+counters = report["counters"]
+if counters.get("ingest.mutations_applied", 0) != 16:
+    sys.exit(f"ingest smoke: expected 16 mutations applied, got {counters.get('ingest.mutations_applied')}")
+if counters.get("ingest.epochs_published", 0) < 4:
+    sys.exit(f"ingest smoke: expected >= 4 epochs, got {counters.get('ingest.epochs_published')}")
+if counters.get("ingest.views_patched", 0) <= 0:
+    sys.exit("ingest smoke: no views were incrementally patched")
+if "ingest.views_recomputed" not in counters:
+    sys.exit("ingest smoke: ingest.views_recomputed not registered")
+hist = report["histograms"].get("ingest.staleness_ms")
+if hist is None or hist["count"] < 4:
+    sys.exit(f"ingest smoke: ingest.staleness_ms histogram missing or short: {hist}")
+
+print(f"ingest smoke (offline): {counters['ingest.mutations_applied']} mutations, "
+      f"{counters['ingest.epochs_published']} epochs, "
+      f"{counters['ingest.views_patched']} views patched — OK")
+PY
+# Live daemon: stream the same log without committing (large epoch interval
+# so nothing auto-publishes), then commit. Answers must be stable before the
+# epoch, flip after it, and the pre-epoch cached answer must be invalidated.
+: > "$daemon_log"
+GVEX_THREADS=2 GVEX_OBS=1 GVEX_OBS_JSON="$ingest_daemon_report" \
+    cargo run -q --release -- serve --db "$store_db" --epoch-interval 1000 >"$daemon_log" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$daemon_log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "ingest smoke: daemon never reported its address" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+fi
+req() { cargo run -q --release -- request --addr "$addr" "$@"; }
+fp_before="$(req --kind stats | grep -o '"fingerprint":[0-9]*')"
+req --kind explain --upper 4 >/dev/null
+cached_note="$(req --kind explain --upper 4 2>&1 >/dev/null)"
+if ! grep -q "cached=true" <<<"$cached_note"; then
+    echo "ingest smoke: warm-up explain missed the cache: $cached_note" >&2
+    exit 1
+fi
+# Stream the log without --commit: mutations buffer, the served state (and
+# its cached answers) must not move yet.
+cargo run -q --release -- ingest send --addr "$addr" --mutations "$ingest_log" \
+    --upper 4 --batch 8 >/dev/null
+fp_mid="$(req --kind stats | grep -o '"fingerprint":[0-9]*')"
+if [[ "$fp_mid" != "$fp_before" ]]; then
+    echo "ingest smoke: fingerprint moved before any epoch was committed" >&2
+    exit 1
+fi
+cached_note="$(req --kind explain --upper 4 2>&1 >/dev/null)"
+if ! grep -q "cached=true" <<<"$cached_note"; then
+    echo "ingest smoke: pre-epoch cached answer was dropped early: $cached_note" >&2
+    exit 1
+fi
+# Commit: the buffered mutations fold into a published epoch — the
+# fingerprint flips and the pre-epoch cached answer is gone.
+commit_body="$(req --kind mutate --commit --upper 4)"
+if ! grep -q '"published":true' <<<"$commit_body"; then
+    echo "ingest smoke: commit did not publish an epoch: $commit_body" >&2
+    exit 1
+fi
+fp_after="$(req --kind stats | grep -o '"fingerprint":[0-9]*')"
+if [[ "$fp_after" == "$fp_before" ]]; then
+    echo "ingest smoke: fingerprint did not flip after the epoch published" >&2
+    exit 1
+fi
+cached_note="$(req --kind explain --upper 4 2>&1 >/dev/null)"
+if grep -q "cached=true" <<<"$cached_note"; then
+    echo "ingest smoke: post-epoch explain was served from a stale cache entry" >&2
+    exit 1
+fi
+cached_note="$(req --kind explain --upper 4 2>&1 >/dev/null)"
+if ! grep -q "cached=true" <<<"$cached_note"; then
+    echo "ingest smoke: post-epoch explain did not re-enter the cache: $cached_note" >&2
+    exit 1
+fi
+req --kind shutdown >/dev/null
+wait "$daemon_pid"
+if ! grep -q "gvex serve: stopped" "$daemon_log"; then
+    echo "ingest smoke: daemon did not stop cleanly" >&2
+    exit 1
+fi
+python3 - "$ingest_daemon_report" <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+counters = report["counters"]
+for required in ("serve.mutations_rx", "serve.epoch_publishes",
+                 "serve.cache.invalidations", "ingest.mutations_applied",
+                 "ingest.epochs_published"):
+    if counters.get(required, 0) <= 0:
+        sys.exit(f"ingest smoke: counter {required!r} missing or zero in the daemon report")
+if "serve.mutate" not in report["requests"]:
+    sys.exit("ingest smoke: serve.mutate request scope missing from the daemon report")
+
+print(f"ingest smoke (live): {counters['ingest.mutations_applied']} mutations over "
+      f"{counters['serve.mutations_rx']} mutate request(s), "
+      f"{counters['serve.epoch_publishes']} epoch(s), "
+      f"{counters['serve.cache.invalidations']} cache invalidation(s) — OK")
 PY
 
 echo "==> CI green"

@@ -57,7 +57,17 @@
 //!    replaying a fixed Zipfian request mix from 4 concurrent clients vs
 //!    the same requests each paying a full per-request `ServeState::open`.
 //!    CI gates warm ≥ 10× the cold throughput with byte-identical bodies;
-//!    client-side p50/p99 latencies ride along.
+//!    client-side p50/p99 latencies ride along. A second arm replays the
+//!    same Zipfian reads while a writer streams `mutate` batches with
+//!    commits — p50/p99 under live ingest, epochs observed via the
+//!    generation counter.
+//! 10. Ingest (`gvex-ingest`): a localized mutation stream applied against
+//!     the benchmark store with incremental view maintenance
+//!     (`IngestEngine::apply`, per-mutation refresh latency recorded) vs
+//!     the same stream where every update pays a full per-class view
+//!     recompute. CI gates incremental ≥ 10× on updates/s and requires the
+//!     final incremental state to be equivalent to a from-scratch rebuild
+//!     (the differential pin).
 
 use gvex_bench::harness;
 use gvex_core::exact::{greedy_selection, streaming_selection};
@@ -67,6 +77,7 @@ use gvex_datasets::{DatasetKind, Scale};
 use gvex_gnn::propagation::NormAdj;
 use gvex_gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, GraphBatch, Split, TraceCache};
 use gvex_graph::{Graph, GraphDatabase, GraphRef};
+use gvex_ingest::GenProfile;
 use gvex_iso::{
     for_each_embedding, for_each_embedding_reference, for_each_embedding_with_index, MatchIndex,
     MatchOptions,
@@ -313,6 +324,53 @@ struct ServeQpsBench {
     /// Every concurrent response body matched the sequential in-process
     /// answer byte for byte.
     identical: bool,
+    /// Read requests answered during the mixed read/write replay.
+    mixed_requests: usize,
+    /// Mutations streamed by the writer during the mixed replay.
+    mixed_mutations: usize,
+    /// Epochs the daemon published under the mixed load (generation delta).
+    mixed_epochs: u64,
+    /// Read throughput under live ingest (requests/s).
+    mixed_qps: f64,
+    /// Client-observed median read round-trip under ingest, microseconds.
+    mixed_p50_us: f64,
+    /// Client-observed 99th-percentile read round-trip under ingest.
+    mixed_p99_us: f64,
+}
+
+/// A localized mutation stream against the benchmark store: incremental
+/// view maintenance per update vs a full per-class recompute per update.
+/// CI gates the updates/s ratio at ≥ 10× and the differential pin.
+#[derive(Serialize)]
+struct IngestBench {
+    /// Graphs in the mutated database.
+    graphs: usize,
+    /// Mutations applied by the incremental arm.
+    mutations: usize,
+    /// Epochs published while applying them (every 8 mutations).
+    epochs: u64,
+    /// Maintainer patch operations performed.
+    views_patched: u64,
+    /// Seconds for the whole incremental stream.
+    incremental_secs: f64,
+    /// Incremental throughput (mutations folded into live views per second).
+    incremental_updates_per_s: f64,
+    /// Median per-mutation view-refresh latency, microseconds.
+    refresh_p50_us: f64,
+    /// 99th-percentile per-mutation view-refresh latency, microseconds.
+    refresh_p99_us: f64,
+    /// Updates the recompute arm paid for (each one a full re-mine).
+    full_updates: usize,
+    /// Seconds for the recompute arm.
+    full_secs: f64,
+    /// Recompute throughput (updates/s).
+    full_updates_per_s: f64,
+    /// `incremental_updates_per_s / full_updates_per_s`.
+    speedup: f64,
+    /// The incremental end state is equivalent to a from-scratch rebuild:
+    /// byte-identical subgraph tiers, bitwise-equal scores, and patterns
+    /// that cover every recomputed subgraph.
+    differential_ok: bool,
 }
 
 #[derive(Serialize)]
@@ -333,6 +391,7 @@ struct Report {
     db_open: DbOpenBench,
     serve_from_db: ServeFromDbBench,
     serve_qps: ServeQpsBench,
+    ingest: IngestBench,
 }
 
 /// Interleaved min-of-`rounds` timing of two closures: `a` and `b` alternate
@@ -1264,6 +1323,64 @@ fn bench_serve_qps(path: &std::path::Path) -> ServeQpsBench {
     }
     let cold_secs = t0.elapsed().as_secs_f64();
 
+    // Mixed read/write arm: a fresh daemon over the same store, the same
+    // CLIENTS readers replaying the schedule while a writer streams
+    // localized mutations with per-batch commits. Bodies legitimately flip
+    // when an epoch publishes mid-replay, so readers assert `ok` rather
+    // than byte equality; what this arm measures is read latency while the
+    // ingest engine patches views and swaps states underneath.
+    const MIXED_MUTATIONS: usize = 12;
+    const MIXED_BATCH: usize = 3;
+    let state = ServeState::open(path).expect("benchmark store opens");
+    let muts = gvex_ingest::generate(state.db(), MIXED_MUTATIONS, 11, GenProfile::Localized);
+    let server = Server::bind(
+        state,
+        "127.0.0.1:0",
+        ServerConfig { workers: WORKERS, ..ServerConfig::default() },
+    )
+    .expect("bind mixed benchmark server");
+    let addr = server.addr();
+    let t0 = Instant::now();
+    let writer = {
+        let muts = muts.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            for chunk in muts.chunks(MIXED_BATCH) {
+                let jsonl = gvex_ingest::to_jsonl(chunk);
+                let req = Request { upper: Some(4), ..Request::mutate(&jsonl, true) };
+                let resp = client.call(&req).expect("mutate answered");
+                assert!(resp.ok, "mixed-arm mutate failed: {}", resp.error);
+            }
+        })
+    };
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let templates = std::sync::Arc::clone(&templates);
+            let schedule = std::sync::Arc::clone(&schedule);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut latencies_us = Vec::new();
+                for i in (c..schedule.len()).step_by(CLIENTS) {
+                    let t = Instant::now();
+                    let resp = client.call(&templates[schedule[i]]).expect("request answered");
+                    latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    assert!(resp.ok, "mixed-arm read failed: {}", resp.error);
+                }
+                latencies_us
+            })
+        })
+        .collect();
+    let mut mixed_us = Vec::with_capacity(REQUESTS);
+    for h in handles {
+        mixed_us.extend(h.join().expect("mixed reader thread"));
+    }
+    writer.join().expect("mixed writer thread");
+    let mixed_secs = t0.elapsed().as_secs_f64();
+    let mixed_epochs = server.generation();
+    drop(server);
+    mixed_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mpct = |p: f64| mixed_us[((mixed_us.len() - 1) as f64 * p) as usize];
+
     let warm_qps = REQUESTS as f64 / warm_secs.max(1e-9);
     let cold_qps = COLD_REQUESTS as f64 / cold_secs.max(1e-9);
     ServeQpsBench {
@@ -1279,6 +1396,111 @@ fn bench_serve_qps(path: &std::path::Path) -> ServeQpsBench {
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         identical,
+        mixed_requests: REQUESTS,
+        mixed_mutations: MIXED_MUTATIONS,
+        mixed_epochs,
+        mixed_qps: REQUESTS as f64 / mixed_secs.max(1e-9),
+        mixed_p50_us: mpct(0.50),
+        mixed_p99_us: mpct(0.99),
+    }
+}
+
+/// Incremental view maintenance vs full recompute over a localized
+/// mutation stream against the benchmark store. The incremental arm folds
+/// every mutation into the live views through `IngestEngine::apply`
+/// (publishing an epoch every 8); the recompute arm pays a full
+/// `rebuild_views` per update — what serving fresh views without IncPGen /
+/// IncPMatch would cost. Ends with the differential pin: the incremental
+/// end state must be equivalent to a from-scratch rebuild.
+fn bench_ingest(path: &std::path::Path) -> IngestBench {
+    use gvex_ingest::{check_equivalent, rebuild_views, IngestEngine};
+
+    const MUTATIONS: usize = 48;
+    const FULL_UPDATES: usize = 3;
+    const EPOCH_INTERVAL: usize = 8;
+
+    let store = Store::open(path).expect("benchmark store opens");
+    let db = store.database();
+    let model = store.model();
+    let views = gvex_core::ExplanationViewSet::from_json(
+        store.views_json().expect("benchmark store embeds views"),
+    )
+    .expect("stored views decode");
+    let cfg = harness::gvex_config(4);
+    let muts = gvex_ingest::generate(&db, MUTATIONS, 5, GenProfile::Localized);
+    let ops: Vec<_> = muts.iter().map(|m| m.parse().expect("generated mutations parse")).collect();
+
+    // Incremental arm: per-mutation refresh latency + end-to-end stream.
+    let mut engine = IngestEngine::new(
+        &store.meta().dataset,
+        store.meta().seed,
+        db.clone(),
+        model.clone(),
+        cfg.clone(),
+        views.clone(),
+        0,
+    )
+    .expect("engine boots from store content");
+    let mut refresh_us = Vec::with_capacity(ops.len());
+    let t0 = Instant::now();
+    for op in &ops {
+        let t = Instant::now();
+        engine.apply(op).expect("generated mutation applies");
+        refresh_us.push(t.elapsed().as_secs_f64() * 1e6);
+        if engine.pending() >= EPOCH_INTERVAL {
+            black_box(engine.publish_epoch());
+        }
+    }
+    if engine.pending() > 0 {
+        black_box(engine.publish_epoch());
+    }
+    let incremental_secs = t0.elapsed().as_secs_f64();
+    refresh_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| refresh_us[((refresh_us.len() - 1) as f64 * p) as usize];
+
+    // Recompute arm: the same leading updates, each paying a full re-mine
+    // of every class's views on the evolved database.
+    let mut scratch = IngestEngine::new(
+        &store.meta().dataset,
+        store.meta().seed,
+        db.clone(),
+        model.clone(),
+        cfg.clone(),
+        views.clone(),
+        0,
+    )
+    .expect("engine boots from store content");
+    let t0 = Instant::now();
+    for op in ops.iter().take(FULL_UPDATES) {
+        scratch.apply(op).expect("generated mutation applies");
+        black_box(rebuild_views(scratch.model(), scratch.db(), scratch.cfg(), 1));
+    }
+    let full_secs = t0.elapsed().as_secs_f64();
+
+    // Differential pin: incremental end state ≡ from-scratch rebuild.
+    let full = rebuild_views(engine.model(), engine.db(), engine.cfg(), 1);
+    let eq = check_equivalent(&engine.views_set(), &full, engine.cfg());
+    if !eq.ok {
+        eprintln!("[hotpaths]   ingest differential FAILED: {}", eq.detail);
+    }
+
+    let stats = engine.stats();
+    let incremental_updates_per_s = MUTATIONS as f64 / incremental_secs.max(1e-9);
+    let full_updates_per_s = FULL_UPDATES as f64 / full_secs.max(1e-9);
+    IngestBench {
+        graphs: engine.db().len(),
+        mutations: MUTATIONS,
+        epochs: stats.epochs_published,
+        views_patched: stats.views_patched,
+        incremental_secs,
+        incremental_updates_per_s,
+        refresh_p50_us: pct(0.50),
+        refresh_p99_us: pct(0.99),
+        full_updates: FULL_UPDATES,
+        full_secs,
+        full_updates_per_s,
+        speedup: incremental_updates_per_s / full_updates_per_s.max(1e-9),
+        differential_ok: eq.ok,
     }
 }
 
@@ -1458,7 +1680,6 @@ fn main() {
 
     eprintln!("[hotpaths] serve: daemon QPS under Zipfian mix vs per-request cold start ...");
     let serve_qps = bench_serve_qps(&store_path);
-    let _ = std::fs::remove_file(&store_path);
     eprintln!(
         "[hotpaths]   {} reqs x {} clients @ {} workers: warm {:.0} qps \
          (p50 {:.0} us, p99 {:.0} us), cold {:.1} qps, speedup {:.0}x {} ({})",
@@ -1472,6 +1693,31 @@ fn main() {
         serve_qps.speedup,
         if serve_qps.speedup >= 10.0 { "(>= 10x target met)" } else { "(BELOW 10x target)" },
         if serve_qps.identical { "bodies identical" } else { "BODIES DIVERGED" }
+    );
+    eprintln!(
+        "[hotpaths]   mixed read/write: {:.0} qps (p50 {:.0} us, p99 {:.0} us) \
+         under {} mutations / {} epochs",
+        serve_qps.mixed_qps,
+        serve_qps.mixed_p50_us,
+        serve_qps.mixed_p99_us,
+        serve_qps.mixed_mutations,
+        serve_qps.mixed_epochs
+    );
+
+    eprintln!("[hotpaths] ingest: incremental view maintenance vs full recompute ...");
+    let ingest = bench_ingest(&store_path);
+    let _ = std::fs::remove_file(&store_path);
+    eprintln!(
+        "[hotpaths]   {} mutations: incremental {:.0} updates/s \
+         (refresh p50 {:.0} us, p99 {:.0} us), full {:.2} updates/s, speedup {:.0}x {} ({})",
+        ingest.mutations,
+        ingest.incremental_updates_per_s,
+        ingest.refresh_p50_us,
+        ingest.refresh_p99_us,
+        ingest.full_updates_per_s,
+        ingest.speedup,
+        if ingest.speedup >= 10.0 { "(>= 10x target met)" } else { "(BELOW 10x target)" },
+        if ingest.differential_ok { "differential ok" } else { "DIFFERENTIAL FAILED" }
     );
 
     let report = Report {
@@ -1491,6 +1737,7 @@ fn main() {
         db_open,
         serve_from_db,
         serve_qps,
+        ingest,
     };
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json");
     let text = serde_json::to_string_pretty(&report).expect("serializable report");

@@ -96,6 +96,7 @@ pub fn write_store_file(
         dataset: prep.kind.short_name(),
         seed,
         mining: Some(gvex_config(upper).mining),
+        epoch: 0,
     };
     write_store(path, &input).unwrap_or_else(|e| panic!("write store {}: {e}", path.display()))
 }

@@ -45,7 +45,7 @@ pub use config::{ConfigError, Configuration, CoverageBound};
 pub use distributed::explain_database_sharded;
 pub use exact::ExactStrategy;
 pub use explainer::{Explainer, NodeExplanation};
-pub use maintain::ViewMaintainer;
+pub use maintain::{MaintainError, ViewMaintainer};
 pub use node_explain::{explain_node, NodeExplanationView};
 pub use parallel::explain_database;
 pub use pool::{CachesLease, SessionPool};

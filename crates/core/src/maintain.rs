@@ -25,6 +25,55 @@ use gvex_iso::vf2::are_isomorphic;
 use gvex_mining::pgen;
 use std::sync::Arc;
 
+/// Why a maintenance operation could not patch the view — the typed
+/// counterpart of the old silent `None`/`false` returns, in the style of
+/// [`crate::config::ConfigError`]. Callers that stream mutations at high
+/// rate (gvex-ingest) need to distinguish "wrong view" from "graph has no
+/// explanation" from "graph was never here".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaintainError {
+    /// The classifier assigns the graph a different label than the view
+    /// explains — it belongs in another view.
+    LabelMismatch {
+        /// The view's label.
+        expected: usize,
+        /// The label the classifier assigned.
+        predicted: usize,
+    },
+    /// The graph yields no explanation subgraph under the coverage bound
+    /// (Algorithm 1's `return ∅` case) — the view is unchanged.
+    NotExplainable {
+        /// Database index of the unexplainable graph.
+        graph_index: usize,
+    },
+    /// No subgraph for this graph index is present in the view.
+    GraphAbsent {
+        /// The index that matched nothing.
+        graph_index: usize,
+    },
+}
+
+impl std::fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaintainError::LabelMismatch { expected, predicted } => {
+                write!(
+                    f,
+                    "graph classified as label {predicted}, but the view explains label {expected}"
+                )
+            }
+            MaintainError::NotExplainable { graph_index } => {
+                write!(f, "graph {graph_index} yields no explanation under the coverage bound")
+            }
+            MaintainError::GraphAbsent { graph_index } => {
+                write!(f, "no explanation subgraph for graph {graph_index} in the view")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaintainError {}
+
 /// Incremental maintenance of one label's explanation view.
 pub struct ViewMaintainer {
     cfg: Configuration,
@@ -58,24 +107,39 @@ impl ViewMaintainer {
         Self { cfg, caches: Arc::new(SessionCaches::new()) }
     }
 
+    /// Memoized classifier label of `g` under the maintainer's shared
+    /// caches — the routing step an ingest loop runs before picking which
+    /// label's view to patch.
+    pub fn predict(&self, model: &GcnModel, g: &Graph) -> usize {
+        self.session(model).predict(g)
+    }
+
+    fn session<'m>(&self, model: &'m GcnModel) -> ExplainSession<'m> {
+        ExplainSession::with_caches(model, self.cfg.clone(), Arc::clone(&self.caches))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Adds a newly classified graph to the view. Returns how many *new*
     /// patterns were needed (0 when the existing pattern tier already
     /// covers the new explanation subgraph — the "only when necessary"
-    /// case). Returns `None` if the graph yields no explanation under the
-    /// coverage bound or its label does not match the view's.
+    /// case). Fails with [`MaintainError::LabelMismatch`] when the graph
+    /// belongs to another view, or [`MaintainError::NotExplainable`] when
+    /// no explanation exists under the coverage bound.
     pub fn add_graph(
         &self,
         model: &GcnModel,
         view: &mut ExplanationView,
         g: &Graph,
         graph_index: usize,
-    ) -> Option<usize> {
-        let sess = ExplainSession::with_caches(model, self.cfg.clone(), Arc::clone(&self.caches))
-            .unwrap_or_else(|e| panic!("{e}"));
-        if sess.predict(g) != view.label {
-            return None;
+    ) -> Result<usize, MaintainError> {
+        let sess = self.session(model);
+        let predicted = sess.predict(g);
+        if predicted != view.label {
+            return Err(MaintainError::LabelMismatch { expected: view.label, predicted });
         }
-        let sub = GreedyStrategy.explain_graph(&sess, g, graph_index)?;
+        let sub = GreedyStrategy
+            .explain_graph(&sess, g, graph_index)
+            .ok_or(MaintainError::NotExplainable { graph_index })?;
 
         // which of the new subgraph's nodes do existing patterns miss?
         let cov = covered_by_set(&view.patterns, &sub.subgraph, self.cfg.matching);
@@ -109,17 +173,22 @@ impl ViewMaintainer {
         view.explainability += sub.explainability;
         view.subgraphs.push(sub);
         self.refresh_edge_loss(view);
-        Some(added)
+        Ok(added)
     }
 
     /// Removes a graph's explanation from the view; garbage-collects
     /// patterns that no longer cover any node of any remaining subgraph.
-    /// Returns `true` if the graph was present.
-    pub fn remove_graph(&self, view: &mut ExplanationView, graph_index: usize) -> bool {
+    /// Fails with [`MaintainError::GraphAbsent`] when the view holds no
+    /// subgraph for `graph_index`.
+    pub fn remove_graph(
+        &self,
+        view: &mut ExplanationView,
+        graph_index: usize,
+    ) -> Result<(), MaintainError> {
         let before = view.subgraphs.len();
         view.subgraphs.retain(|s| s.graph_index != graph_index);
         if view.subgraphs.len() == before {
-            return false;
+            return Err(MaintainError::GraphAbsent { graph_index });
         }
         view.explainability = view.subgraphs.iter().map(|s| s.explainability).sum();
 
@@ -129,7 +198,7 @@ impl ViewMaintainer {
         view.patterns
             .retain(|p| graphs.iter().any(|sg| !covered(p, sg, matching).nodes.is_empty()));
         self.refresh_edge_loss(view);
-        true
+        Ok(())
     }
 
     fn refresh_edge_loss(&self, view: &mut ExplanationView) {
@@ -222,9 +291,10 @@ mod tests {
         let groups = db.label_groups(&assigned);
         let mut view = ag.explain_label_group(&model, &db, 1, groups.group(1));
         // a plain (label 0) graph cannot join the label-1 view
-        assert!(ViewMaintainer::new(cfg)
-            .add_graph(&model, &mut view, &plain_graph(6), 998)
-            .is_none());
+        assert_eq!(
+            ViewMaintainer::new(cfg).add_graph(&model, &mut view, &plain_graph(6), 998),
+            Err(MaintainError::LabelMismatch { expected: 1, predicted: 0 })
+        );
     }
 
     #[test]
@@ -235,7 +305,7 @@ mod tests {
         let groups = db.label_groups(&assigned);
         let mut view = ag.explain_label_group(&model, &db, 1, groups.group(1));
         let maintainer = ViewMaintainer::new(cfg.clone());
-        maintainer.add_graph(&model, &mut view, &motif_graph(7), 777);
+        maintainer.add_graph(&model, &mut view, &motif_graph(7), 777).expect("maintainable");
         for s in &view.subgraphs {
             assert!(
                 crate::verify::pmatch(&view.patterns, &s.subgraph, &cfg),
@@ -255,13 +325,17 @@ mod tests {
         let maintainer = ViewMaintainer::new(cfg);
         let total = view.subgraphs.len();
         let first = view.subgraphs[0].graph_index;
-        assert!(maintainer.remove_graph(&mut view, first));
+        assert_eq!(maintainer.remove_graph(&mut view, first), Ok(()));
         assert_eq!(view.subgraphs.len(), total - 1);
-        assert!(!maintainer.remove_graph(&mut view, first), "double remove");
+        assert_eq!(
+            maintainer.remove_graph(&mut view, first),
+            Err(MaintainError::GraphAbsent { graph_index: first }),
+            "double remove"
+        );
         // removing everything empties the pattern tier too
         let remaining: Vec<usize> = view.subgraphs.iter().map(|s| s.graph_index).collect();
         for gi in remaining {
-            maintainer.remove_graph(&mut view, gi);
+            maintainer.remove_graph(&mut view, gi).expect("present");
         }
         assert!(view.subgraphs.is_empty());
         assert!(view.patterns.is_empty(), "patterns must be garbage-collected");

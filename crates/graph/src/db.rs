@@ -46,6 +46,28 @@ impl GraphDatabase {
         self.graphs.len() - 1
     }
 
+    /// Removes the graph at `i`, returning it with its truth label. Graphs
+    /// after `i` shift down by one — callers that keep per-graph state
+    /// (explanation views, assigned labels) must remap indices `> i`.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn remove_graph(&mut self, i: usize) -> (Graph, usize) {
+        assert!(i < self.graphs.len(), "graph {i} out of range");
+        (self.graphs.remove(i), self.truth.remove(i))
+    }
+
+    /// Replaces the graph at `i` in place (truth label unchanged),
+    /// returning the old graph. Indices of other graphs are unaffected —
+    /// the edit-in-place primitive behind edge/node-level mutations.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn replace_graph(&mut self, i: usize, g: Graph) -> Graph {
+        assert!(i < self.graphs.len(), "graph {i} out of range");
+        std::mem::replace(&mut self.graphs[i], g)
+    }
+
     /// Number of graphs `|𝒢|`.
     pub fn len(&self) -> usize {
         self.graphs.len()
@@ -211,5 +233,32 @@ mod tests {
     fn push_checks_class() {
         let mut db = GraphDatabase::new(vec!["only".into()]);
         db.push(tiny(1), 5);
+    }
+
+    #[test]
+    fn remove_graph_shifts_and_returns() {
+        let mut db = db2();
+        let (g, truth) = db.remove_graph(1);
+        assert_eq!((g.num_nodes(), truth), (5, 1));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.truth(), &[0, 0]);
+        assert_eq!(db.graph(1).num_nodes(), 2, "later graph shifted down");
+    }
+
+    #[test]
+    fn replace_graph_keeps_indices() {
+        let mut db = db2();
+        let old = db.replace_graph(0, tiny(7));
+        assert_eq!(old.num_nodes(), 3);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.graph(0).num_nodes(), 7);
+        assert_eq!(db.truth(), &[0, 1, 0], "truth labels untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "graph 9 out of range")]
+    fn remove_graph_checks_range() {
+        let mut db = db2();
+        db.remove_graph(9);
     }
 }

@@ -1,0 +1,203 @@
+//! Synthesizing mutation streams (`gvex ingest gen`): deterministic,
+//! seeded workloads that are valid by construction.
+//!
+//! The generator replays its own output against a scratch copy of the
+//! database using the very same graph-edit helpers the engine uses, so
+//! every emitted op names live indices — a generated log always replays
+//! cleanly in sequence.
+
+use crate::engine::{with_edge_added, with_edge_removed, with_node_added, with_node_removed};
+use crate::log::{Mutation, Op};
+use gvex_graph::{Graph, GraphDatabase};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Workload shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenProfile {
+    /// Single-graph edits only (edge flips, node adds) — the localized
+    /// workload the ≥10× incrementality gate measures.
+    Localized,
+    /// Localized edits plus graph arrivals/departures and node removals.
+    Churn,
+}
+
+impl GenProfile {
+    /// Parses a CLI profile name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "localized" => Some(GenProfile::Localized),
+            "churn" => Some(GenProfile::Churn),
+            _ => None,
+        }
+    }
+}
+
+/// Scratch state mirroring what sequential application will produce.
+struct Scratch {
+    graphs: Vec<Graph>,
+    truths: Vec<usize>,
+}
+
+/// Generates `count` mutations valid against `db` when applied in order.
+pub fn generate(db: &GraphDatabase, count: usize, seed: u64, profile: GenProfile) -> Vec<Mutation> {
+    assert!(!db.is_empty(), "cannot generate mutations for an empty database");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut s = Scratch { graphs: db.graphs().to_vec(), truths: db.truth().to_vec() };
+    let mut out = Vec::with_capacity(count);
+    // each step tries rolls until one is applicable, so the stream always
+    // reaches `count` (add_edge on a tiny db is always applicable in the
+    // limit because add_node keeps creating room)
+    while out.len() < count {
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let op = match profile {
+            GenProfile::Localized => {
+                if roll < 0.45 {
+                    gen_add_edge(&s, &mut rng)
+                } else if roll < 0.80 {
+                    gen_remove_edge(&s, &mut rng)
+                } else {
+                    gen_add_node(&s, &mut rng)
+                }
+            }
+            GenProfile::Churn => {
+                if roll < 0.30 {
+                    gen_add_edge(&s, &mut rng)
+                } else if roll < 0.55 {
+                    gen_remove_edge(&s, &mut rng)
+                } else if roll < 0.70 {
+                    gen_add_node(&s, &mut rng)
+                } else if roll < 0.80 {
+                    gen_remove_node(&s, &mut rng)
+                } else if roll < 0.92 {
+                    gen_add_graph(&s, &mut rng)
+                } else {
+                    gen_remove_graph(&s, &mut rng)
+                }
+            }
+        };
+        let Some(op) = op else { continue };
+        apply_scratch(&mut s, &op);
+        out.push(op.to_wire());
+    }
+    out
+}
+
+fn pick_graph(s: &Scratch, rng: &mut ChaCha8Rng) -> usize {
+    rng.gen_range(0..s.graphs.len())
+}
+
+fn gen_add_edge(s: &Scratch, rng: &mut ChaCha8Rng) -> Option<Op> {
+    let gi = pick_graph(s, rng);
+    let g = &s.graphs[gi];
+    let n = g.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    for _ in 0..16 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !g.has_edge(u, v) {
+            let etype = existing_etype(g, rng);
+            return Some(Op::AddEdge { graph: gi, u, v, etype });
+        }
+    }
+    None
+}
+
+fn gen_remove_edge(s: &Scratch, rng: &mut ChaCha8Rng) -> Option<Op> {
+    let gi = pick_graph(s, rng);
+    let g = &s.graphs[gi];
+    // keep at least one edge so graphs never degrade to isolated points
+    if g.num_edges() < 2 {
+        return None;
+    }
+    let edges: Vec<(usize, usize)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    let &(u, v) = &edges[rng.gen_range(0..edges.len())];
+    Some(Op::RemoveEdge { graph: gi, u, v })
+}
+
+fn gen_add_node(s: &Scratch, rng: &mut ChaCha8Rng) -> Option<Op> {
+    let gi = pick_graph(s, rng);
+    let g = &s.graphs[gi];
+    let n = g.num_nodes();
+    // clone an existing node's type/features so the newcomer is
+    // in-distribution for the model
+    let donor = rng.gen_range(0..n);
+    let attach = vec![rng.gen_range(0..n)];
+    Some(Op::AddNode {
+        graph: gi,
+        ntype: g.node_type(donor),
+        features: g.features().row(donor).to_vec(),
+        attach,
+        etype: existing_etype(g, rng),
+    })
+}
+
+fn gen_remove_node(s: &Scratch, rng: &mut ChaCha8Rng) -> Option<Op> {
+    let gi = pick_graph(s, rng);
+    let g = &s.graphs[gi];
+    if g.num_nodes() < 4 {
+        return None;
+    }
+    Some(Op::RemoveNode { graph: gi, node: rng.gen_range(0..g.num_nodes()) })
+}
+
+fn gen_add_graph(s: &Scratch, rng: &mut ChaCha8Rng) -> Option<Op> {
+    // clone a random live graph, perturbed by one extra edge when it has
+    // room — a plausible class member, not noise
+    let gi = pick_graph(s, rng);
+    let g = &s.graphs[gi];
+    let n = g.num_nodes();
+    let mut newcomer = g.clone();
+    for _ in 0..8 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !g.has_edge(u, v) {
+            newcomer = with_edge_added(g, u, v, existing_etype(g, rng));
+            break;
+        }
+    }
+    Some(Op::AddGraph { graph: newcomer, truth: s.truths[gi] })
+}
+
+fn gen_remove_graph(s: &Scratch, rng: &mut ChaCha8Rng) -> Option<Op> {
+    if s.graphs.len() <= 4 {
+        return None;
+    }
+    Some(Op::RemoveGraph { index: pick_graph(s, rng) })
+}
+
+fn existing_etype(g: &Graph, rng: &mut ChaCha8Rng) -> u32 {
+    let m = g.num_edges();
+    if m == 0 {
+        return 0;
+    }
+    let k = rng.gen_range(0..m);
+    g.edges().nth(k).map_or(0, |(_, _, t)| t)
+}
+
+fn apply_scratch(s: &mut Scratch, op: &Op) {
+    match op {
+        Op::AddGraph { graph, truth } => {
+            s.graphs.push(graph.clone());
+            s.truths.push(*truth);
+        }
+        Op::RemoveGraph { index } => {
+            s.graphs.remove(*index);
+            s.truths.remove(*index);
+        }
+        Op::AddEdge { graph, u, v, etype } => {
+            s.graphs[*graph] = with_edge_added(&s.graphs[*graph], *u, *v, *etype);
+        }
+        Op::RemoveEdge { graph, u, v } => {
+            s.graphs[*graph] = with_edge_removed(&s.graphs[*graph], *u, *v);
+        }
+        Op::AddNode { graph, ntype, features, attach, etype } => {
+            s.graphs[*graph] = with_node_added(&s.graphs[*graph], *ntype, features, attach, *etype);
+        }
+        Op::RemoveNode { graph, node } => {
+            s.graphs[*graph] = with_node_removed(&s.graphs[*graph], *node);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! `gvex-ingest`: high-rate streaming ingest with incremental view
+//! maintenance.
+//!
+//! The paper's dynamic story (Example 2.1, IncPGen/IncPMatch, Procedures
+//! 4–5) says explanation views should be *patched*, not regenerated, when
+//! the classified database changes. This crate makes that operational:
+//!
+//! * [`log`] — the append-only, typed, replayable mutation log
+//!   (edge/node/graph insert-deletes as JSON Lines);
+//! * [`engine`] — [`engine::IngestEngine`] applies mutations against a
+//!   live database, routes each to the affected label's view through
+//!   [`gvex_core::ViewMaintainer`], batches them into **epochs**, and
+//!   writes `.gvex` epoch snapshots; [`engine::check_equivalent`] pins
+//!   the incremental-equals-recompute contract;
+//! * [`gen`] — seeded workload synthesis (`gvex ingest gen`).
+//!
+//! `gvex-serve` consumes this crate for the `mutate` request kind: the
+//! daemon keeps answering from the last published epoch while mutations
+//! accumulate, then swaps a freshly materialized state and invalidates
+//! exactly the dirty `(fingerprint, class)` answer-cache entries. See
+//! DESIGN.md §16.
+
+pub mod engine;
+pub mod gen;
+pub mod log;
+
+pub use engine::{
+    check_equivalent, rebuild_views, EpochSummary, Equivalence, IngestEngine, IngestError,
+    IngestStats,
+};
+pub use gen::{generate, GenProfile};
+pub use log::{parse_jsonl, read_log, to_jsonl, write_log, LogError, Mutation, Op};

@@ -148,6 +148,33 @@ impl AnswerCache {
         }
     }
 
+    /// Drops every cached answer for `(fingerprint, class)` — the epoch
+    /// publisher's invalidation hook: content changed for that class, so
+    /// its pre-epoch bodies must not linger even though the new state's
+    /// fingerprint would miss them naturally. Returns how many entries
+    /// died; records `serve.cache.invalidations`.
+    pub fn invalidate(&self, fingerprint: u64, class: u64) -> usize {
+        let probe = CacheKey { fingerprint, kind: 0, class, a: 0, b: 0 };
+        let mut shard = self.shard(&probe).lock().expect("cache shard poisoned");
+        let doomed: Vec<CacheKey> = shard
+            .map
+            .keys()
+            .filter(|k| k.fingerprint == fingerprint && k.class == class)
+            .copied()
+            .collect();
+        for k in &doomed {
+            shard.map.remove(k);
+            if let Some(pos) = shard.order.iter().position(|o| o == k) {
+                shard.order.remove(pos);
+            }
+        }
+        drop(shard);
+        if !doomed.is_empty() {
+            gvex_obs::counter!("serve.cache.invalidations", doomed.len() as u64);
+        }
+        doomed.len()
+    }
+
     /// Aggregated counters and resident size.
     pub fn stats(&self) -> CacheStats {
         let mut s = CacheStats::default();
@@ -228,6 +255,21 @@ mod tests {
         cache.put(key(0, 1), "new".into());
         assert_eq!(cache.get(&key(0, 1)), Some("new".into()));
         assert_eq!(cache.stats().len, 1);
+    }
+
+    #[test]
+    fn invalidate_is_surgical() {
+        let cache = AnswerCache::new(2, 8);
+        cache.put(key(0, 1), "c0-a".into());
+        cache.put(key(0, 2), "c0-b".into());
+        cache.put(key(1, 1), "c1".into());
+        let other_fp = CacheKey { fingerprint: 9, kind: 1, class: 0, a: 1, b: 0 };
+        cache.put(other_fp, "old-gen".into());
+        assert_eq!(cache.invalidate(7, 0), 2, "both class-0 entries of fingerprint 7 die");
+        assert_eq!(cache.get(&key(0, 1)), None);
+        assert_eq!(cache.get(&key(1, 1)), Some("c1".into()), "other class untouched");
+        assert_eq!(cache.get(&other_fp), Some("old-gen".into()), "other fingerprint untouched");
+        assert_eq!(cache.invalidate(7, 0), 0, "idempotent");
     }
 
     #[test]

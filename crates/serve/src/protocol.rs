@@ -62,6 +62,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
 /// | `explain`  | `label` (absent = all classes), `upper`, `stream` |
 /// | `node`     | `graph`, `target`, `upper`                  |
 /// | `query`    | `label` and/or `discriminative`             |
+/// | `mutate`   | `mutation` (JSON Lines), `commit`, `upper`  |
 /// | `reload`   | `path` (empty = re-open the serving source) |
 /// | `shutdown` | —                                           |
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -91,6 +92,14 @@ pub struct Request {
     /// Reload: path of the store to swap in.
     #[serde(default)]
     pub path: String,
+    /// Mutate: mutation records as JSON Lines (the `gvex-ingest` log
+    /// format), applied in order.
+    #[serde(default)]
+    pub mutation: String,
+    /// Mutate: publish an epoch immediately after applying, instead of
+    /// waiting for the server's epoch interval to fill.
+    #[serde(default)]
+    pub commit: bool,
 }
 
 impl Request {
@@ -129,6 +138,16 @@ impl Request {
     /// A `query` request for one label's patterns and matches.
     pub fn query_label(label: usize) -> Self {
         Self { kind: "query".into(), label: Some(label as u64), ..Self::default() }
+    }
+
+    /// A `mutate` request streaming `jsonl` mutation records.
+    pub fn mutate(jsonl: &str, commit: bool) -> Self {
+        Self { kind: "mutate".into(), mutation: jsonl.to_string(), commit, ..Self::default() }
+    }
+
+    /// A bare `commit` — publish any pending mutations as an epoch now.
+    pub fn commit() -> Self {
+        Self { kind: "mutate".into(), commit: true, ..Self::default() }
     }
 
     /// A `reload` request (empty path = re-open the current source).

@@ -21,10 +21,19 @@
 //!   `accept`; the accept thread exits, dropping the queue sender, which
 //!   drains the workers. In-flight connections finish their current frame
 //!   loop.
+//! * **Mutate** requests feed an [`IngestEngine`] behind its own mutex:
+//!   mutations patch the engine's private copy of the database and views
+//!   incrementally, while reads keep answering from the last published
+//!   `Arc<ServeState>` — bounded staleness, never a blocked read. When a
+//!   request says `commit` (or enough mutations accumulate to fill the
+//!   epoch interval) the engine's state is published through the same
+//!   atomic swap reloads use, and only the `(old fingerprint, class)`
+//!   answer-cache entries named by the epoch's dirty set are invalidated.
 
 use crate::cache::{AnswerCache, CacheStats};
 use crate::protocol::{read_frame, write_frame, Request, Response};
-use crate::state::{answer, cache_key, ServeState};
+use crate::state::{answer, cache_key, config_for, ServeState};
+use gvex_ingest::IngestEngine;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -45,11 +54,15 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Answer-cache entries per shard.
     pub cache_capacity: usize,
+    /// Pending mutations that trigger an automatic epoch publish. A
+    /// `mutate` request with `commit` publishes regardless; this bounds
+    /// how stale reads can get when clients never commit.
+    pub epoch_interval: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 4, queue_depth: 64, cache_shards: 4, cache_capacity: 32 }
+        Self { workers: 4, queue_depth: 64, cache_shards: 4, cache_capacity: 32, epoch_interval: 8 }
     }
 }
 
@@ -59,6 +72,12 @@ struct Shared {
     shutdown: AtomicBool,
     generation: AtomicU64,
     addr: SocketAddr,
+    /// Live ingest engine, created lazily by the first `mutate` request
+    /// from a clone of the then-current state. `None` between ingest
+    /// sessions; a `reload` drops it (with any unpublished mutations —
+    /// reload means "go back to what the store says").
+    ingest: Mutex<Option<IngestEngine>>,
+    epoch_interval: usize,
 }
 
 /// A running server. Dropping it shuts the daemon down and joins every
@@ -81,6 +100,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             generation: AtomicU64::new(0),
             addr: local,
+            ingest: Mutex::new(None),
+            epoch_interval: cfg.epoch_interval.max(1),
         });
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -241,6 +262,7 @@ fn dispatch(shared: &Shared, req: &Request) -> (Response, bool) {
             (Response::success("{\"stopping\":true}".to_string()), true)
         }
         "reload" => (do_reload(shared, &req.path), false),
+        "mutate" => (do_mutate(shared, req), false),
         _ => {
             let state = Arc::clone(&shared.state.read().expect("state lock poisoned"));
             let resp = match cache_key(&state, req) {
@@ -268,6 +290,9 @@ fn do_reload(shared: &Shared, path: &str) -> Response {
         Ok(next) => {
             let fingerprint = next.fingerprint();
             *shared.state.write().expect("state lock poisoned") = Arc::new(next);
+            // Unpublished mutations die with the old engine: reload means
+            // "serve what the store says", not "merge".
+            *shared.ingest.lock().expect("ingest lock poisoned") = None;
             let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
             gvex_obs::counter!("serve.reloads");
             Response::success(format!(
@@ -276,4 +301,93 @@ fn do_reload(shared: &Shared, path: &str) -> Response {
         }
         Err(e) => Response::fail(format!("reload failed: {e}")),
     }
+}
+
+/// Applies a `mutate` request's JSON Lines records to the ingest engine
+/// and, when committing (explicitly or because the epoch interval filled),
+/// publishes the engine's state as the new serving state.
+///
+/// The engine mutex serializes writers; readers never wait on it — they
+/// keep answering from the published `Arc` until the swap, which is the
+/// bounded-staleness contract. A rejected record fails the request but
+/// keeps every record before it applied (the log is a sequence, not a
+/// transaction); the error says how many were applied.
+fn do_mutate(shared: &Shared, req: &Request) -> Response {
+    let _scope = gvex_obs::context::ReqScope::begin("serve.mutate");
+    gvex_obs::counter!("serve.mutations_rx");
+    // Parse every record up front so a syntax error applies nothing.
+    let ops = match gvex_ingest::parse_jsonl(&req.mutation) {
+        Ok(records) => {
+            let mut ops = Vec::with_capacity(records.len());
+            for (i, record) in records.iter().enumerate() {
+                match record.parse() {
+                    Ok(op) => ops.push(op),
+                    Err(e) => return Response::fail(format!("mutation record {}: {e}", i + 1)),
+                }
+            }
+            ops
+        }
+        Err(e) => return Response::fail(format!("bad mutation log: {e}")),
+    };
+    let mut guard = shared.ingest.lock().expect("ingest lock poisoned");
+    if guard.is_none() {
+        let state = Arc::clone(&shared.state.read().expect("state lock poisoned"));
+        let engine = IngestEngine::new(
+            state.dataset(),
+            0,
+            state.db().clone(),
+            state.model().clone(),
+            config_for(req),
+            state.views().clone(),
+            0,
+        );
+        match engine {
+            Ok(engine) => *guard = Some(engine),
+            Err(e) => return Response::fail(format!("cannot start ingest: {e}")),
+        }
+    }
+    let engine = guard.as_mut().expect("engine initialized above");
+    let mut applied = 0usize;
+    for op in &ops {
+        if let Err(e) = engine.apply(op) {
+            return Response::fail(format!(
+                "mutation {} rejected ({applied} earlier mutations stay applied): {e}",
+                applied + 1
+            ));
+        }
+        applied += 1;
+    }
+    let mut published = false;
+    let mut invalidated = 0usize;
+    let mut epoch = engine.epoch();
+    let mut fingerprint = 0u64;
+    if engine.pending() > 0 && (req.commit || engine.pending() >= shared.epoch_interval) {
+        let summary = engine.publish_epoch();
+        epoch = summary.epoch;
+        let old = Arc::clone(&shared.state.read().expect("state lock poisoned"));
+        let next = ServeState::from_parts(
+            old.dataset(),
+            engine.db().clone(),
+            engine.model().clone(),
+            engine.views_set(),
+        )
+        .with_source(old.source().map(std::path::Path::to_path_buf));
+        fingerprint = next.fingerprint();
+        *shared.state.write().expect("state lock poisoned") = Arc::new(next);
+        shared.generation.fetch_add(1, Ordering::SeqCst);
+        for &class in &summary.dirty_classes {
+            invalidated += shared.cache.invalidate(old.fingerprint(), class);
+        }
+        gvex_obs::counter!("serve.epoch_publishes");
+        published = true;
+    }
+    let pending = engine.pending();
+    if !published {
+        fingerprint = Arc::clone(&shared.state.read().expect("state lock poisoned")).fingerprint();
+    }
+    drop(guard);
+    Response::success(format!(
+        "{{\"applied\":{applied},\"pending\":{pending},\"epoch\":{epoch},\
+         \"published\":{published},\"invalidated\":{invalidated},\"fingerprint\":{fingerprint}}}"
+    ))
 }

@@ -113,6 +113,14 @@ impl ServeState {
         Self { source, dataset, db, model, views, index, pool: SessionPool::new(), fingerprint }
     }
 
+    /// Attaches a reload source to a state built from parts — the epoch
+    /// publisher preserves the original store path across mutate swaps so
+    /// a later `reload` request still knows where home is.
+    pub fn with_source(mut self, source: Option<PathBuf>) -> Self {
+        self.source = source;
+        self
+    }
+
     /// Rebuilds a state for a reload: from `path` when non-empty, else by
     /// re-opening this state's own source file.
     pub fn reload_target(&self, path: &str) -> Result<Self, ServeError> {
@@ -262,7 +270,7 @@ fn answer_stats(state: &ServeState) -> Response {
     Response::success(body)
 }
 
-fn config_for(req: &Request) -> Configuration {
+pub(crate) fn config_for(req: &Request) -> Configuration {
     let upper = match req.upper {
         Some(u) if u > 0 => u as usize,
         _ => DEFAULT_UPPER,

@@ -6,6 +6,7 @@
 use gvex_core::{Configuration, ExplainSession, GreedyStrategy};
 use gvex_gnn::{trainer, GcnConfig, GcnModel};
 use gvex_graph::{Graph, GraphDatabase};
+use gvex_ingest::{to_jsonl, IngestEngine, Op};
 use gvex_serve::protocol::{read_frame, write_frame};
 use gvex_serve::{answer, Client, Request, Response, ServeState, Server, ServerConfig};
 use gvex_store::{write_store, BuildInput};
@@ -211,6 +212,7 @@ fn reload_during_concurrent_traffic_keeps_answers_identical() {
             dataset: "MOTIF",
             seed: 1,
             mining: None,
+            epoch: 0,
         },
     )
     .unwrap();
@@ -260,6 +262,150 @@ fn reload_during_concurrent_traffic_keeps_answers_identical() {
     let after = Client::connect(addr).unwrap().call(&Request::stats()).unwrap();
     assert_eq!(after.generation, 1, "responses must carry the post-reload generation");
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mutate_publishes_epochs_and_invalidates_only_affected_answers() {
+    let state = motif_state();
+    let fp0 = state.fingerprint();
+    let db0 = state.db().clone();
+    let model0 = state.model().clone();
+    let views0 = state.views().clone();
+    let server = Server::bind(state, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // warm the cache for both classes
+    assert!(client.call(&Request::explain(0, 4, false)).unwrap().ok);
+    assert!(client.call(&Request::explain(1, 4, false)).unwrap().ok);
+    assert!(client.call(&Request::explain(1, 4, false)).unwrap().cached);
+
+    // stream a mutation WITHOUT commit: it buffers in the ingest engine
+    // and reads keep answering from the published state (bounded
+    // staleness — nothing flips until the epoch publishes)
+    let op = Op::AddEdge { graph: 0, u: 0, v: 2, etype: 0 };
+    let jsonl = to_jsonl(&[op.to_wire()]);
+    let resp = client.call(&Request { upper: Some(4), ..Request::mutate(&jsonl, false) }).unwrap();
+    assert!(resp.ok, "mutate failed: {}", resp.error);
+    assert!(resp.body.contains("\"applied\":1"), "{}", resp.body);
+    assert!(resp.body.contains("\"pending\":1"), "{}", resp.body);
+    assert!(resp.body.contains("\"published\":false"), "{}", resp.body);
+    assert!(resp.body.contains(&format!("\"fingerprint\":{fp0}")), "{}", resp.body);
+    assert!(
+        client.call(&Request::explain(0, 4, false)).unwrap().cached,
+        "pre-epoch answers must keep serving until the publish"
+    );
+    assert_eq!(server.generation(), 0);
+
+    // commit: the epoch publishes through the same atomic swap a reload
+    // uses, and only the dirty (old fingerprint, class) entries die —
+    // here exactly the class-0 explain answer (graph 0 has truth 0);
+    // class 1's cached answer is untouched
+    let resp = client.call(&Request { upper: Some(4), ..Request::commit() }).unwrap();
+    assert!(resp.ok, "commit failed: {}", resp.error);
+    assert!(resp.body.contains("\"published\":true"), "{}", resp.body);
+    assert!(resp.body.contains("\"epoch\":1"), "{}", resp.body);
+    assert!(resp.body.contains("\"invalidated\":1"), "{}", resp.body);
+    assert!(!resp.body.contains(&format!("\"fingerprint\":{fp0}")), "fingerprint must flip");
+    assert_eq!(server.generation(), 1);
+
+    // the served post-epoch answer must equal the offline incremental
+    // ground truth, byte for byte
+    let mut oracle =
+        IngestEngine::new("MOTIF", 0, db0, model0, Configuration::paper_mut(4), views0, 0).unwrap();
+    oracle.apply(&op).unwrap();
+    let oracle_state = ServeState::from_parts(
+        "MOTIF",
+        oracle.db().clone(),
+        oracle.model().clone(),
+        oracle.views_set(),
+    );
+    let want = answer(&oracle_state, &Request::explain(0, 4, false));
+    assert!(want.ok, "{}", want.error);
+    let got = client.call(&Request::explain(0, 4, false)).unwrap();
+    assert!(got.ok, "{}", got.error);
+    assert!(!got.cached, "post-epoch answer must be recomputed, not served stale");
+    assert_eq!(got.body, want.body, "served post-epoch answer diverged from incremental oracle");
+    assert!(client.call(&Request::explain(0, 4, false)).unwrap().cached, "then cached again");
+
+    // a commit with nothing pending publishes nothing
+    let resp = client.call(&Request { upper: Some(4), ..Request::commit() }).unwrap();
+    assert!(resp.ok);
+    assert!(resp.body.contains("\"published\":false"), "{}", resp.body);
+    assert_eq!(server.generation(), 1);
+}
+
+#[test]
+fn mutate_rejections_are_typed_and_reload_discards_pending_mutations() {
+    let state = motif_state();
+    let fp0 = state.fingerprint();
+    let path = temp_store_path("mutate-reload");
+    let views_json = state.views().to_json();
+    write_store(
+        &path,
+        &BuildInput {
+            db: state.db(),
+            model: state.model(),
+            views_json: Some(&views_json),
+            dataset: "MOTIF",
+            seed: 1,
+            mining: None,
+            epoch: 0,
+        },
+    )
+    .unwrap();
+    let opened = ServeState::open(&path).unwrap();
+    let server = Server::bind(opened, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // malformed JSON applies nothing
+    let resp = client.call(&Request::mutate("{not json", false)).unwrap();
+    assert!(!resp.ok);
+    assert!(resp.error.contains("bad mutation log"), "{}", resp.error);
+
+    // a semantically invalid op is rejected with the ingest error text
+    let bad = to_jsonl(&[Op::RemoveGraph { index: 999 }.to_wire()]);
+    let resp = client.call(&Request { upper: Some(4), ..Request::mutate(&bad, false) }).unwrap();
+    assert!(!resp.ok);
+    assert!(resp.error.contains("out of range"), "{}", resp.error);
+
+    // buffer a valid mutation, then reload: the pending mutation dies
+    // with the engine and serving returns to the store's content
+    let good = to_jsonl(&[Op::AddEdge { graph: 0, u: 0, v: 2, etype: 0 }.to_wire()]);
+    let resp = client.call(&Request { upper: Some(4), ..Request::mutate(&good, false) }).unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert!(resp.body.contains("\"pending\":1"), "{}", resp.body);
+    let resp = client.call(&Request::reload("")).unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    let resp = client.call(&Request { upper: Some(4), ..Request::commit() }).unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert!(
+        resp.body.contains("\"published\":false"),
+        "reload must discard unpublished mutations: {}",
+        resp.body
+    );
+    assert!(resp.body.contains(&format!("\"fingerprint\":{fp0}")), "{}", resp.body);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn epoch_interval_publishes_automatically() {
+    let server = Server::bind(
+        motif_state(),
+        "127.0.0.1:0",
+        ServerConfig { epoch_interval: 2, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let one = |g: usize| to_jsonl(&[Op::AddEdge { graph: g, u: 0, v: 2, etype: 0 }.to_wire()]);
+    let resp = client.call(&Request { upper: Some(4), ..Request::mutate(&one(0), false) }).unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert!(resp.body.contains("\"published\":false"), "{}", resp.body);
+    // the second mutation fills the interval: publish without any commit
+    let resp = client.call(&Request { upper: Some(4), ..Request::mutate(&one(2), false) }).unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert!(resp.body.contains("\"published\":true"), "{}", resp.body);
+    assert!(resp.body.contains("\"pending\":0"), "{}", resp.body);
+    assert_eq!(server.generation(), 1);
 }
 
 #[test]

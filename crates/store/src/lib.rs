@@ -62,6 +62,10 @@ pub struct StoreMeta {
     pub model: ModelMeta,
     /// Mining bounds the stored views were produced under, if any.
     pub mining: Option<MiningConfig>,
+    /// Ingest epoch this snapshot captures (0 = original batch build;
+    /// files written before epochs existed read back as 0).
+    #[serde(default)]
+    pub epoch: u64,
 }
 
 /// Shape/architecture metadata for the weight blob in
@@ -133,6 +137,7 @@ mod tests {
             dataset: "TOY",
             seed: 11,
             mining: Some(MiningConfig::default()),
+            epoch: 0,
         };
         let len = write_store(&path, &input).unwrap();
         assert_eq!(len % SECTION_ALIGN as u64, 0);
@@ -176,6 +181,7 @@ mod tests {
             dataset: "TOY",
             seed: 1,
             mining: None,
+            epoch: 0,
         };
         write_store(&path, &input).unwrap();
         let store = Store::open(&path).unwrap();
@@ -199,6 +205,7 @@ mod tests {
             dataset: "TOY",
             seed: 1,
             mining: None,
+            epoch: 0,
         };
         write_store(&path, &input).unwrap();
         let store = Store::open(&path).unwrap();
@@ -227,6 +234,7 @@ mod tests {
             dataset: "TOY",
             seed: 1,
             mining: None,
+            epoch: 0,
         };
         write_store(&path, &input).unwrap();
         let store = Store::open(&path).unwrap();

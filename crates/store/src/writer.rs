@@ -35,6 +35,8 @@ pub struct BuildInput<'a> {
     pub seed: u64,
     /// Mining bounds the views were produced under, if any.
     pub mining: Option<MiningConfig>,
+    /// Ingest epoch this snapshot captures (0 for batch builds).
+    pub epoch: u64,
 }
 
 fn le_bytes_u32(vals: &[u32]) -> Vec<u8> {
@@ -99,6 +101,7 @@ fn build_meta(input: &BuildInput) -> StoreMeta {
             edge_gate_types: input.model.edge_gates().map_or(0, |g| g.cols()),
         },
         mining: input.mining,
+        epoch: input.epoch,
     }
 }
 

@@ -19,6 +19,7 @@ pub use gvex_datasets as datasets;
 pub use gvex_gnn as gnn;
 pub use gvex_graph as graph;
 pub use gvex_influence as influence;
+pub use gvex_ingest as ingest;
 pub use gvex_iso as iso;
 pub use gvex_linalg as linalg;
 pub use gvex_metrics as metrics;

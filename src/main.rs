@@ -21,7 +21,8 @@ use gvex::core::{
 use gvex::datasets::{dataset_stats, read_tu_dataset, write_tu_dataset, DatasetKind, Scale};
 use gvex::gnn::{train, trainer::TrainOptions, GcnConfig, GcnModel, Split};
 use gvex::graph::GraphDatabase;
-use gvex::serve::{Request, ServeState, Server, ServerConfig};
+use gvex::ingest::{generate, read_log, to_jsonl, write_log, GenProfile, IngestEngine};
+use gvex::serve::{Client, Request, ServeState, Server, ServerConfig};
 use gvex::store::{BuildInput, SectionId, Store};
 use std::collections::HashMap;
 use std::path::Path;
@@ -29,7 +30,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gvex <stats|export|train|explain|query|serve|request|db|obs> [options]\n\
+        "usage: gvex <stats|export|train|explain|query|serve|request|ingest|db|obs> [options]\n\
          \n\
          common options:\n\
            --dataset <MUT|RED|ENZ|MAL|PCQ|PRO|SYN>   synthetic stand-in\n\
@@ -49,12 +50,26 @@ fn usage() -> ! {
          query    --views <file> | --db <file.gvex>\n\
                   [--label <l>] [--discriminative <l>]\n\
          serve    --db <file.gvex> [--addr <host:port>] [--workers <n>]\n\
-                  [--queue <n>] [--cache-capacity <n>]: answer explain/node/\n\
-                  query requests over TCP until a shutdown request arrives\n\
-         request  --addr <host:port> --kind <ping|stats|explain|node|query|reload|shutdown>\n\
+                  [--queue <n>] [--cache-capacity <n>] [--epoch-interval <n>]:\n\
+                  answer explain/node/query/mutate requests over TCP until\n\
+                  a shutdown request arrives\n\
+         request  --addr <host:port> --kind <ping|stats|explain|node|query|mutate|reload|shutdown>\n\
                   [--label <l>] [--graph <i>] [--target <v>] [--upper <n>]\n\
-                  [--stream] [--discriminative <l>] [--path <file.gvex>]:\n\
+                  [--stream] [--discriminative <l>] [--path <file.gvex>]\n\
+                  [--mutations <file.jsonl>] [--commit]:\n\
                   send one request to a running daemon, print the answer\n\
+         ingest   gen --db <file.gvex> --out <file.jsonl> [--count <n>]\n\
+                  [--seed <u64>] [--profile <localized|churn>]: synthesize a\n\
+                  replayable mutation log against a built store\n\
+                  replay --db <file.gvex> --mutations <file.jsonl>\n\
+                  [--upper <n>] [--epoch-interval <n>] [--threads <n>]\n\
+                  [--snapshot-out <file.gvex>] [--verify]: apply the log\n\
+                  with incremental view maintenance; --verify diffs the\n\
+                  result against a full recompute, --snapshot-out writes\n\
+                  the post-ingest epoch as a servable store\n\
+                  send --addr <host:port> --mutations <file.jsonl>\n\
+                  [--batch <n>] [--upper <n>] [--commit]: stream the log\n\
+                  to a running daemon as mutate requests\n\
          db       build --out <file.gvex>: materialize dataset + trained model\n\
                   + mined views into one mmap-servable store\n\
                   [--upper <n>] [--stream] [--no-views] + train/dataset flags\n\
@@ -367,6 +382,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| state.db().num_classes().max(1)),
         cache_capacity: flags.get("cache-capacity").and_then(|s| s.parse().ok()).unwrap_or(32),
+        epoch_interval: flags.get("epoch-interval").and_then(|s| s.parse().ok()).unwrap_or(8),
     };
     let addr = flags.get("addr").map_or("127.0.0.1:0", String::as_str);
     let server = Server::bind(state, addr, cfg).unwrap_or_else(|e| {
@@ -392,6 +408,8 @@ fn cmd_request(flags: &HashMap<String, String>) {
         upper: flags.get("upper").and_then(|s| s.parse().ok()),
         stream: flags.contains_key("stream"),
         path: flags.get("path").cloned().unwrap_or_default(),
+        mutation: flags.get("mutations").map_or_else(String::new, |p| read_mutation_file(p)),
+        commit: flags.contains_key("commit"),
     };
     let resp = gvex::serve::client::request_once(addr.as_str(), &req).unwrap_or_else(|e| {
         eprintln!("request to {addr} failed: {e}");
@@ -403,6 +421,184 @@ fn cmd_request(flags: &HashMap<String, String>) {
     }
     eprintln!("[gvex] cached={} generation={}", resp.cached, resp.generation);
     println!("{}", resp.body);
+}
+
+fn read_mutation_file(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("failed to read mutation log {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// `gvex ingest gen --db <store> --out <log.jsonl>` — synthesize a
+/// mutation log whose records are valid against the store's database when
+/// applied in order (the generator replays its own ops on scratch state).
+fn cmd_ingest_gen(flags: &HashMap<String, String>) {
+    let db_path = flags.get("db").unwrap_or_else(|| usage());
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let count: usize = flags.get("count").map_or(64, |s| s.parse().unwrap_or(64));
+    let seed: u64 = flags.get("seed").map_or(42, |s| s.parse().unwrap_or(42));
+    let profile = match flags.get("profile") {
+        None => GenProfile::Localized,
+        Some(s) => GenProfile::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown --profile {s} (want localized|churn)");
+            usage();
+        }),
+    };
+    let db = open_store(db_path).database();
+    let muts = generate(&db, count, seed, profile);
+    write_log(Path::new(out), &muts).unwrap_or_else(|e| {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}: {} mutations ({profile:?} profile, seed {seed})", muts.len());
+}
+
+/// `gvex ingest replay --db <store> --mutations <log.jsonl>` — apply a
+/// mutation log offline with incremental view maintenance, publishing an
+/// epoch every `--epoch-interval` mutations. `--verify` diffs the
+/// incremental result against a full recompute and exits non-zero on any
+/// divergence; `--snapshot-out` writes the final epoch as a servable store.
+fn cmd_ingest_replay(flags: &HashMap<String, String>) {
+    let db_path = flags.get("db").unwrap_or_else(|| usage());
+    let log_path = flags.get("mutations").unwrap_or_else(|| usage());
+    let upper: usize = flags.get("upper").map_or(10, |s| s.parse().unwrap_or(10));
+    let interval: usize = flags.get("epoch-interval").map_or(8, |s| s.parse().unwrap_or(8)).max(1);
+    let threads: usize = flags.get("threads").map_or(1, |s| s.parse().unwrap_or(1)).max(1);
+    let store = open_store(db_path);
+    let db = store.database();
+    let model = store.model();
+    let cfg = Configuration::paper_mut(upper);
+    let views = match store.views_json() {
+        Some(json) => ExplanationViewSet::from_json(json).unwrap_or_else(|e| {
+            eprintln!("store views are corrupt: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            eprintln!("store has no views; mining them first (upper {upper})");
+            gvex::ingest::rebuild_views(&model, &db, &cfg, threads)
+        }
+    };
+    let meta = store.meta();
+    let (dataset, seed, epoch0) = (meta.dataset.clone(), meta.seed, meta.epoch);
+    let muts = read_log(Path::new(log_path)).unwrap_or_else(|e| {
+        eprintln!("failed to read mutation log {log_path}: {e}");
+        std::process::exit(1);
+    });
+    let mut engine = IngestEngine::new(&dataset, seed, db, model, cfg, views, epoch0)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start ingest: {e}");
+            std::process::exit(1);
+        });
+    let t0 = std::time::Instant::now();
+    for (i, m) in muts.iter().enumerate() {
+        let op = m.parse().unwrap_or_else(|e| {
+            eprintln!("mutation {}: {e}", i + 1);
+            std::process::exit(1);
+        });
+        engine.apply(&op).unwrap_or_else(|e| {
+            eprintln!("mutation {} rejected: {e}", i + 1);
+            std::process::exit(1);
+        });
+        if engine.pending() >= interval {
+            let s = engine.publish_epoch();
+            println!(
+                "epoch {}: {} mutations folded, {} dirty cache classes",
+                s.epoch,
+                s.mutations,
+                s.dirty_classes.len()
+            );
+        }
+    }
+    if engine.pending() > 0 {
+        let s = engine.publish_epoch();
+        println!(
+            "epoch {}: {} mutations folded, {} dirty cache classes",
+            s.epoch,
+            s.mutations,
+            s.dirty_classes.len()
+        );
+    }
+    let elapsed = t0.elapsed();
+    if flags.contains_key("verify") {
+        let full = engine.rebuilt(threads);
+        let eq = gvex::ingest::check_equivalent(&engine.views_set(), &full, engine.cfg());
+        if eq.ok {
+            println!("verify: incremental views equivalent to full recompute");
+        } else {
+            eprintln!("verify FAILED: {}", eq.detail);
+            std::process::exit(1);
+        }
+    }
+    if let Some(out) = flags.get("snapshot-out") {
+        let bytes = engine.snapshot(Path::new(out)).unwrap_or_else(|e| {
+            eprintln!("failed to write snapshot {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("snapshot {out}: {bytes} bytes at epoch {}", engine.epoch());
+    }
+    let st = engine.stats();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "applied {} mutations in {:.1} ms ({:.0} updates/s): {} epochs, {} views patched, {} recomputed",
+        st.mutations_applied,
+        elapsed.as_secs_f64() * 1e3,
+        st.mutations_applied as f64 / secs,
+        st.epochs_published,
+        st.views_patched,
+        st.views_recomputed
+    );
+}
+
+/// `gvex ingest send --addr <host:port> --mutations <log.jsonl>` — stream
+/// a mutation log to a running daemon as `mutate` requests, `--batch`
+/// records per frame. With `--commit` each batch publishes an epoch;
+/// without, publishing is left to the daemon's epoch interval.
+fn cmd_ingest_send(flags: &HashMap<String, String>) {
+    let addr = flags.get("addr").unwrap_or_else(|| usage());
+    let log_path = flags.get("mutations").unwrap_or_else(|| usage());
+    let batch: usize = flags.get("batch").map_or(16, |s| s.parse().unwrap_or(16)).max(1);
+    let upper = flags.get("upper").and_then(|s| s.parse().ok());
+    let commit = flags.contains_key("commit");
+    let muts = read_log(Path::new(log_path)).unwrap_or_else(|e| {
+        eprintln!("failed to read mutation log {log_path}: {e}");
+        std::process::exit(1);
+    });
+    let mut client = Client::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    for (i, chunk) in muts.chunks(batch).enumerate() {
+        let req = Request { upper, ..Request::mutate(&to_jsonl(chunk), commit) };
+        let resp = client.call(&req).unwrap_or_else(|e| {
+            eprintln!("send to {addr} failed: {e}");
+            std::process::exit(1);
+        });
+        if !resp.ok {
+            eprintln!("server rejected batch {}: {}", i + 1, resp.error);
+            std::process::exit(1);
+        }
+        println!("batch {}: {}", i + 1, resp.body);
+    }
+}
+
+/// `gvex ingest <gen|replay|send>` — takes a positional subcommand, so it
+/// dispatches before [`parse_flags`].
+fn cmd_ingest(rest: &[String]) -> ExitCode {
+    let Some((sub, rest)) = rest.split_first() else {
+        usage();
+    };
+    match sub.as_str() {
+        "gen" => cmd_ingest_gen(&parse_flags(rest)),
+        "replay" => cmd_ingest_replay(&parse_flags(rest)),
+        "send" => cmd_ingest_send(&parse_flags(rest)),
+        other => {
+            eprintln!("unknown ingest subcommand: {other}");
+            usage();
+        }
+    }
+    gvex::obs::report::emit();
+    ExitCode::SUCCESS
 }
 
 /// `gvex db build --out <file.gvex> [dataset/train/mining flags]` —
@@ -436,6 +632,7 @@ fn cmd_db_build(flags: &HashMap<String, String>) {
         dataset,
         seed,
         mining: Some(cfg.mining),
+        epoch: 0,
     };
     let bytes = gvex::store::write_store(Path::new(out), &input).unwrap_or_else(|e| {
         eprintln!("failed to write store {out}: {e}");
@@ -460,9 +657,10 @@ fn cmd_db_inspect(path: &str) {
         store.mapping_kind()
     );
     println!(
-        "dataset {} (seed {}): {} graphs, {} classes, feature dim {}, {}",
+        "dataset {} (seed {}, epoch {}): {} graphs, {} classes, feature dim {}, {}",
         m.dataset,
         m.seed,
+        m.epoch,
         m.num_graphs,
         m.class_names.len(),
         m.feature_dim,
@@ -629,6 +827,10 @@ fn main() -> ExitCode {
     // `db` also takes positionals (the subcommand, inspect's file).
     if cmd == "db" {
         return cmd_db(rest);
+    }
+    // so does `ingest` (the subcommand).
+    if cmd == "ingest" {
+        return cmd_ingest(rest);
     }
     let flags = parse_flags(rest);
     match cmd.as_str() {

@@ -211,6 +211,7 @@ fn store_served_explanations_identical_to_in_memory() {
             dataset: kind.short_name(),
             seed: 9,
             mining: None,
+            epoch: 0,
         };
         write_store(&path, &input).expect("store writes");
         let store = Store::open(&path).expect("store reopens");

@@ -131,6 +131,7 @@ fn store_fixture() -> &'static StoreFixture {
             dataset: "MUT",
             seed: 31,
             mining: None,
+            epoch: 0,
         };
         write_store(&path, &input).expect("store writes");
         let bytes = std::fs::read(&path).expect("store file reads back");
